@@ -1,0 +1,151 @@
+//! Distributed bitonic sort (paper §III-C, Batcher [17]): a sorting
+//! network over ranks. Simple and oblivious, but every key crosses the
+//! network `O(log² P)` times — the paper's point for why it "cannot
+//! keep up with sample sort if N/P >> 1".
+//!
+//! Like the Charm++ implementation the paper benchmarks, this baseline
+//! inherits the classic constraints: the rank count must be a power of
+//! two and all ranks must hold equally many keys.
+
+use dhs_core::Key;
+use dhs_merge::merge_two;
+use dhs_runtime::{Comm, Work};
+
+use crate::stats::AlgoStats;
+
+/// Sort the distributed vector with a bitonic network.
+///
+/// # Panics
+/// Panics unless `P` is a power of two and all local sizes are equal
+/// (the constraints the paper calls out for such implementations).
+pub fn bitonic_sort<K: Key>(comm: &Comm, local: &mut Vec<K>) -> AlgoStats {
+    let p = comm.size();
+    assert!(p.is_power_of_two(), "bitonic sort requires a power-of-two rank count, got {p}");
+    let sizes: Vec<usize> = comm.allgather(local.len());
+    assert!(
+        sizes.windows(2).all(|w| w[0] == w[1]),
+        "bitonic sort requires equal local sizes, got {sizes:?}"
+    );
+
+    let mut stats = AlgoStats { converged: true, ..AlgoStats::default() };
+    let elem = std::mem::size_of::<K>() as u64;
+    let n = local.len();
+
+    let t0 = comm.now_ns();
+    local.sort_unstable();
+    comm.charge(Work::SortElems { n: n as u64, elem_bytes: elem });
+    stats.sort_merge_ns += comm.now_ns() - t0;
+
+    if p == 1 {
+        stats.n_out = n;
+        return stats;
+    }
+
+    let stages = p.trailing_zeros();
+    let rank = comm.rank();
+    let mut tag = 0u64;
+    for stage in 1..=stages {
+        for step in (0..stage).rev() {
+            let partner = rank ^ (1 << step);
+            let ascending = (rank >> stage) & 1 == 0;
+            stats.rounds += 1;
+
+            // Full-volume compare-split with the partner.
+            let t1 = comm.now_ns();
+            tag += 1;
+            let theirs = comm.exchange(partner, tag, local.clone());
+            stats.exchange_ns += comm.now_ns() - t1;
+
+            let t2 = comm.now_ns();
+            comm.charge(Work::MergeElems { n: 2 * n as u64, ways: 2, elem_bytes: elem });
+            let merged = merge_two(local, &theirs);
+            let keep_min = (rank < partner) == ascending;
+            *local = if keep_min {
+                merged[..n].to_vec()
+            } else {
+                merged[n..].to_vec()
+            };
+            stats.sort_merge_ns += comm.now_ns() - t2;
+        }
+    }
+    stats.n_out = local.len();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_runtime::{run, ClusterConfig};
+
+    fn keys_for(rank: usize, n: usize, modulus: u64) -> Vec<u64> {
+        let mut x = (rank as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % modulus
+            })
+            .collect()
+    }
+
+    fn check(p: usize, n: usize, modulus: u64) {
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            let mut local = keys_for(comm.rank(), n, modulus);
+            let stats = bitonic_sort(comm, &mut local);
+            (local, stats)
+        });
+        let mut expect: Vec<u64> = (0..p).flat_map(|r| keys_for(r, n, modulus)).collect();
+        expect.sort_unstable();
+        let got: Vec<u64> = out.iter().flat_map(|((l, _), _)| l.clone()).collect();
+        assert_eq!(got, expect, "p={p}");
+        // Equal-size invariant preserved (a sorting network permutes).
+        for ((l, _), _) in &out {
+            assert_eq!(l.len(), n);
+        }
+    }
+
+    #[test]
+    fn sorts_power_of_two_ranks() {
+        check(2, 500, u64::MAX);
+        check(4, 250, u64::MAX);
+        check(8, 125, u64::MAX);
+        check(16, 64, u64::MAX);
+    }
+
+    #[test]
+    fn duplicates_and_constant() {
+        check(4, 200, 5);
+        check(8, 100, 1);
+    }
+
+    #[test]
+    fn round_count_is_log_squared() {
+        let out = run(&ClusterConfig::small_cluster(8), |comm| {
+            let mut local = keys_for(comm.rank(), 50, 1 << 30);
+            bitonic_sort(comm, &mut local)
+        });
+        for (stats, _) in out {
+            // stages 1+2+3 = 6 compare-split rounds for P=8.
+            assert_eq!(stats.rounds, 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let _ = run(&ClusterConfig::small_cluster(3), |comm| {
+            let mut local = keys_for(comm.rank(), 10, 100);
+            bitonic_sort(comm, &mut local);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "equal local sizes")]
+    fn rejects_uneven_sizes() {
+        let _ = run(&ClusterConfig::small_cluster(2), |comm| {
+            let mut local = keys_for(comm.rank(), 10 + comm.rank(), 100);
+            bitonic_sort(comm, &mut local);
+        });
+    }
+}

@@ -1,0 +1,27 @@
+//! Phase accounting shared by all baseline sorters, kept comparable to
+//! [`dhs_core::SortStats`].
+
+/// Per-phase virtual timings of one baseline sort on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgoStats {
+    /// Splitter/pivot determination (sampling, histogramming, selection
+    /// — whatever the algorithm uses).
+    pub splitter_ns: u64,
+    /// All data movement between ranks.
+    pub exchange_ns: u64,
+    /// Local sorting/merging work (initial and/or final).
+    pub sort_merge_ns: u64,
+    /// Rounds of the splitter phase (sampling rounds, recursion levels,
+    /// bitonic stages...).
+    pub rounds: u32,
+    /// Whether the splitter phase met its tolerance (HSS may not).
+    pub converged: bool,
+    /// Keys held after sorting.
+    pub n_out: usize,
+}
+
+impl AlgoStats {
+    pub fn total_ns(&self) -> u64 {
+        self.splitter_ns + self.exchange_ns + self.sort_merge_ns
+    }
+}

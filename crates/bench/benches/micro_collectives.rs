@@ -1,0 +1,39 @@
+//! Micro-benchmarks of the simulated runtime's data plane: how fast
+//! the host executes collectives (wall time, not virtual time) — the
+//! simulator's own overhead, relevant for sizing the figure sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhs_runtime::{run, ClusterConfig};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime-collectives");
+    group.sample_size(10);
+    for p in [8usize, 32] {
+        group.bench_function(format!("allreduce-p{p}-x100"), |b| {
+            b.iter(|| {
+                run(&ClusterConfig::small_cluster(p), |comm| {
+                    let mut acc = 0u64;
+                    for _ in 0..100 {
+                        acc = comm.allreduce_sum(vec![comm.rank() as u64; 16])[0];
+                    }
+                    acc
+                })
+            })
+        });
+        group.bench_function(format!("alltoallv-p{p}-x10"), |b| {
+            b.iter(|| {
+                run(&ClusterConfig::small_cluster(p), |comm| {
+                    for _ in 0..10 {
+                        let send: Vec<Vec<u64>> =
+                            (0..comm.size()).map(|d| vec![d as u64; 64]).collect();
+                        let _ = comm.alltoallv(send);
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

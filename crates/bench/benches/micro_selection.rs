@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the selection kernels (§IV): quickselect,
+//! median-of-medians and the weighted median against a full sort.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dhs_select::{median_of_medians_select, quickselect, weighted_median};
+use dhs_workloads::Mt19937_64;
+
+fn data(n: usize, seed: u64) -> Vec<u64> {
+    let mut g = Mt19937_64::new(seed);
+    (0..n).map(|_| g.next_u64()).collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let n = 1 << 20;
+    let input = data(n, 42);
+    let k = n / 2;
+
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    group.bench_function("quickselect", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| quickselect(&mut v, k),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("median-of-medians", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| median_of_medians_select(&mut v, k),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("full-sort", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| {
+                v.sort_unstable();
+                v[k]
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("weighted-median");
+    group.sample_size(20);
+    for p in [64usize, 1024] {
+        let items: Vec<(u64, u64)> =
+            data(p, 7).into_iter().map(|x| (x, x % 100 + 1)).collect();
+        group.bench_function(format!("p={p}"), |b| {
+            b.iter_batched(
+                || items.clone(),
+                |mut v| weighted_median(&mut v),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Minimal `--flag value` argument parsing for the figure binaries (no
+//! external dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags: `--key value` pairs and bare switches.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut out = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.values.insert(key.to_string(), v);
+                    }
+                    _ => out.switches.push(key.to_string()),
+                }
+            } else {
+                out.switches.push(arg);
+            }
+        }
+        out
+    }
+
+    /// `--key value` parsed as `T`, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Whether a bare `--switch` was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Raw string value.
+    pub fn raw(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// `--quick` mode shrinks every experiment (used by CI and the
+    /// criterion wrappers).
+    pub fn quick(&self) -> bool {
+        self.has("quick")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = args("--n 1024 --quick --reps 5");
+        assert_eq!(a.get("n", 0usize), 1024);
+        assert_eq!(a.get("reps", 0usize), 5);
+        assert!(a.quick());
+        assert!(!a.has("breakdown"));
+    }
+
+    #[test]
+    fn default_when_missing_or_unparsable() {
+        let a = args("--n abc");
+        assert_eq!(a.get("n", 7usize), 7);
+        assert_eq!(a.get("missing", 3u32), 3);
+    }
+
+    #[test]
+    fn double_switch_then_value() {
+        let a = args("--breakdown --n 4");
+        assert!(a.has("breakdown"));
+        assert_eq!(a.get("n", 0usize), 4);
+    }
+}

@@ -1,0 +1,61 @@
+//! Ablation A2 — the PGAS shared-memory fast path (§VI-A1 / §VI-D):
+//! "we replace collective communication by fast memcpy operations
+//! which gives us significant performance benefits". The paper had to
+//! drop IBM POE because it lacks MPI-3 shared-memory windows; this
+//! ablation toggles the equivalent switch in the cost model.
+//!
+//! Weak scaling with the fast path on vs off; the gap is the benefit
+//! of charging co-located peers at memcpy rates instead of NIC rates.
+//!
+//! Flags: `--nper <keys/rank>`, `--pmax <ranks>`, `--reps`, `--quick`.
+
+use dhs_bench::experiment::{run_distributed_sort, SortAlgo};
+use dhs_bench::stats::median_ci;
+use dhs_bench::table::{fmt_secs, Table};
+use dhs_bench::Args;
+use dhs_core::SortConfig;
+use dhs_runtime::ClusterConfig;
+use dhs_workloads::{Distribution, Layout};
+
+fn main() {
+    let args = Args::parse();
+    let n_per: usize = if args.quick() { 1 << 11 } else { args.get("nper", 1 << 18) };
+    let p_max: usize = if args.quick() { 64 } else { args.get("pmax", 512) };
+    let reps: usize = if args.quick() { 2 } else { args.get("reps", 5) };
+
+    println!("# Ablation A2: intra-node shared-memory fast path (5VI-A1, 5VI-D)");
+    println!("# weak scaling, {n_per} keys/rank uniform u64, 16 ranks/node, {reps} reps\n");
+
+    let ps: Vec<usize> =
+        std::iter::successors(Some(16usize), |&p| Some(p * 2)).take_while(|&p| p <= p_max).collect();
+
+    let mut t = Table::new(["ranks", "fastpath-on", "fastpath-off", "slowdown-off"]);
+    for &p in &ps {
+        let mut medians = Vec::new();
+        for fastpath in [true, false] {
+            let mut cluster = ClusterConfig::supermuc_phase2(p);
+            cluster.cost.intranode_fastpath = fastpath;
+            let times: Vec<f64> = (0..reps)
+                .map(|rep| {
+                    run_distributed_sort(
+                        &cluster,
+                        &SortAlgo::Histogram(SortConfig::default()),
+                        Distribution::paper_uniform(),
+                        Layout::Balanced,
+                        n_per * p,
+                        0xAB2 + rep as u64,
+                    )
+                    .makespan_s
+                })
+                .collect();
+            medians.push(median_ci(&times).median);
+        }
+        t.row([
+            p.to_string(),
+            fmt_secs(medians[0]),
+            fmt_secs(medians[1]),
+            format!("{:.2}x", medians[1] / medians[0]),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,91 @@
+//! Ablation A5 — group splitting (the paper's §VII future work:
+//! "reducing the group size of communicating ranks"). Compares the
+//! flat histogram sort against the two-level variant (√P groups by
+//! default) at the rank counts where Fig. 2b shows histogramming
+//! taking over.
+//!
+//! Expected trade-off: level-wise histogramming spans fewer ranks
+//! (cheaper `ALLREDUCE`s and fewer machine-wide splitters), but the
+//! payload moves twice and each level pays a communicator split.
+//!
+//! Flags: `--n <total keys>` (default 2^22), `--pmax`, `--groups`
+//! (0 = √P), `--reps`, `--quick`.
+
+use dhs_bench::stats::median_ci;
+use dhs_bench::table::{fmt_secs, Table};
+use dhs_bench::Args;
+use dhs_core::{histogram_sort, histogram_sort_two_level, SortConfig};
+use dhs_runtime::{run, ClusterConfig};
+use dhs_workloads::{rank_local_keys, Distribution, Layout};
+
+fn one(p: usize, n_total: usize, seed: u64, groups: Option<usize>) -> (f64, u32, f64) {
+    let out = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+        let mut local = rank_local_keys(
+            Distribution::paper_uniform(),
+            Layout::Balanced,
+            n_total,
+            p,
+            comm.rank(),
+            seed,
+        );
+        match groups {
+            None => histogram_sort(comm, &mut local, &SortConfig::default()),
+            Some(g) => {
+                histogram_sort_two_level(comm, &mut local, &SortConfig::default(), g)
+            }
+        }
+    });
+    let total =
+        out.iter().map(|(s, _)| s.total_ns()).max().expect("non-empty") as f64 * 1e-9;
+    let iters = out.iter().map(|(s, _)| s.iterations).max().expect("non-empty");
+    let hist =
+        out.iter().map(|(s, _)| s.histogram_ns).max().expect("non-empty") as f64 * 1e-9;
+    (total, iters, hist)
+}
+
+fn main() {
+    let args = Args::parse();
+    let n_total: usize = if args.quick() { 1 << 16 } else { args.get("n", 1 << 22) };
+    let p_max: usize = if args.quick() { 64 } else { args.get("pmax", 2048) };
+    let groups: usize = args.get("groups", 0);
+    let reps: usize = if args.quick() { 1 } else { args.get("reps", 3) };
+
+    println!("# Ablation A5: flat vs two-level histogram sort (5VII future work)");
+    println!("# N = {n_total} uniform u64, groups = {}, {reps} reps\n",
+             if groups == 0 { "sqrt(P)".to_string() } else { groups.to_string() });
+
+    let p_start = p_max.min(256);
+    let ps: Vec<usize> = std::iter::successors(Some(p_start), |&p| Some(p * 2))
+        .take_while(|&p| p <= p_max)
+        .collect();
+
+    let mut t = Table::new([
+        "ranks",
+        "flat",
+        "flat-iters",
+        "flat-hist",
+        "two-level",
+        "2L-iters",
+        "2L-hist",
+        "winner",
+    ]);
+    for &p in &ps {
+        let flat: Vec<(f64, u32, f64)> =
+            (0..reps).map(|r| one(p, n_total, 0xAB5 + r as u64, None)).collect();
+        let two: Vec<(f64, u32, f64)> =
+            (0..reps).map(|r| one(p, n_total, 0xAB5 + r as u64, Some(groups))).collect();
+        let f = median_ci(&flat.iter().map(|x| x.0).collect::<Vec<_>>()).median;
+        let w = median_ci(&two.iter().map(|x| x.0).collect::<Vec<_>>()).median;
+        t.row([
+            p.to_string(),
+            fmt_secs(f),
+            flat[0].1.to_string(),
+            fmt_secs(median_ci(&flat.iter().map(|x| x.2).collect::<Vec<_>>()).median),
+            fmt_secs(w),
+            two[0].1.to_string(),
+            fmt_secs(median_ci(&two.iter().map(|x| x.2).collect::<Vec<_>>()).median),
+            if w < f { "two-level" } else { "flat" }.to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,138 @@
+//! Ablation A4 — the §VI-E1 exchange optimizations: explicit pairwise
+//! 1-factor exchange with merge/communication overlap, and the
+//! store-and-forward (Bruck) schedule for small messages.
+//!
+//! Part 1: exchange+merge strategy at fixed shape — monolithic
+//! `ALL-TO-ALLV` followed by re-sort / tournament merge, vs pairwise
+//! rounds merging eagerly, with and without overlap credit.
+//!
+//! Part 2: schedule crossover — 1-factor vs Bruck as N/P shrinks (the
+//! paper: store-and-forward "for a relatively small N/P").
+//!
+//! Flags: `--p <ranks>`, `--nper <keys/rank>`, `--reps`, `--quick`.
+
+use dhs_bench::stats::median_ci;
+use dhs_bench::table::{fmt_secs, Table};
+use dhs_bench::Args;
+use dhs_core::{
+    exchange_and_merge, find_splitters, perfect_targets,
+    exchange::{exchange_data, plan_exchange},
+};
+use dhs_merge::{kway_merge, MergeAlgo};
+use dhs_runtime::{run, AllToAllAlgo, ClusterConfig, Work};
+use dhs_workloads::{rank_local_keys, Distribution, Layout};
+
+fn merged_exchange_time(p: usize, n_per: usize, seed: u64, strategy: &str) -> f64 {
+    let strategy = strategy.to_string();
+    let out = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+        let mut local = rank_local_keys(
+            Distribution::paper_uniform(),
+            Layout::Balanced,
+            n_per * p,
+            p,
+            comm.rank(),
+            seed,
+        );
+        local.sort_unstable();
+        let caps: Vec<usize> = comm.allgather(local.len());
+        let res = find_splitters(comm, &local, &perfect_targets(&caps), 0);
+        let plan = plan_exchange(comm, &local, &res);
+        let elem = 8u64;
+        let t0 = comm.now_ns();
+        match strategy.as_str() {
+            "alltoallv+resort" | "alltoallv+tournament" => {
+                let received = exchange_data(comm, &local, &plan);
+                let n: u64 = received.iter().map(|r| r.len() as u64).sum();
+                let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
+                if strategy.ends_with("resort") {
+                    comm.charge(Work::SortElems { n, elem_bytes: elem });
+                    let _ = kway_merge(MergeAlgo::Resort, &received);
+                } else {
+                    comm.charge(Work::MergeElems { n, ways: ways.max(2), elem_bytes: elem });
+                    let _ = kway_merge(MergeAlgo::TournamentTree, &received);
+                }
+            }
+            "pairwise" => {
+                let _ = exchange_and_merge(comm, &local, &plan, false);
+            }
+            "pairwise+overlap" => {
+                let _ = exchange_and_merge(comm, &local, &plan, true);
+            }
+            other => panic!("unknown strategy {other}"),
+        }
+        comm.now_ns() - t0
+    });
+    out.iter().map(|(t, _)| *t).max().expect("non-empty") as f64 * 1e-9
+}
+
+fn schedule_time(p: usize, n_per: usize, seed: u64, algo: AllToAllAlgo) -> f64 {
+    let out = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+        let local = rank_local_keys(
+            Distribution::paper_uniform(),
+            Layout::Balanced,
+            n_per * p,
+            p,
+            comm.rank(),
+            seed,
+        );
+        let buckets: Vec<Vec<u64>> = local
+            .chunks(local.len().div_ceil(p).max(1))
+            .map(|c| c.to_vec())
+            .chain(std::iter::repeat_with(Vec::new))
+            .take(p)
+            .collect();
+        let t0 = comm.now_ns();
+        let _ = comm.alltoallv_with(buckets, algo);
+        comm.now_ns() - t0
+    });
+    out.iter().map(|(t, _)| *t).max().expect("non-empty") as f64 * 1e-9
+}
+
+fn main() {
+    let args = Args::parse();
+    let p: usize = if args.quick() { 16 } else { args.get("p", 128) };
+    let n_per: usize = if args.quick() { 1 << 11 } else { args.get("nper", 1 << 16) };
+    let reps: usize = if args.quick() { 1 } else { args.get("reps", 3) };
+
+    println!("# Ablation A4: exchange scheduling and merge overlap (5VI-E1)");
+    println!("# P = {p}, {n_per} keys/rank, {reps} reps\n");
+
+    println!("## exchange + merge strategy (simulated time of exchange+merge phases)");
+    let mut t = Table::new(["strategy", "median"]);
+    for strategy in ["alltoallv+resort", "alltoallv+tournament", "pairwise", "pairwise+overlap"] {
+        let times: Vec<f64> = (0..reps)
+            .map(|rep| merged_exchange_time(p, n_per, 0xAB4 + rep as u64, strategy))
+            .collect();
+        t.row([strategy.to_string(), fmt_secs(median_ci(&times).median)]);
+    }
+    t.print();
+
+    println!("\n## all-to-all schedule crossover (pure exchange, varying N/P)");
+    let mut t2 = Table::new(["keys/rank", "1-factor", "bruck", "leaders", "winner"]);
+    for shift in [2usize, 6, 10, 14, 18] {
+        let nper = 1usize << shift;
+        let mut medians = Vec::new();
+        for algo in
+            [AllToAllAlgo::OneFactor, AllToAllAlgo::Bruck, AllToAllAlgo::HierarchicalLeaders]
+        {
+            let times: Vec<f64> =
+                (0..reps).map(|r| schedule_time(p, nper, r as u64, algo)).collect();
+            medians.push(median_ci(&times).median);
+        }
+        let names = ["1-factor", "bruck", "leaders"];
+        let winner = names[medians
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)];
+        t2.row([
+            nper.to_string(),
+            fmt_secs(medians[0]),
+            fmt_secs(medians[1]),
+            fmt_secs(medians[2]),
+            winner.to_string(),
+        ]);
+    }
+    t2.print();
+}

@@ -1,0 +1,241 @@
+//! The shared experiment runner: execute one distributed sort on a
+//! simulated cluster and fold the per-rank reports into the figures the
+//! paper plots (median time, phase fractions, traffic, balance).
+
+use dhs_baselines::{
+    ams_sort, bitonic_sort, hss_sort, hyksort, psrs, sample_sort, AmsConfig, HssConfig,
+    HyksortConfig, PsrsConfig, SampleSortConfig,
+};
+use dhs_core::{histogram_sort, SortConfig};
+use dhs_runtime::{run, ClusterConfig};
+use dhs_workloads::{rank_local_keys, Distribution, Layout};
+
+/// Which sorter to run, with its configuration.
+#[derive(Debug, Clone)]
+pub enum SortAlgo {
+    /// The paper's algorithm (labelled "DASH" in Figures 2-4).
+    Histogram(SortConfig),
+    /// The Charm++ comparator (labelled "Charm++" in Figures 2-3).
+    Hss(HssConfig),
+    SampleSort(SampleSortConfig),
+    Psrs(PsrsConfig),
+    HykSort(HyksortConfig),
+    Ams(AmsConfig),
+    Bitonic,
+}
+
+impl SortAlgo {
+    pub fn label(&self) -> &'static str {
+        match self {
+            SortAlgo::Histogram(_) => "dash-histogram",
+            SortAlgo::Hss(_) => "charm-hss",
+            SortAlgo::SampleSort(_) => "sample-sort",
+            SortAlgo::Psrs(_) => "psrs",
+            SortAlgo::HykSort(_) => "hyksort",
+            SortAlgo::Ams(_) => "ams-sort",
+            SortAlgo::Bitonic => "bitonic",
+        }
+    }
+}
+
+/// Aggregated outcome of one simulated sort run.
+#[derive(Debug, Clone)]
+pub struct DistributedRun {
+    /// Simulated makespan in seconds (max rank completion time).
+    pub makespan_s: f64,
+    /// Per-phase maxima over ranks, in seconds: (name, time).
+    pub phases: Vec<(&'static str, f64)>,
+    /// Histogramming/splitter rounds (max over ranks).
+    pub iterations: u32,
+    /// Total bytes that crossed node boundaries.
+    pub inter_node_bytes: u64,
+    /// Total bytes that stayed inside nodes.
+    pub intra_node_bytes: u64,
+    /// Largest / smallest output partition.
+    pub max_keys: usize,
+    pub min_keys: usize,
+    /// Whether the splitter phase met its tolerance everywhere.
+    pub converged: bool,
+}
+
+impl DistributedRun {
+    /// Phase fractions of the summed phase time (Fig. 2b / 3b bars).
+    pub fn phase_fractions(&self) -> Vec<(&'static str, f64)> {
+        let total: f64 = self.phases.iter().map(|&(_, t)| t).sum();
+        if total <= 0.0 {
+            return self.phases.iter().map(|&(n, _)| (n, 0.0)).collect();
+        }
+        self.phases.iter().map(|&(n, t)| (n, t / total)).collect()
+    }
+}
+
+/// Execute one sort of `n_total` keys drawn from `dist`/`layout` on the
+/// given cluster. Deterministic in `seed`.
+pub fn run_distributed_sort(
+    cluster: &ClusterConfig,
+    algo: &SortAlgo,
+    dist: Distribution,
+    layout: Layout,
+    n_total: usize,
+    seed: u64,
+) -> DistributedRun {
+    let p = cluster.ranks();
+    let algo = algo.clone();
+    let out = run(cluster, move |comm| {
+        let mut local = rank_local_keys(dist, layout, n_total, p, comm.rank(), seed);
+        let t0 = comm.now_ns();
+        let (phases, iterations, converged) = match &algo {
+            SortAlgo::Histogram(cfg) => {
+                let s = histogram_sort(comm, &mut local, cfg);
+                (
+                    vec![
+                        ("local-sort", s.local_sort_ns),
+                        ("histogram", s.histogram_ns),
+                        ("exchange", s.exchange_ns),
+                        ("merge", s.merge_ns),
+                        ("other", s.prepare_ns),
+                    ],
+                    s.iterations,
+                    true,
+                )
+            }
+            SortAlgo::Hss(cfg) => {
+                let s = hss_sort(comm, &mut local, cfg);
+                (algo_phases(&s), s.rounds, s.converged)
+            }
+            SortAlgo::SampleSort(cfg) => {
+                let s = sample_sort(comm, &mut local, cfg);
+                (algo_phases(&s), s.rounds, s.converged)
+            }
+            SortAlgo::Psrs(cfg) => {
+                let s = psrs(comm, &mut local, cfg);
+                (algo_phases(&s), s.rounds, s.converged)
+            }
+            SortAlgo::HykSort(cfg) => {
+                let s = hyksort(comm, &mut local, cfg);
+                (algo_phases(&s), s.rounds, s.converged)
+            }
+            SortAlgo::Ams(cfg) => {
+                let s = ams_sort(comm, &mut local, cfg);
+                (algo_phases(&s), s.rounds, s.converged)
+            }
+            SortAlgo::Bitonic => {
+                let s = bitonic_sort(comm, &mut local);
+                (algo_phases(&s), s.rounds, s.converged)
+            }
+        };
+        let total_ns = comm.now_ns() - t0;
+        (phases, iterations, converged, local.len(), total_ns)
+    });
+
+    let mut phase_max: Vec<(&'static str, u64)> = Vec::new();
+    let mut makespan_ns = 0u64;
+    let mut iterations = 0u32;
+    let mut converged = true;
+    let mut max_keys = 0usize;
+    let mut min_keys = usize::MAX;
+    let mut inter = 0u64;
+    let mut intra = 0u64;
+    for ((phases, iters, conv, n_out, total_ns), report) in &out {
+        makespan_ns = makespan_ns.max(*total_ns);
+        iterations = iterations.max(*iters);
+        converged &= conv;
+        max_keys = max_keys.max(*n_out);
+        min_keys = min_keys.min(*n_out);
+        inter += report.counters.bytes_inter_node;
+        intra += report.counters.bytes_self
+            + report.counters.bytes_intra_numa
+            + report.counters.bytes_intra_node;
+        if phase_max.is_empty() {
+            phase_max = phases.clone();
+        } else {
+            for (slot, &(_, t)) in phase_max.iter_mut().zip(phases) {
+                slot.1 = slot.1.max(t);
+            }
+        }
+    }
+    DistributedRun {
+        makespan_s: makespan_ns as f64 * 1e-9,
+        phases: phase_max.into_iter().map(|(n, t)| (n, t as f64 * 1e-9)).collect(),
+        iterations,
+        inter_node_bytes: inter,
+        intra_node_bytes: intra,
+        max_keys,
+        min_keys,
+        converged,
+    }
+}
+
+fn algo_phases(s: &dhs_baselines::AlgoStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("splitting", s.splitter_ns),
+        ("exchange", s.exchange_ns),
+        ("sort+merge", s.sort_merge_ns),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_run_produces_sane_report() {
+        let cluster = ClusterConfig::supermuc_phase2(16);
+        let run = run_distributed_sort(
+            &cluster,
+            &SortAlgo::Histogram(SortConfig::default()),
+            Distribution::paper_uniform(),
+            Layout::Balanced,
+            1 << 14,
+            42,
+        );
+        assert!(run.makespan_s > 0.0);
+        assert!(run.iterations > 0);
+        assert!(run.converged);
+        assert_eq!(run.max_keys, run.min_keys, "perfect partitioning");
+        let fr: f64 = run.phase_fractions().iter().map(|&(_, f)| f).sum();
+        assert!((fr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cluster = ClusterConfig::supermuc_phase2(8);
+        let go = |seed| {
+            run_distributed_sort(
+                &cluster,
+                &SortAlgo::Hss(HssConfig::default()),
+                Distribution::paper_uniform(),
+                Layout::Balanced,
+                1 << 12,
+                seed,
+            )
+            .makespan_s
+        };
+        assert_eq!(go(1), go(1));
+        assert_ne!(go(1), go(2));
+    }
+
+    #[test]
+    fn all_algorithms_run_under_harness() {
+        let cluster = ClusterConfig::supermuc_phase2(8);
+        for algo in [
+            SortAlgo::Histogram(SortConfig::default()),
+            SortAlgo::Hss(HssConfig::default()),
+            SortAlgo::SampleSort(SampleSortConfig::default()),
+            SortAlgo::Psrs(PsrsConfig::default()),
+            SortAlgo::HykSort(HyksortConfig::default()),
+            SortAlgo::Ams(AmsConfig::default()),
+            SortAlgo::Bitonic,
+        ] {
+            let run = run_distributed_sort(
+                &cluster,
+                &algo,
+                Distribution::paper_uniform(),
+                Layout::Balanced,
+                1 << 12,
+                7,
+            );
+            assert!(run.makespan_s > 0.0, "{}", algo.label());
+        }
+    }
+}

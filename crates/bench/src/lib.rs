@@ -1,0 +1,19 @@
+//! # dhs-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` for the
+//! index), plus criterion micro-benchmarks. This library holds the
+//! shared pieces: robust statistics (median + nonparametric 95% CI,
+//! matching the paper's "median of 10 executions with the 95%
+//! confidence interval"), experiment runners, workload plumbing and
+//! plain-text table rendering.
+
+pub mod args;
+pub mod sim_shm;
+pub mod experiment;
+pub mod stats;
+pub mod table;
+
+pub use args::Args;
+pub use experiment::{run_distributed_sort, DistributedRun, SortAlgo};
+pub use stats::{median_ci, MedianCi};
+pub use table::Table;

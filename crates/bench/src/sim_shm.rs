@@ -1,0 +1,130 @@
+//! Simulated shared-memory comparators for the Fig. 4 study.
+//!
+//! The paper benchmarks its rank-per-core PGAS sort against Intel
+//! Parallel STL (TBB task merge sort with parallel merging) and an
+//! OpenMP task merge sort on a single node spanning 1-4 NUMA domains.
+//! To compare inside the same cost framework, both comparators are
+//! modelled on the simulated runtime with threads-as-ranks:
+//!
+//! * both are merge sorts, so data crosses the machine once per merge
+//!   level — `log₂(threads)` times in total, with the upper levels
+//!   spanning (and paying for) NUMA-domain crossings;
+//! * the TBB-like variant parallelizes each level's merge across all
+//!   threads (level wall time `≈ N/P`);
+//! * the OpenMP-task-like variant merges each pair on a single thread
+//!   (level wall time grows toward `N` at the root — the serial-merge
+//!   bottleneck).
+//!
+//! The paper's algorithm moves data exactly once instead, which is the
+//! effect Fig. 4 isolates.
+
+use dhs_core::Key;
+use dhs_runtime::{Comm, LinkClass, Work};
+
+/// Simulate a TBB-style parallel merge sort over `P = comm.size()`
+/// threads, each holding `local`. Advances the virtual clock; the
+/// sorted result materializes implicitly (the model charges exactly
+/// the comparisons/moves a real run performs).
+pub fn sim_tbb_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
+    let elem = std::mem::size_of::<K>() as u64;
+    let n_local = local.len() as u64;
+    let p = comm.size();
+
+    // Leaf sort of the thread's own chunk.
+    comm.charge(Work::SortElems { n: n_local, elem_bytes: elem });
+    comm.barrier();
+
+    // Merge levels: at level l, regions of 2^(l+1) threads merge. All
+    // threads cooperate in every level's merges (work stealing +
+    // parallel merge), so per-level wall time is ~N/P plus the traffic
+    // of moving the thread's share across the region's link span.
+    let levels = dhs_runtime::log2_ceil(p);
+    for l in 0..levels {
+        let region = 2usize << l;
+        let link = region_link(comm, region);
+        comm.charge(Work::MergeElems { n: n_local, ways: 2, elem_bytes: elem });
+        charge_traffic(comm, link, n_local * elem);
+        comm.barrier();
+    }
+}
+
+/// Simulate an OpenMP-task merge sort whose per-pair merges are
+/// sequential: at level l only every 2^(l+1)-th thread works, on
+/// 2^(l+1) chunks worth of data.
+pub fn sim_openmp_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
+    let elem = std::mem::size_of::<K>() as u64;
+    let n_local = local.len() as u64;
+    let p = comm.size();
+
+    comm.charge(Work::SortElems { n: n_local, elem_bytes: elem });
+    comm.barrier();
+
+    let levels = dhs_runtime::log2_ceil(p);
+    for l in 0..levels {
+        let region = 2usize << l;
+        let link = region_link(comm, region);
+        if comm.rank() % region == 0 {
+            let merged = n_local * region as u64;
+            comm.charge(Work::MergeElems { n: merged, ways: 2, elem_bytes: elem });
+            charge_traffic(comm, link, merged / 2 * elem);
+        }
+        // The join point of the task tree.
+        comm.barrier();
+    }
+}
+
+/// Worst link class spanned by an aligned region of `region` ranks
+/// containing this rank.
+fn region_link(comm: &Comm, region: usize) -> LinkClass {
+    let start = (comm.rank() / region) * region;
+    let globals: Vec<usize> =
+        (start..(start + region).min(comm.size())).map(|r| comm.global_rank(r)).collect();
+    comm.topology().worst_link(&globals)
+}
+
+fn charge_traffic(comm: &Comm, link: LinkClass, bytes: u64) {
+    let ns = comm.cost_model().p2p_ns(link, bytes);
+    comm.charge(Work::Ns(ns));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_runtime::{run, ClusterConfig};
+
+    #[test]
+    fn tbb_model_scales_with_threads() {
+        let time = |threads: usize| {
+            let n_total = 1 << 16;
+            let out = run(&ClusterConfig::single_node(threads), move |comm| {
+                let local: Vec<u64> = vec![0; n_total / comm.size()];
+                sim_tbb_merge_sort(comm, &local);
+                comm.now_ns()
+            });
+            out.iter().map(|(t, _)| *t).max().expect("non-empty")
+        };
+        // More threads must help, but sublinearly (log levels + NUMA).
+        let t7 = time(7);
+        let t28 = time(28);
+        assert!(t28 < t7, "t28 {t28} should beat t7 {t7}");
+        assert!((t28 as f64) > (t7 as f64) / 4.0, "speedup must be sublinear");
+    }
+
+    #[test]
+    fn openmp_serial_merge_is_slower_at_scale() {
+        let n_total = 1 << 16;
+        let go = |omp: bool, threads: usize| {
+            let out = run(&ClusterConfig::single_node(threads), move |comm| {
+                let local: Vec<u64> = vec![0; n_total / comm.size()];
+                if omp {
+                    sim_openmp_merge_sort(comm, &local);
+                } else {
+                    sim_tbb_merge_sort(comm, &local);
+                }
+                comm.now_ns()
+            });
+            out.iter().map(|(t, _)| *t).max().expect("non-empty")
+        };
+        assert!(go(true, 28) > go(false, 28), "serial merges must cost more");
+    }
+}

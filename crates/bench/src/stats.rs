@@ -1,0 +1,76 @@
+//! Robust summary statistics for benchmark samples.
+
+/// Median with a nonparametric 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MedianCi {
+    pub median: f64,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+/// Median of `samples` plus the distribution-free 95% CI from binomial
+/// order statistics (for small n the CI degenerates to the sample
+/// range). The paper reports exactly this summary for its 10-run
+/// experiments.
+pub fn median_ci(samples: &[f64]) -> MedianCi {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let n = v.len();
+    let median = if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 };
+    // Binomial(n, 1/2) order-statistic bounds: find the widest k with
+    // P(lo_k <= median <= hi_k) >= 0.95 using the normal approximation
+    // k = floor((n - 1.96*sqrt(n))/2); clamp for small n.
+    let k = (((n as f64) - 1.96 * (n as f64).sqrt()) / 2.0).floor();
+    let k = if k.is_sign_negative() { 0usize } else { k as usize };
+    let lo = v[k.min(n - 1)];
+    let hi = v[n - 1 - k.min(n - 1)];
+    MedianCi { median, lo: lo.min(median), hi: hi.max(median) }
+}
+
+/// Relative speedup/efficiency helpers for scaling tables.
+pub fn speedup(base_time: f64, time: f64) -> f64 {
+    base_time / time
+}
+
+/// Parallel efficiency of a strong-scaling point: `T(p0)·p0 / (T(p)·p)`.
+pub fn strong_efficiency(base_time: f64, base_p: usize, time: f64, p: usize) -> f64 {
+    (base_time * base_p as f64) / (time * p as f64)
+}
+
+/// Weak-scaling efficiency: `T(p0) / T(p)` at constant work per rank.
+pub fn weak_efficiency(base_time: f64, time: f64) -> f64 {
+    base_time / time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median_ci(&[3.0, 1.0, 2.0]).median, 2.0);
+        assert_eq!(median_ci(&[4.0, 1.0, 2.0, 3.0]).median, 2.5);
+    }
+
+    #[test]
+    fn ci_brackets_median() {
+        let s: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let m = median_ci(&s);
+        assert!(m.lo <= m.median && m.median <= m.hi);
+        assert!(m.lo >= 1.0 && m.hi <= 10.0);
+    }
+
+    #[test]
+    fn single_sample_degenerates() {
+        let m = median_ci(&[7.5]);
+        assert_eq!((m.lo, m.median, m.hi), (7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn efficiency_math() {
+        assert_eq!(speedup(10.0, 2.0), 5.0);
+        assert_eq!(strong_efficiency(10.0, 16, 1.0, 160), 1.0);
+        assert_eq!(weak_efficiency(2.0, 4.0), 0.5);
+    }
+}

@@ -1,0 +1,126 @@
+//! The DASH-style front door: `std::sort`-like entry points over PGAS
+//! global arrays, plus `nth_element` built on distributed selection —
+//! the reuse the paper highlights ("we can reuse our distributed
+//! selection implementation as a building block in other DASH
+//! algorithms, e.g. dash::nth_element").
+
+use dhs_pgas::GlobalArray;
+use dhs_runtime::Comm;
+use dhs_select::dselect;
+
+use crate::key::Key;
+use crate::sort::{histogram_sort, Partitioning, SortConfig, SortStats};
+
+/// Sort a [`GlobalArray`] in place. The array's distribution pattern is
+/// immutable, so the sort always runs with *perfect partitioning*
+/// (every rank keeps its block size), matching the paper's in-place
+/// scenario. Collective.
+pub fn sort_array<K: Key>(comm: &Comm, array: &GlobalArray<K>, cfg: &SortConfig) -> SortStats {
+    let mut cfg = cfg.clone();
+    cfg.partitioning = Partitioning::Perfect;
+    cfg.epsilon = 0.0;
+    let mut local = array.local_to_vec();
+    let stats = histogram_sort(comm, &mut local, &cfg);
+    array.replace_local(local);
+    array.fence(comm);
+    stats
+}
+
+/// `dash::sort` with defaults.
+pub fn sort<K: Key>(comm: &Comm, array: &GlobalArray<K>) -> SortStats {
+    sort_array(comm, array, &SortConfig::default())
+}
+
+/// The `k`-th smallest element (0-based) of a global array, without
+/// sorting it: `dash::nth_element` on top of Algorithm 1's distributed
+/// selection. Collective.
+pub fn nth_element<K: Key>(comm: &Comm, array: &GlobalArray<K>, k: u64) -> K {
+    array.with_local(|local| dselect(comm, local, k))
+}
+
+/// The global median of a global array (lower median for even sizes).
+pub fn median<K: Key>(comm: &Comm, array: &GlobalArray<K>) -> K {
+    let n = array.global_len() as u64;
+    assert!(n > 0, "median of empty array");
+    nth_element(comm, array, (n - 1) / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_runtime::{run, ClusterConfig};
+
+    fn keys_for(rank: usize, n: usize) -> Vec<u64> {
+        let mut x = (rank as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 1_000_000
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sort_array_globally_orders() {
+        let p = 4;
+        let n = 400;
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            let arr = GlobalArray::from_local(comm, keys_for(comm.rank(), n));
+            sort(comm, &arr);
+            // Read the whole array one-sidedly to verify global order.
+            arr.get_range(comm, 0, arr.global_len())
+        });
+        let mut expect: Vec<u64> = (0..p).flat_map(|r| keys_for(r, n)).collect();
+        expect.sort_unstable();
+        for (v, _) in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn sort_array_preserves_block_sizes() {
+        let out = run(&ClusterConfig::small_cluster(3), |comm| {
+            let n = 100 * (comm.rank() + 1);
+            let arr = GlobalArray::from_local(comm, keys_for(comm.rank(), n));
+            sort(comm, &arr);
+            arr.local_len()
+        });
+        assert_eq!(out.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn nth_element_matches_sorted_reference() {
+        let p = 4;
+        let n = 300;
+        let mut all: Vec<u64> = (0..p).flat_map(|r| keys_for(r, n)).collect();
+        all.sort_unstable();
+        for k in [0u64, 599, 1199] {
+            let expect = all[k as usize];
+            let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+                let arr = GlobalArray::from_local(comm, keys_for(comm.rank(), n));
+                nth_element(comm, &arr, k)
+            });
+            for (v, _) in out {
+                assert_eq!(v, expect, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn median_of_array() {
+        let p = 3;
+        let n = 99;
+        let mut all: Vec<u64> = (0..p).flat_map(|r| keys_for(r, n)).collect();
+        all.sort_unstable();
+        let expect = all[(all.len() - 1) / 2];
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            let arr = GlobalArray::from_local(comm, keys_for(comm.rank(), n));
+            median(comm, &arr)
+        });
+        for (v, _) in out {
+            assert_eq!(v, expect);
+        }
+    }
+}

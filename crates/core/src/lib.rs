@@ -1,0 +1,56 @@
+//! # dhs-core — the distributed histogram sort
+//!
+//! The primary contribution of *"Engineering a Distributed Histogram
+//! Sort"* (Kowalewski, Jungblut, Fürlinger — CLUSTER 2019): a
+//! distribution sort that moves each key across the machine exactly
+//! once, determines output boundaries by **iterative histogramming**
+//! (a k-way generalization of weighted-median distributed selection),
+//! and makes no assumptions about key distribution, duplicates, rank
+//! counts, or sparse/empty partitions.
+//!
+//! The four supersteps of §V map onto this crate as:
+//!
+//! 1. **Local sort** — `sort_unstable` in [`sort::histogram_sort`];
+//! 2. **Splitting** — [`splitter::find_splitters`] (Algorithms 2 + 3);
+//! 3. **Data exchange** — [`exchange`] (Algorithm 4 + `ALL-TO-ALLV`);
+//! 4. **Local merge** — any [`dhs_merge::MergeAlgo`].
+//!
+//! ```
+//! use dhs_runtime::{run, ClusterConfig};
+//! use dhs_core::{histogram_sort, SortConfig};
+//!
+//! let out = run(&ClusterConfig::small_cluster(4), |comm| {
+//!     let mut local: Vec<u64> =
+//!         (0..100).map(|i| (i * 2654435761 + comm.rank() as u64) % 1000).collect();
+//!     histogram_sort(comm, &mut local, &SortConfig::default());
+//!     local
+//! });
+//! // Concatenating the per-rank outputs yields the global sorted order.
+//! let all: Vec<u64> = out.into_iter().flat_map(|(v, _)| v).collect();
+//! assert!(all.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+
+pub mod api;
+pub mod exchange;
+pub mod key;
+pub mod multilevel;
+pub mod overlap;
+pub mod sort;
+pub mod splitter;
+pub mod verify;
+
+pub use api::{median, nth_element, sort, sort_array};
+pub use multilevel::histogram_sort_two_level;
+pub use overlap::{exchange_and_merge, one_factor_partner, one_factor_rounds, OverlapStats};
+pub use key::{make_unique, strip_unique, Key, OrderedF32, OrderedF64, UniqueKey};
+pub use sort::{
+    histogram_sort, histogram_sort_by, ExchangeStrategy, LocalSort, Partitioning, SortConfig,
+    SortStats,
+};
+pub use verify::{global_fingerprint, multiset_fingerprint, verify_sorted, SortViolation};
+pub use splitter::{
+    balanced_targets, find_splitters, find_splitters_cfg, find_splitters_opts, perfect_targets,
+    slack_for, InitialBounds, SplitterInfo, SplitterOptions, SplitterResult,
+};
+
+pub use dhs_merge::MergeAlgo;

@@ -1,0 +1,580 @@
+//! The distributed histogram sort (paper §V): local sort → splitter
+//! determination → all-to-allv data exchange → local merge.
+
+use dhs_merge::{kway_merge, MergeAlgo};
+use dhs_runtime::{Comm, Work};
+
+use crate::exchange::{exchange_data, plan_exchange};
+use crate::key::{make_unique, strip_unique, Key};
+use crate::splitter::{balanced_targets, find_splitters, perfect_targets, slack_for};
+
+/// How output boundaries are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Every rank ends up with exactly as many keys as it contributed
+    /// (the paper's *perfect partitioning* / in-place case; all
+    /// benchmarks in the evaluation use this with `ε = 0`).
+    Perfect,
+    /// Rank boundaries at `N·i/P` regardless of input sizes (the
+    /// *globally balanced* case of Definition 1).
+    Balanced,
+}
+
+/// Engine for the node-local sorts (phase 1 and the re-sort merge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalSort {
+    /// Comparison sort (`sort_unstable`, pdqsort) — the paper's
+    /// single-threaded `C++ STL sort`.
+    Comparison,
+    /// LSD radix sort over the key's order-preserving bit image:
+    /// `O(n·BITS/8)` instead of `O(n log n)`, shifting the phase mix
+    /// further toward communication.
+    Radix,
+}
+
+/// How the data-exchange superstep is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeStrategy {
+    /// One monolithic `ALL-TO-ALLV`, then merge all received runs with
+    /// the configured [`MergeAlgo`] (the paper's evaluated setup).
+    AllToAllv,
+    /// Explicit pairwise 1-factor rounds with eager binary merging of
+    /// each received chunk (§VI-E1). With `overlap`, merge work hides
+    /// behind the next round's transfer.
+    PairwiseMerge { overlap: bool },
+}
+
+/// Configuration of one sort invocation.
+#[derive(Debug, Clone)]
+pub struct SortConfig {
+    /// Load-balance threshold `ε ≥ 0`; `0` demands exact boundaries.
+    pub epsilon: f64,
+    /// Boundary placement policy.
+    pub partitioning: Partitioning,
+    /// Engine for the local merge of received runs (used by
+    /// [`ExchangeStrategy::AllToAllv`]).
+    pub merge: MergeAlgo,
+    /// Data-exchange schedule.
+    pub exchange: ExchangeStrategy,
+    /// Node-local sorting engine.
+    pub local_sort: LocalSort,
+    /// Apply the §V-A uniqueness transform `(key, rank, index)` during
+    /// splitter determination and exchange. Not required for
+    /// correctness here (the Algorithm 4 refinement already splits
+    /// equal-key runs exactly), but kept for fidelity and ablation: it
+    /// trades 8 bytes/key of metadata for distinct keys.
+    pub unique_transform: bool,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        // The paper's evaluation setup: perfect partitioning, ε = 0,
+        // re-sort as the merge step, monolithic all-to-allv.
+        Self {
+            epsilon: 0.0,
+            partitioning: Partitioning::Perfect,
+            merge: MergeAlgo::Resort,
+            exchange: ExchangeStrategy::AllToAllv,
+            local_sort: LocalSort::Comparison,
+            unique_transform: false,
+        }
+    }
+}
+
+/// Run the configured local sort and charge its modelled cost.
+fn local_sort_exec<K: Key>(comm: &Comm, data: &mut [K], engine: LocalSort) {
+    let n = data.len() as u64;
+    match engine {
+        LocalSort::Comparison => {
+            data.sort_unstable();
+            comm.charge(Work::SortElems { n, elem_bytes: std::mem::size_of::<K>() as u64 });
+        }
+        LocalSort::Radix => {
+            dhs_shm::radix_sort_by_bits(data, |x| x.to_bits(), K::BITS);
+            // One streaming read + one scattered write per pass.
+            let passes = K::BITS.div_ceil(8) as u64;
+            comm.charge(Work::MoveBytes(2 * passes * n * std::mem::size_of::<K>() as u64));
+            comm.charge(Work::RandomAccesses(passes * n / 8));
+        }
+    }
+}
+
+/// Per-phase timings (virtual nanoseconds) and counters of one sort.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SortStats {
+    /// Histogramming iterations (`ALLREDUCE` rounds).
+    pub iterations: u32,
+    /// Initial local sort.
+    pub local_sort_ns: u64,
+    /// Splitter determination (histogramming).
+    pub histogram_ns: u64,
+    /// Exchange preparation: bound matrix + Algorithm 4 ("Other" in
+    /// Fig. 2b/3b).
+    pub prepare_ns: u64,
+    /// The `ALL-TO-ALLV` payload exchange.
+    pub exchange_ns: u64,
+    /// Local merge of received runs.
+    pub merge_ns: u64,
+    /// Keys held before / after.
+    pub n_in: usize,
+    pub n_out: usize,
+}
+
+impl SortStats {
+    /// End-to-end virtual time of the sort on this rank.
+    pub fn total_ns(&self) -> u64 {
+        self.local_sort_ns
+            + self.histogram_ns
+            + self.prepare_ns
+            + self.exchange_ns
+            + self.merge_ns
+    }
+}
+
+/// Sort the distributed vector whose local block on this rank is
+/// `local`. Collective: every rank of `comm` must call it. On return,
+/// `local` is sorted, globally ordered by rank, and sized according to
+/// the partitioning policy.
+pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig) -> SortStats {
+    let mut stats = SortStats { n_in: local.len(), ..SortStats::default() };
+
+    // Phase 1: local sort.
+    let t0 = comm.now_ns();
+    local_sort_exec(comm, local, cfg.local_sort);
+    stats.local_sort_ns = comm.now_ns() - t0;
+
+    // Global shape.
+    let caps: Vec<usize> = comm.allgather(local.len());
+    let n_total: u64 = caps.iter().map(|&c| c as u64).sum();
+    let p = comm.size();
+    let targets = match cfg.partitioning {
+        Partitioning::Perfect => perfect_targets(&caps),
+        Partitioning::Balanced => balanced_targets(n_total, p),
+    };
+    let slack = slack_for(n_total, p, cfg.epsilon);
+
+    if n_total == 0 || p == 1 {
+        stats.n_out = local.len();
+        return stats;
+    }
+
+    if cfg.unique_transform {
+        let wrapped = make_unique(local, comm.rank());
+        // The transform ships (rank, index) alongside each key.
+        comm.charge(Work::MoveBytes(local.len() as u64 * 8));
+        let mut sorted = wrapped;
+        run_pipeline(comm, &mut sorted, &targets, slack, cfg, &mut stats);
+        *local = strip_unique(sorted);
+    } else {
+        run_pipeline(comm, local, &targets, slack, cfg, &mut stats);
+    }
+    stats.n_out = local.len();
+    stats
+}
+
+/// Sort a distributed vector of arbitrary records by an extracted
+/// [`Key`] — the `std::sort`-with-projection form scientific codes use
+/// (e.g. particles keyed by Morton code, matrix nonzeros keyed by
+/// row). Collective. The local merge is always a re-sort (the paper's
+/// evaluated configuration), since the merge engines operate on keys.
+pub fn histogram_sort_by<T, K, F>(
+    comm: &Comm,
+    local: &mut Vec<T>,
+    key_fn: F,
+    cfg: &SortConfig,
+) -> SortStats
+where
+    T: Clone + Send + Sync + 'static,
+    K: Key,
+    F: Fn(&T) -> K,
+{
+    let mut stats = SortStats { n_in: local.len(), ..SortStats::default() };
+    let elem = std::mem::size_of::<T>() as u64;
+
+    // Phase 1: local sort by key.
+    let t0 = comm.now_ns();
+    local.sort_by_key(|x| key_fn(x));
+    comm.charge(Work::SortElems { n: local.len() as u64, elem_bytes: elem });
+    stats.local_sort_ns = comm.now_ns() - t0;
+
+    let caps: Vec<usize> = comm.allgather(local.len());
+    let n_total: u64 = caps.iter().map(|&c| c as u64).sum();
+    let p = comm.size();
+    if n_total == 0 || p == 1 {
+        stats.n_out = local.len();
+        return stats;
+    }
+    let targets = match cfg.partitioning {
+        Partitioning::Perfect => perfect_targets(&caps),
+        Partitioning::Balanced => balanced_targets(n_total, p),
+    };
+    let slack = slack_for(n_total, p, cfg.epsilon);
+
+    // Phase 2: splitters over the extracted key view. The uniqueness
+    // transform falls out naturally: records are positionally unique
+    // via the Algorithm 4 refinement, so only the key view is needed.
+    let keys: Vec<K> = local.iter().map(&key_fn).collect();
+    comm.charge(Work::MoveBytes(keys.len() as u64 * std::mem::size_of::<K>() as u64));
+    let t1 = comm.now_ns();
+    let splitters = crate::splitter::find_splitters(comm, &keys, &targets, slack);
+    stats.iterations = splitters.iterations;
+    stats.histogram_ns = comm.now_ns() - t1;
+
+    // Phase 3: plan on the key view, exchange the records.
+    let t2 = comm.now_ns();
+    let plan = crate::exchange::plan_exchange(comm, &keys, &splitters);
+    stats.prepare_ns = comm.now_ns() - t2;
+
+    let t3 = comm.now_ns();
+    comm.charge(Work::MoveBytes(local.len() as u64 * elem));
+    let buckets: Vec<Vec<T>> =
+        (0..p).map(|d| local[plan.cuts[d]..plan.cuts[d + 1]].to_vec()).collect();
+    let received = comm.alltoallv(buckets);
+    stats.exchange_ns = comm.now_ns() - t3;
+
+    // Phase 4: re-sort the received records by key.
+    let t4 = comm.now_ns();
+    let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
+    comm.charge(Work::SortElems { n: n_recv, elem_bytes: elem });
+    *local = received.into_iter().flatten().collect();
+    local.sort_by_key(|x| key_fn(x));
+    stats.merge_ns = comm.now_ns() - t4;
+    stats.n_out = local.len();
+    stats
+}
+
+/// Phases 2-4 on already-sorted local data.
+fn run_pipeline<K: Key>(
+    comm: &Comm,
+    sorted_local: &mut Vec<K>,
+    targets: &[u64],
+    slack: u64,
+    cfg: &SortConfig,
+    stats: &mut SortStats,
+) {
+    let elem = std::mem::size_of::<K>() as u64;
+
+    // Phase 2: splitter determination by iterative histogramming.
+    let t1 = comm.now_ns();
+    let splitters = find_splitters(comm, sorted_local, targets, slack);
+    stats.iterations = splitters.iterations;
+    stats.histogram_ns = comm.now_ns() - t1;
+
+    // Phase 3a: exchange preparation (Algorithm 4).
+    let t2 = comm.now_ns();
+    let plan = plan_exchange(comm, sorted_local, &splitters);
+    stats.prepare_ns = comm.now_ns() - t2;
+
+    match cfg.exchange {
+        ExchangeStrategy::AllToAllv => {
+            // Phase 3b: ALL-TO-ALLV.
+            let t3 = comm.now_ns();
+            let received = exchange_data(comm, sorted_local, &plan);
+            stats.exchange_ns = comm.now_ns() - t3;
+
+            // Phase 4: local merge of the received sorted runs.
+            let t4 = comm.now_ns();
+            let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
+            let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
+            match cfg.merge {
+                MergeAlgo::Resort => {
+                    let mut all: Vec<K> = received.into_iter().flatten().collect();
+                    local_sort_exec(comm, &mut all, cfg.local_sort);
+                    *sorted_local = all;
+                }
+                _ => {
+                    comm.charge(Work::MergeElems {
+                        n: n_recv,
+                        ways: ways.max(2),
+                        elem_bytes: elem,
+                    });
+                    *sorted_local = kway_merge(cfg.merge, &received);
+                }
+            }
+            stats.merge_ns = comm.now_ns() - t4;
+        }
+        ExchangeStrategy::PairwiseMerge { overlap } => {
+            // Phases 3b+4 fused: pairwise rounds, merging eagerly.
+            let t3 = comm.now_ns();
+            let (merged, _) =
+                crate::overlap::exchange_and_merge(comm, sorted_local, &plan, overlap);
+            *sorted_local = merged;
+            stats.exchange_ns = comm.now_ns() - t3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_runtime::{run, ClusterConfig};
+
+    fn keys_for(rank: usize, n: usize, modulus: u64) -> Vec<u64> {
+        let mut x = (rank as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % modulus
+            })
+            .collect()
+    }
+
+    fn global_expected(p: usize, n: usize, modulus: u64) -> Vec<u64> {
+        let mut all: Vec<u64> = (0..p).flat_map(|r| keys_for(r, n, modulus)).collect();
+        all.sort_unstable();
+        all
+    }
+
+    fn check_sorted_output(
+        p: usize,
+        n: usize,
+        modulus: u64,
+        cfg: &SortConfig,
+        expect_exact_counts: bool,
+    ) {
+        let cfg2 = cfg.clone();
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            let mut local = keys_for(comm.rank(), n, modulus);
+            let stats = histogram_sort(comm, &mut local, &cfg2);
+            (local, stats)
+        });
+        let expect = global_expected(p, n, modulus);
+        let mut got = Vec::new();
+        for (rank, ((local, stats), _)) in out.iter().enumerate() {
+            assert!(local.windows(2).all(|w| w[0] <= w[1]), "rank {rank} not locally sorted");
+            if expect_exact_counts {
+                assert_eq!(local.len(), n, "rank {rank} perfect partition violated");
+            }
+            assert_eq!(stats.n_out, local.len());
+            got.extend_from_slice(local);
+        }
+        assert_eq!(got, expect, "global order broken");
+    }
+
+    #[test]
+    fn sorts_unique_keys_perfectly() {
+        check_sorted_output(4, 1000, u64::MAX, &SortConfig::default(), true);
+        check_sorted_output(7, 257, u64::MAX, &SortConfig::default(), true);
+    }
+
+    #[test]
+    fn sorts_duplicates_perfectly() {
+        check_sorted_output(4, 800, 5, &SortConfig::default(), true);
+        check_sorted_output(6, 100, 1, &SortConfig::default(), true);
+    }
+
+    #[test]
+    fn radix_local_sort_gives_same_result() {
+        let cfg = SortConfig { local_sort: LocalSort::Radix, ..SortConfig::default() };
+        check_sorted_output(4, 700, u64::MAX, &cfg, true);
+        check_sorted_output(5, 300, 9, &cfg, true);
+    }
+
+    #[test]
+    fn radix_is_cheaper_than_comparison_in_model() {
+        let time = |ls: LocalSort| {
+            let cfg = SortConfig { local_sort: ls, ..SortConfig::default() };
+            let out = run(&ClusterConfig::small_cluster(4), move |comm| {
+                let mut local = keys_for(comm.rank(), 100_000, u64::MAX);
+                histogram_sort(comm, &mut local, &cfg).local_sort_ns
+            });
+            out.into_iter().map(|(t, _)| t).max().unwrap_or(0)
+        };
+        assert!(time(LocalSort::Radix) < time(LocalSort::Comparison));
+    }
+
+    #[test]
+    fn pairwise_exchange_strategies_give_same_result() {
+        for overlap in [false, true] {
+            let cfg = SortConfig {
+                exchange: ExchangeStrategy::PairwiseMerge { overlap },
+                ..SortConfig::default()
+            };
+            check_sorted_output(5, 400, 1 << 18, &cfg, true);
+            check_sorted_output(4, 300, 7, &cfg, true);
+        }
+    }
+
+    #[test]
+    fn all_merge_engines_give_same_result() {
+        for merge in MergeAlgo::ALL {
+            let cfg = SortConfig { merge, ..SortConfig::default() };
+            check_sorted_output(4, 300, 1 << 20, &cfg, true);
+        }
+    }
+
+    #[test]
+    fn unique_transform_roundtrip() {
+        let cfg = SortConfig { unique_transform: true, ..SortConfig::default() };
+        check_sorted_output(4, 500, 3, &cfg, true);
+        check_sorted_output(5, 500, u64::MAX, &cfg, true);
+    }
+
+    #[test]
+    fn epsilon_relaxes_counts_within_bound() {
+        let p = 4;
+        let n = 2000;
+        let eps = 0.1;
+        let cfg =
+            SortConfig { epsilon: eps, ..SortConfig::default() };
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            let mut local = keys_for(comm.rank(), n, u64::MAX);
+            histogram_sort(comm, &mut local, &cfg);
+            local
+        });
+        let expect = global_expected(p, n, u64::MAX);
+        let mut got = Vec::new();
+        for (local, _) in &out {
+            // Definition 1: each rank holds at most N(1+ε)/P keys
+            // (boundaries off by at most N·ε/(2P) on each side).
+            let max_keys = ((p * n) as f64 * (1.0 + eps) / p as f64).ceil() as usize;
+            assert!(local.len() <= max_keys, "{} > {max_keys}", local.len());
+            got.extend_from_slice(local);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn balanced_partitioning_rebalances_skewed_input() {
+        let p = 4;
+        let cfg = SortConfig {
+            partitioning: Partitioning::Balanced,
+            ..SortConfig::default()
+        };
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            // Rank 0 holds everything.
+            let mut local =
+                if comm.rank() == 0 { keys_for(0, 1000, 1 << 30) } else { Vec::new() };
+            histogram_sort(comm, &mut local, &cfg);
+            local.len()
+        });
+        for (len, _) in out {
+            assert_eq!(len, 250, "balanced targets must even out the load");
+        }
+    }
+
+    #[test]
+    fn sparse_input_keeps_capacities() {
+        let out = run(&ClusterConfig::small_cluster(4), |comm| {
+            let mut local =
+                if comm.rank() == 2 { keys_for(2, 999, 1 << 16) } else { Vec::new() };
+            histogram_sort(comm, &mut local, &SortConfig::default());
+            local.len()
+        });
+        assert_eq!(out.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![0, 0, 999, 0]);
+    }
+
+    #[test]
+    fn single_rank_and_empty_input() {
+        let out = run(&ClusterConfig::small_cluster(1), |comm| {
+            let mut local = keys_for(0, 100, 1 << 10);
+            histogram_sort(comm, &mut local, &SortConfig::default());
+            local
+        });
+        assert!(out[0].0.windows(2).all(|w| w[0] <= w[1]));
+
+        let out = run(&ClusterConfig::small_cluster(3), |comm| {
+            let mut local: Vec<u64> = Vec::new();
+            let stats = histogram_sort(comm, &mut local, &SortConfig::default());
+            (local.len(), stats.iterations)
+        });
+        for ((len, iters), _) in out {
+            assert_eq!(len, 0);
+            assert_eq!(iters, 0);
+        }
+    }
+
+    #[test]
+    fn stats_phases_are_populated() {
+        let out = run(&ClusterConfig::small_cluster(4), |comm| {
+            let mut local = keys_for(comm.rank(), 5000, 1 << 30);
+            histogram_sort(comm, &mut local, &SortConfig::default())
+        });
+        for (stats, _) in out {
+            assert!(stats.iterations > 0);
+            assert!(stats.local_sort_ns > 0);
+            assert!(stats.histogram_ns > 0);
+            assert!(stats.exchange_ns > 0);
+            assert!(stats.merge_ns > 0);
+            assert_eq!(stats.n_in, 5000);
+            assert_eq!(stats.n_out, 5000);
+            assert!(stats.total_ns() > 0);
+        }
+    }
+
+    #[test]
+    fn sort_by_key_carries_payload() {
+        let p = 4;
+        let n = 500;
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            // Records: (key, origin-rank, origin-index).
+            let mut records: Vec<(u64, u32, u32)> = keys_for(comm.rank(), n, 100)
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| (k, comm.rank() as u32, i as u32))
+                .collect();
+            histogram_sort_by(comm, &mut records, |r| r.0, &SortConfig::default());
+            records
+        });
+        // Keys globally ordered; every payload survives exactly once.
+        let mut all: Vec<(u64, u32, u32)> = Vec::new();
+        for (records, _) in &out {
+            assert_eq!(records.len(), n, "perfect partitioning on records");
+            assert!(records.windows(2).all(|w| w[0].0 <= w[1].0));
+            all.extend_from_slice(records);
+        }
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut origins: Vec<(u32, u32)> = all.iter().map(|r| (r.1, r.2)).collect();
+        origins.sort_unstable();
+        origins.dedup();
+        assert_eq!(origins.len(), p * n, "payloads must be a permutation");
+        // Payload still matches its key.
+        for &(k, r, i) in &all {
+            assert_eq!(keys_for(r as usize, n, 100)[i as usize], k);
+        }
+    }
+
+    #[test]
+    fn sort_by_key_balanced_targets() {
+        let out = run(&ClusterConfig::small_cluster(4), |comm| {
+            let mut records: Vec<(u64, u8)> = if comm.rank() == 0 {
+                keys_for(0, 1000, 1 << 20).into_iter().map(|k| (k, 0xAB)).collect()
+            } else {
+                Vec::new()
+            };
+            let cfg =
+                SortConfig { partitioning: Partitioning::Balanced, ..SortConfig::default() };
+            histogram_sort_by(comm, &mut records, |r| r.0, &cfg);
+            records.len()
+        });
+        assert!(out.iter().all(|(l, _)| *l == 250));
+    }
+
+    #[test]
+    fn ordered_float_keys_sort() {
+        use crate::key::OrderedF64;
+        let out = run(&ClusterConfig::small_cluster(4), |comm| {
+            let mut x = (comm.rank() as u64 + 1) | 1;
+            let mut local: Vec<OrderedF64> = (0..500)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    OrderedF64((x as f64 / u64::MAX as f64) * 2e6 - 1e6)
+                })
+                .collect();
+            histogram_sort(comm, &mut local, &SortConfig::default());
+            local
+        });
+        let mut prev = f64::NEG_INFINITY;
+        for (local, _) in out {
+            assert_eq!(local.len(), 500);
+            for v in local {
+                assert!(v.0 >= prev);
+                prev = v.0;
+            }
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! Splitter determination by iterative histogramming (paper §V-A,
+//! Algorithms 2 and 3).
+//!
+//! Each of the `P-1` splitters is a key-space interval `[lo, hi]`
+//! bisected once per iteration. A single `ALLREDUCE` per iteration sums
+//! the local histograms (`lower_bound`/`upper_bound` positions obtained
+//! by binary search in the locally sorted data) of *all still-active*
+//! splitters; Algorithm 2 then either accepts a splitter — when the
+//! achievable boundary interval `[L_i, U_i]` meets the target within
+//! the `ε` slack — or narrows its key interval.
+//!
+//! Convergence: the `t`-th smallest key always satisfies the acceptance
+//! condition, and the bisection keeps it inside `[lo, hi]` while
+//! halving the interval, so at most `K::BITS + 1` iterations are needed
+//! — the "number of iterations is bound by the key size" observation of
+//! §V-A. With coarse-grained keys (duplicates) the interval `[L, U]` is
+//! fat and acceptance comes *sooner*; boundary splitting of equal keys
+//! is then resolved exactly by the Algorithm 4 refinement in
+//! [`crate::exchange`].
+
+use dhs_runtime::{Comm, Work};
+
+use crate::key::Key;
+
+/// One determined splitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitterInfo<K> {
+    /// The accepted splitter key `S_i`.
+    pub key: K,
+    /// Requested global boundary rank `K_{i+1}` (number of keys that
+    /// should end up left of this splitter).
+    pub target: u64,
+    /// Realized boundary: `clamp(target, L, U)`; equals `target` when
+    /// `ε = 0`.
+    pub realized: u64,
+    /// `L_i`: global number of keys strictly below `key`.
+    pub global_lower: u64,
+    /// `U_i`: global number of keys less than or equal to `key`.
+    pub global_upper: u64,
+}
+
+/// Result of the splitter search.
+#[derive(Debug, Clone)]
+pub struct SplitterResult<K> {
+    /// `P-1` splitters, ordered.
+    pub splitters: Vec<SplitterInfo<K>>,
+    /// Histogramming iterations executed (each = one `ALLREDUCE`).
+    pub iterations: u32,
+}
+
+/// Validation outcome for one splitter probe (Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Validation {
+    /// `[L, U]` intersects `[t - slack, t + slack]`: accepted.
+    Accept { realized: u64 },
+    /// Even the least-inclusive boundary `L` overshoots: move down.
+    TooHigh,
+    /// Even the most-inclusive boundary `U` undershoots: move up.
+    TooLow,
+}
+
+/// Algorithm 2, generalized to an `ε` slack: decide whether probe `S_i`
+/// with global histogram `(lower, upper)` settles target `t`.
+///
+/// With `strict` (the paper's literal `L < K ≤ U` rule) the splitter
+/// must land *on a data key* whose equal range covers the boundary.
+/// Without it, a probe lying in a gap with exactly the right count
+/// below (`L == t == U`) is also accepted — an engineering relaxation
+/// that roughly halves the iteration count (a boundary between two
+/// keys is just as good as the key itself, and gaps are hit long
+/// before the exact key bits are resolved).
+fn validate_splitter(
+    lower: u64,
+    upper: u64,
+    target: u64,
+    slack: u64,
+    strict: bool,
+) -> Validation {
+    let lo_ok = target.saturating_sub(slack);
+    let hi_ok = target.saturating_add(slack);
+    // Boundaries achievable at this probe: [lower, upper] relaxed,
+    // (lower, upper] strict — except that target 0 can only ever be
+    // realized as "nothing below", which the strict rule would make
+    // unsatisfiable.
+    let achievable_lo = if strict && target > 0 { lower + 1 } else { lower };
+    if achievable_lo.max(lo_ok) <= upper.min(hi_ok) {
+        return Validation::Accept { realized: target.clamp(achievable_lo, upper) };
+    }
+    // Rejected: steer towards the target's key. Strict mode must treat
+    // a gap probe with `L == t` as too high — the t-th key itself lies
+    // *below* such a probe.
+    let too_high = if strict { lower >= target } else { lower > hi_ok };
+    if too_high {
+        Validation::TooHigh
+    } else {
+        Validation::TooLow
+    }
+}
+
+/// Strategy for the initial splitter intervals (ablation A3: the paper
+/// "focuses on optimizing the initial splitter guesses" instead of
+/// sampling every round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialBounds {
+    /// One min/max reduction over the data (Algorithm 3 line 3; the
+    /// paper's choice and the default).
+    DataMinMax,
+    /// The full key domain `[0, 2^BITS)` — no reduction, but bisection
+    /// must first find the populated region.
+    FullDomain,
+    /// Per-splitter brackets from a one-shot regular sample
+    /// (`per_rank` probes per rank). Brackets may miss the true
+    /// splitter; the search then falls back to the data min/max
+    /// bracket for that splitter.
+    SampledQuantiles { per_rank: usize },
+}
+
+/// Determine all splitters for the given global boundary `targets`
+/// (ascending, each in `[0, N]`) over the ranks' locally sorted data.
+/// `slack` is the per-splitter tolerance `⌊N·ε/(2P)⌋` of Definition 1.
+///
+/// Every rank must call this collectively with the same `targets` and
+/// `slack`; all ranks return identical results.
+pub fn find_splitters<K: Key>(
+    comm: &Comm,
+    sorted_local: &[K],
+    targets: &[u64],
+    slack: u64,
+) -> SplitterResult<K> {
+    find_splitters_opts(comm, sorted_local, targets, slack, InitialBounds::DataMinMax)
+}
+
+/// [`find_splitters`] with an explicit initial-interval strategy.
+pub fn find_splitters_opts<K: Key>(
+    comm: &Comm,
+    sorted_local: &[K],
+    targets: &[u64],
+    slack: u64,
+    init: InitialBounds,
+) -> SplitterResult<K> {
+    find_splitters_cfg(
+        comm,
+        sorted_local,
+        targets,
+        slack,
+        SplitterOptions { init, ..SplitterOptions::default() },
+    )
+}
+
+/// Full tuning knobs of the splitter search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitterOptions {
+    /// Initial bisection intervals.
+    pub init: InitialBounds,
+    /// Use the paper's literal Algorithm 2 acceptance (`L < K <= U`):
+    /// splitters must land on data keys, which drives the iteration
+    /// count to the key width (the 60-64 iterations the paper reports
+    /// for 64-bit keys). Off by default: gap boundaries are accepted
+    /// too, roughly halving the iterations.
+    pub strict_paper_rule: bool,
+}
+
+impl Default for SplitterOptions {
+    fn default() -> Self {
+        Self { init: InitialBounds::DataMinMax, strict_paper_rule: false }
+    }
+}
+
+/// [`find_splitters`] with every knob exposed.
+pub fn find_splitters_cfg<K: Key>(
+    comm: &Comm,
+    sorted_local: &[K],
+    targets: &[u64],
+    slack: u64,
+    opts: SplitterOptions,
+) -> SplitterResult<K> {
+    let init = opts.init;
+    debug_assert!(sorted_local.windows(2).all(|w| w[0] <= w[1]), "local data must be sorted");
+    debug_assert!(targets.windows(2).all(|w| w[0] <= w[1]), "targets must be ascending");
+
+    if targets.is_empty() {
+        // Single rank: no splitters to find, but stay collective-free.
+        return SplitterResult { splitters: Vec::new(), iterations: 0 };
+    }
+
+    // Global key range (one reduction, as in Algorithm 3 line 3).
+    let local_minmax: Option<(K, K)> = if sorted_local.is_empty() {
+        None
+    } else {
+        Some((sorted_local[0], *sorted_local.last().expect("non-empty")))
+    };
+    let minmax = comm
+        .allreduce_with(vec![local_minmax], |a, b| match (a, b) {
+            (None, x) => *x,
+            (x, None) => *x,
+            (Some((alo, ahi)), Some((blo, bhi))) => Some(((*alo).min(*blo), (*ahi).max(*bhi))),
+        })
+        .pop()
+        .expect("one element");
+
+    let Some((min_key, max_key)) = minmax else {
+        // Globally empty input: every target is 0, any key value works;
+        // there is nothing to split.
+        assert!(
+            targets.iter().all(|&t| t == 0),
+            "non-zero target on globally empty input"
+        );
+        return SplitterResult { splitters: Vec::new(), iterations: 0 };
+    };
+
+    struct State {
+        lo_bits: u128,
+        hi_bits: u128,
+        done: Option<(u128, u64, u64, u64)>, // (key bits, realized, L, U)
+    }
+    let data_lo = min_key.to_bits();
+    let data_hi = max_key.to_bits();
+    let domain_hi = if K::BITS >= 128 { u128::MAX } else { (1u128 << K::BITS) - 1 };
+    let brackets: Vec<(u128, u128)> = match init {
+        InitialBounds::DataMinMax => vec![(data_lo, data_hi); targets.len()],
+        InitialBounds::FullDomain => vec![(0, domain_hi); targets.len()],
+        InitialBounds::SampledQuantiles { per_rank } => {
+            // Regular probes of the sorted local data, gathered once.
+            let probes: Vec<K> = if sorted_local.is_empty() {
+                Vec::new()
+            } else {
+                (0..per_rank.max(1))
+                    .map(|i| {
+                        sorted_local
+                            [((i + 1) * sorted_local.len() / (per_rank.max(1) + 1))
+                                .min(sorted_local.len() - 1)]
+                    })
+                    .collect()
+            };
+            let mut pool: Vec<K> = comm.allgatherv(probes).into_iter().flatten().collect();
+            pool.sort_unstable();
+            let n_total: u64 = *targets.last().expect("non-empty").max(&1);
+            targets
+                .iter()
+                .map(|&t| {
+                    if pool.is_empty() {
+                        return (data_lo, data_hi);
+                    }
+                    // Bracket the target's quantile with one sample of
+                    // margin on each side.
+                    let idx = ((t as f64 / n_total as f64) * (pool.len() - 1) as f64) as usize;
+                    let lo = pool[idx.saturating_sub(1)].to_bits().max(data_lo);
+                    let hi = pool[(idx + 1).min(pool.len() - 1)].to_bits().min(data_hi);
+                    if lo <= hi {
+                        (lo, hi)
+                    } else {
+                        (data_lo, data_hi)
+                    }
+                })
+                .collect()
+        }
+    };
+    let mut states: Vec<State> = brackets
+        .into_iter()
+        .map(|(lo_bits, hi_bits)| State { lo_bits, hi_bits, done: None })
+        .collect();
+
+    let n = sorted_local.len() as u64;
+    let mut iterations = 0u32;
+    // Sampled brackets can miss the splitter once and restart from the
+    // data min/max; allow head-room for that.
+    let max_iterations = match init {
+        InitialBounds::SampledQuantiles { .. } => 3 * (K::BITS + 2),
+        _ => K::BITS + 2,
+    };
+
+    loop {
+        let active: Vec<usize> =
+            (0..states.len()).filter(|&i| states[i].done.is_none()).collect();
+        if active.is_empty() {
+            break;
+        }
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "splitter search failed to converge in {max_iterations} iterations"
+        );
+
+        // Probe the bit-space midpoint of each active splitter and
+        // build the local histogram by binary search (Alg. 3 line 7).
+        let mids: Vec<(u128, K)> = active
+            .iter()
+            .map(|&i| {
+                let s = &states[i];
+                let mid_bits = s.lo_bits + (s.hi_bits - s.lo_bits) / 2;
+                (mid_bits, K::from_bits(mid_bits))
+            })
+            .collect();
+        comm.charge(Work::BinarySearches { searches: 2 * active.len() as u64, n });
+        let mut histogram: Vec<u64> = Vec::with_capacity(2 * active.len());
+        for &(_, mid) in &mids {
+            histogram.push(sorted_local.partition_point(|x| *x < mid) as u64);
+            histogram.push(sorted_local.partition_point(|x| *x <= mid) as u64);
+        }
+
+        // One global reduction per iteration (Alg. 3 line 8).
+        let global = comm.allreduce_sum(histogram);
+
+        // Validate each active splitter (Alg. 3 line 9 / Alg. 2).
+        for (j, &i) in active.iter().enumerate() {
+            let (lower, upper) = (global[2 * j], global[2 * j + 1]);
+            let (mid_bits, _) = mids[j];
+            let s = &mut states[i];
+            match validate_splitter(lower, upper, targets[i], slack, opts.strict_paper_rule) {
+                Validation::Accept { realized } => {
+                    s.done = Some((mid_bits, realized, lower, upper));
+                }
+                Validation::TooHigh => {
+                    if mid_bits == s.lo_bits {
+                        // Bracket exhausted without acceptance: only
+                        // possible when the initial bracket missed the
+                        // splitter (sampled quantiles). Restart wide.
+                        s.lo_bits = data_lo;
+                        s.hi_bits = data_hi;
+                    } else {
+                        s.hi_bits = mid_bits - 1;
+                    }
+                }
+                Validation::TooLow => {
+                    if mid_bits == s.hi_bits {
+                        s.lo_bits = data_lo;
+                        s.hi_bits = data_hi;
+                    } else {
+                        s.lo_bits = mid_bits + 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let splitters = states
+        .iter()
+        .zip(targets)
+        .map(|(s, &target)| {
+            let (bits, realized, lower, upper) = s.done.expect("all splitters settled");
+            SplitterInfo {
+                key: K::from_bits(bits),
+                target,
+                realized,
+                global_lower: lower,
+                global_upper: upper,
+            }
+        })
+        .collect();
+    SplitterResult { splitters, iterations }
+}
+
+/// Global boundary targets for *perfect partitioning*: the prefix sums
+/// of the input capacities (paper Definition 3) — rank `i` must end up
+/// with exactly as many keys as it contributed.
+pub fn perfect_targets(capacities: &[usize]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(capacities.len().saturating_sub(1));
+    let mut acc = 0u64;
+    for &c in &capacities[..capacities.len().saturating_sub(1)] {
+        acc += c as u64;
+        out.push(acc);
+    }
+    out
+}
+
+/// Global boundary targets for *balanced partitioning*: `⌈N·i/P⌉`
+/// boundaries (Definition 1), regardless of who contributed what.
+pub fn balanced_targets(n_total: u64, p: usize) -> Vec<u64> {
+    (1..p).map(|i| n_total * i as u64 / p as u64).collect()
+}
+
+/// The Definition 1 slack `⌊N·ε/(2P)⌋`.
+pub fn slack_for(n_total: u64, p: usize, epsilon: f64) -> u64 {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    ((n_total as f64) * epsilon / (2.0 * p as f64)).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_runtime::{run, ClusterConfig};
+
+    fn keys_for(rank: usize, n: usize, modulus: u64) -> Vec<u64> {
+        let mut x = (rank as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut v: Vec<u64> = (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % modulus
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The splitters of a perfect partition must slice the global
+    /// multiset at exactly the target ranks.
+    fn check_partition(p: usize, n: usize, modulus: u64, slack: u64) {
+        let out = run(&ClusterConfig::small_cluster(p), |comm| {
+            let local = keys_for(comm.rank(), n, modulus);
+            let caps: Vec<usize> = comm.allgather(local.len());
+            let targets = perfect_targets(&caps);
+            find_splitters(comm, &local, &targets, slack)
+        });
+        let mut all: Vec<u64> = (0..p).flat_map(|r| keys_for(r, n, modulus)).collect();
+        all.sort_unstable();
+        let first = &out[0].0;
+        for (rank, (res, _)) in out.iter().enumerate() {
+            assert_eq!(res.splitters.len(), p - 1);
+            assert_eq!(res.iterations, first.iterations, "rank {rank} diverged");
+            for (i, s) in res.splitters.iter().enumerate() {
+                assert_eq!(s.key, first.splitters[i].key, "rank {rank} splitter {i}");
+                // L and U bracket the realized boundary.
+                assert!(s.global_lower <= s.realized && s.realized <= s.global_upper);
+                assert!(s.realized.abs_diff(s.target) <= slack);
+                // Cross-check against the true histogram.
+                let true_lower = all.partition_point(|&x| x < s.key) as u64;
+                let true_upper = all.partition_point(|&x| x <= s.key) as u64;
+                assert_eq!(s.global_lower, true_lower);
+                assert_eq!(s.global_upper, true_upper);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_partition_unique_keys() {
+        check_partition(4, 1000, u64::MAX, 0);
+        check_partition(7, 333, u64::MAX, 0);
+    }
+
+    #[test]
+    fn exact_partition_with_duplicates() {
+        check_partition(4, 1000, 50, 0);
+        check_partition(8, 250, 3, 0);
+    }
+
+    #[test]
+    fn all_equal_keys_converge_immediately() {
+        let out = run(&ClusterConfig::small_cluster(4), |comm| {
+            let local = vec![42u64; 100];
+            let caps: Vec<usize> = comm.allgather(local.len());
+            find_splitters(comm, &local, &perfect_targets(&caps), 0)
+        });
+        for (res, _) in out {
+            assert_eq!(res.iterations, 1, "fat equal range should accept instantly");
+            assert!(res.splitters.iter().all(|s| s.key == 42));
+        }
+    }
+
+    #[test]
+    fn slack_accepts_earlier() {
+        let p = 4;
+        let n = 4000;
+        let runs = |slack: u64| {
+            let out = run(&ClusterConfig::small_cluster(p), |comm| {
+                let local = keys_for(comm.rank(), n, u64::MAX);
+                let caps: Vec<usize> = comm.allgather(local.len());
+                find_splitters(comm, &local, &perfect_targets(&caps), slack)
+            });
+            out[0].0.iterations
+        };
+        let exact = runs(0);
+        let relaxed = runs((n as u64 * p as u64) / 100);
+        assert!(relaxed < exact, "slack {relaxed} should beat exact {exact}");
+    }
+
+    #[test]
+    fn iteration_count_tracks_key_width_not_ranks() {
+        // u16 keys: at most 18 iterations regardless of P.
+        for p in [2usize, 8, 16] {
+            let out = run(&ClusterConfig::small_cluster(p), |comm| {
+                let local: Vec<u16> =
+                    keys_for(comm.rank(), 500, 1 << 16).iter().map(|&x| x as u16).collect();
+                let mut local = local;
+                local.sort_unstable();
+                let caps: Vec<usize> = comm.allgather(local.len());
+                find_splitters(comm, &local, &perfect_targets(&caps), 0)
+            });
+            for (res, _) in out {
+                assert!(res.iterations <= 18, "p={p}: {} iterations", res.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_partitions_and_zero_targets() {
+        let out = run(&ClusterConfig::small_cluster(4), |comm| {
+            // Ranks 0 and 1 contribute nothing.
+            let local = if comm.rank() >= 2 { keys_for(comm.rank(), 600, 1 << 30) } else { vec![] };
+            let caps: Vec<usize> = comm.allgather(local.len());
+            let targets = perfect_targets(&caps); // [0, 0, 600]
+            find_splitters(comm, &local, &targets, 0)
+        });
+        for (res, _) in out {
+            assert_eq!(res.splitters[0].realized, 0);
+            assert_eq!(res.splitters[1].realized, 0);
+            assert_eq!(res.splitters[2].realized, 600);
+        }
+    }
+
+    #[test]
+    fn globally_empty_input() {
+        let out = run(&ClusterConfig::small_cluster(3), |comm| {
+            find_splitters::<u64>(comm, &[], &[0, 0], 0)
+        });
+        for (res, _) in out {
+            assert!(res.splitters.is_empty());
+            assert_eq!(res.iterations, 0);
+        }
+    }
+
+    #[test]
+    fn initial_bounds_all_agree_on_results() {
+        let p = 4;
+        let n = 800;
+        let go = |init: InitialBounds| {
+            let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+                let local = keys_for(comm.rank(), n, 1 << 30);
+                let caps: Vec<usize> = comm.allgather(local.len());
+                find_splitters_opts(comm, &local, &perfect_targets(&caps), 0, init)
+            });
+            let res = &out[0].0;
+            (
+                res.iterations,
+                res.splitters.iter().map(|s| s.realized).collect::<Vec<_>>(),
+            )
+        };
+        let (it_minmax, r_minmax) = go(InitialBounds::DataMinMax);
+        let (it_domain, r_domain) = go(InitialBounds::FullDomain);
+        let (it_sampled, r_sampled) = go(InitialBounds::SampledQuantiles { per_rank: 8 });
+        // Realized boundaries (the partition) must be identical; only
+        // the number of iterations differs.
+        assert_eq!(r_minmax, r_domain);
+        assert_eq!(r_minmax, r_sampled);
+        // Keys live in [0, 2^30): the full u64 domain start must waste
+        // iterations locating the populated range.
+        assert!(it_domain > it_minmax, "domain {it_domain} vs minmax {it_minmax}");
+        // Sampled brackets may win or occasionally fall back, but must
+        // stay within the widened guard.
+        assert!(it_sampled <= 3 * (64 + 2), "sampled {it_sampled}");
+    }
+
+    #[test]
+    fn sampled_quantile_fallback_is_correct_on_skew() {
+        // Zipf-like skew: most mass on tiny keys; regular samples may
+        // bracket badly, exercising the restart path.
+        let out = run(&ClusterConfig::small_cluster(4), |comm| {
+            let mut local: Vec<u64> = keys_for(comm.rank(), 500, 1 << 20)
+                .into_iter()
+                .map(|x| if x % 10 == 0 { x } else { x % 16 })
+                .collect();
+            local.sort_unstable();
+            let caps: Vec<usize> = comm.allgather(local.len());
+            let targets = perfect_targets(&caps);
+            let res = find_splitters_opts(
+                comm,
+                &local,
+                &targets,
+                0,
+                InitialBounds::SampledQuantiles { per_rank: 2 },
+            );
+            (res, local)
+        });
+        let mut all: Vec<u64> = out.iter().flat_map(|((_, l), _)| l.clone()).collect();
+        all.sort_unstable();
+        for ((res, _), _) in &out {
+            for s in &res.splitters {
+                assert_eq!(s.global_lower, all.partition_point(|&x| x < s.key) as u64);
+                assert_eq!(s.global_upper, all.partition_point(|&x| x <= s.key) as u64);
+                assert_eq!(s.realized, s.target);
+            }
+        }
+    }
+
+    #[test]
+    fn target_helpers() {
+        assert_eq!(perfect_targets(&[3, 4, 5]), vec![3, 7]);
+        assert_eq!(perfect_targets(&[10]), Vec::<u64>::new());
+        assert_eq!(balanced_targets(100, 4), vec![25, 50, 75]);
+        assert_eq!(slack_for(1000, 4, 0.0), 0);
+        assert_eq!(slack_for(1000, 4, 0.08), 10);
+    }
+
+    #[test]
+    fn validate_splitter_cases() {
+        use super::Validation::*;
+        assert_eq!(validate_splitter(3, 7, 5, 0, false), Accept { realized: 5 });
+        assert_eq!(validate_splitter(5, 5, 5, 0, false), Accept { realized: 5 });
+        assert_eq!(validate_splitter(6, 9, 5, 0, false), TooHigh);
+        assert_eq!(validate_splitter(1, 4, 5, 0, false), TooLow);
+        assert_eq!(validate_splitter(6, 9, 5, 1, false), Accept { realized: 6 });
+        assert_eq!(validate_splitter(1, 4, 5, 1, false), Accept { realized: 4 });
+        assert_eq!(validate_splitter(0, 0, 0, 0, false), Accept { realized: 0 });
+        // Strict (paper) rule: gap probes are rejected as too high...
+        assert_eq!(validate_splitter(5, 5, 5, 0, true), TooHigh);
+        // ...but equal ranges covering the boundary are accepted with
+        // at least one equal key going left.
+        assert_eq!(validate_splitter(3, 7, 5, 0, true), Accept { realized: 5 });
+        assert_eq!(validate_splitter(4, 9, 5, 0, true), Accept { realized: 5 });
+        assert_eq!(validate_splitter(5, 9, 5, 0, true), TooHigh);
+        assert_eq!(validate_splitter(1, 4, 5, 0, true), TooLow);
+        // Target 0 keeps the relaxed achievability even in strict mode.
+        assert_eq!(validate_splitter(0, 3, 0, 0, true), Accept { realized: 0 });
+    }
+}

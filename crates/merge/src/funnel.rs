@@ -1,0 +1,188 @@
+//! Lazy-funnel k-way merge — the cache-oblivious merger the paper
+//! flags as future work for its merge phase ("we ... may consider a
+//! cache oblivious merge algorithm [36]", §VI-E2).
+//!
+//! The merger is a tree of √k-ary nodes; every internal node owns a
+//! buffer that is refilled in bursts from its children. Bursty
+//! refilling keeps each node's working set resident while it is being
+//! drained, giving the `O((n/B)·log_{M/B}(n/B))` cache behaviour of
+//! funnelsort without tuning to a cache size.
+
+use std::collections::VecDeque;
+
+/// Merge sorted `runs` with a lazy funnel. Empty runs are permitted.
+pub fn funnel_merge<T: Ord + Copy>(runs: &[Vec<T>]) -> Vec<T> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut root = Node::build(runs.iter().filter(|r| !r.is_empty()).cloned().collect());
+    while let Some(x) = root.pop() {
+        out.push(x);
+    }
+    out
+}
+
+enum Node<T> {
+    Leaf {
+        run: Vec<T>,
+        pos: usize,
+    },
+    Inner {
+        children: Vec<Node<T>>,
+        buffer: VecDeque<T>,
+        /// Burst size for refills: quadratic in the fan-in, so higher
+        /// tree levels stream longer runs per touch.
+        burst: usize,
+        exhausted: bool,
+    },
+}
+
+impl<T: Ord + Copy> Node<T> {
+    fn build(runs: Vec<Vec<T>>) -> Node<T> {
+        match runs.len() {
+            0 => Node::Leaf { run: Vec::new(), pos: 0 },
+            1 => {
+                let mut it = runs.into_iter();
+                Node::Leaf { run: it.next().expect("one run"), pos: 0 }
+            }
+            k => {
+                // √k-ary split into contiguous groups.
+                let arity = (k as f64).sqrt().ceil() as usize;
+                let group = k.div_ceil(arity);
+                let children: Vec<Node<T>> =
+                    runs.chunks(group).map(|c| Node::build(c.to_vec())).collect();
+                let fan_in = children.len();
+                Node::Inner {
+                    children,
+                    buffer: VecDeque::new(),
+                    burst: (fan_in * fan_in * 8).max(64),
+                    exhausted: false,
+                }
+            }
+        }
+    }
+
+    /// Next element without consuming it.
+    fn peek(&mut self) -> Option<T> {
+        match self {
+            Node::Leaf { run, pos } => run.get(*pos).copied(),
+            Node::Inner { buffer, exhausted, .. } => {
+                if buffer.is_empty() && !*exhausted {
+                    self.refill();
+                }
+                match self {
+                    Node::Inner { buffer, .. } => buffer.front().copied(),
+                    Node::Leaf { .. } => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Consume the next element.
+    fn pop(&mut self) -> Option<T> {
+        match self {
+            Node::Leaf { run, pos } => {
+                let v = run.get(*pos).copied();
+                if v.is_some() {
+                    *pos += 1;
+                }
+                v
+            }
+            Node::Inner { buffer, exhausted, .. } => {
+                if buffer.is_empty() && !*exhausted {
+                    self.refill();
+                }
+                match self {
+                    Node::Inner { buffer, .. } => buffer.pop_front(),
+                    Node::Leaf { .. } => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Fill the buffer with one burst merged from the children.
+    fn refill(&mut self) {
+        let Node::Inner { children, buffer, burst, exhausted } = self else {
+            return;
+        };
+        let want = *burst;
+        while buffer.len() < want {
+            // Linear scan over ≤ √k children for the minimum head.
+            let mut best: Option<(usize, T)> = None;
+            for (i, c) in children.iter_mut().enumerate() {
+                if let Some(v) = c.peek() {
+                    if best.map_or(true, |(_, b)| v < b) {
+                        best = Some((i, v));
+                    }
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    let v = children[i].pop().expect("peeked child has an element");
+                    buffer.push_back(v);
+                }
+                None => {
+                    *exhausted = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(k: usize, n: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut x = seed | 1;
+        (0..k)
+            .map(|_| {
+                let mut v: Vec<u64> = (0..n)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x % 50_000
+                    })
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    fn reference(runs: &[Vec<u64>]) -> Vec<u64> {
+        let mut all: Vec<u64> = runs.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn matches_reference_across_fanins() {
+        for k in [1usize, 2, 3, 5, 16, 30, 100] {
+            let runs = fixture(k, 200, k as u64);
+            assert_eq!(funnel_merge(&runs), reference(&runs), "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_and_uneven_runs() {
+        let runs: Vec<Vec<u64>> = vec![vec![], vec![1, 1, 9], vec![], vec![2], vec![0, 5]];
+        assert_eq!(funnel_merge(&runs), vec![0, 1, 1, 2, 5, 9]);
+        assert_eq!(funnel_merge::<u64>(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn deep_tree_large_k() {
+        // 256 runs -> at least 3 funnel levels.
+        let runs = fixture(256, 50, 9);
+        assert_eq!(funnel_merge(&runs), reference(&runs));
+    }
+
+    #[test]
+    fn duplicate_only_runs() {
+        let runs = vec![vec![4u64; 100], vec![4u64; 100], vec![4u64; 3]];
+        assert_eq!(funnel_merge(&runs).len(), 203);
+        assert!(funnel_merge(&runs).iter().all(|&x| x == 4));
+    }
+}

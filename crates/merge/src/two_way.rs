@@ -1,0 +1,95 @@
+//! Two-way merge kernels: the building block of the binary merge tree.
+
+/// Merge two sorted slices into `out` (cleared first). Stable: ties
+/// take from `a` first.
+pub fn merge_two_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// Merge two sorted slices, allocating the output.
+pub fn merge_two<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::new();
+    merge_two_into(a, b, &mut out);
+    out
+}
+
+/// Index of the first element in sorted `data` that is `>= key`
+/// (`lower_bound`).
+pub fn lower_bound<T: Ord>(data: &[T], key: &T) -> usize {
+    data.partition_point(|x| x < key)
+}
+
+/// Index of the first element in sorted `data` that is `> key`
+/// (`upper_bound`).
+pub fn upper_bound<T: Ord>(data: &[T], key: &T) -> usize {
+    data.partition_point(|x| x <= key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_interleaved() {
+        assert_eq!(merge_two(&[1, 3, 5], &[2, 4, 6]), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn handles_empty_sides() {
+        assert_eq!(merge_two::<u64>(&[], &[]), Vec::<u64>::new());
+        assert_eq!(merge_two(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(merge_two(&[], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn stability_prefers_left() {
+        // With Copy + Ord over plain ints stability is unobservable, so
+        // use pairs ordered by the first component only via key slices.
+        let a = [(1, 'a'), (2, 'a')];
+        let b = [(1, 'b')];
+        let mut out = Vec::new();
+        // Manual merge on first component to document intent.
+        let cmp_merged = {
+            let mut v: Vec<(i32, char)> = Vec::new();
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i].0 <= b[j].0 {
+                    v.push(a[i]);
+                    i += 1;
+                } else {
+                    v.push(b[j]);
+                    j += 1;
+                }
+            }
+            v.extend_from_slice(&a[i..]);
+            v.extend_from_slice(&b[j..]);
+            v
+        };
+        merge_two_into(&a, &b, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(cmp_merged[0], (1, 'a'));
+    }
+
+    #[test]
+    fn bounds() {
+        let v = [1, 3, 3, 5];
+        assert_eq!(lower_bound(&v, &3), 1);
+        assert_eq!(upper_bound(&v, &3), 3);
+        assert_eq!(lower_bound(&v, &0), 0);
+        assert_eq!(upper_bound(&v, &9), 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Data distribution patterns: which rank owns which global index.
+//!
+//! DASH calls this a *pattern*; we provide the block pattern with
+//! arbitrary (possibly empty) per-rank block sizes, which is what the
+//! sorting paper needs — including the sparse layouts where some ranks
+//! contribute nothing.
+
+/// Block distribution of `total` elements over `p` ranks with explicit
+/// per-rank sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPattern {
+    sizes: Vec<usize>,
+    offsets: Vec<usize>, // len p+1
+}
+
+impl BlockPattern {
+    pub fn new(sizes: Vec<usize>) -> Self {
+        let mut offsets = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0usize;
+        for &s in &sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        offsets.push(acc);
+        Self { sizes, offsets }
+    }
+
+    /// Evenly balanced pattern (first `total % p` ranks get one extra).
+    pub fn balanced(total: usize, p: usize) -> Self {
+        assert!(p > 0);
+        let base = total / p;
+        let extra = total % p;
+        Self::new((0..p).map(|i| base + usize::from(i < extra)).collect())
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.sizes.len()
+    }
+
+    pub fn total(&self) -> usize {
+        *self.offsets.last().expect("offsets non-empty")
+    }
+
+    pub fn size_of(&self, rank: usize) -> usize {
+        self.sizes[rank]
+    }
+
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Global index of rank-local element 0.
+    pub fn offset_of(&self, rank: usize) -> usize {
+        self.offsets[rank]
+    }
+
+    /// `(rank, local_index)` owning global index `g`.
+    pub fn locate(&self, g: usize) -> (usize, usize) {
+        assert!(g < self.total(), "global index {g} out of range {}", self.total());
+        // offsets is sorted; find the last offset <= g among rank starts.
+        let rank = match self.offsets[..self.ranks()].binary_search(&g) {
+            Ok(mut r) => {
+                // Skip empty blocks that share the same offset.
+                while self.sizes[r] == 0 {
+                    r += 1;
+                }
+                r
+            }
+            Err(ins) => ins - 1,
+        };
+        (rank, g - self.offsets[rank])
+    }
+
+    /// Global index of `(rank, local_index)`.
+    pub fn global_of(&self, rank: usize, local: usize) -> usize {
+        assert!(local < self.sizes[rank], "local index {local} out of rank {rank}'s block");
+        self.offsets[rank] + local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_splits_remainder_first() {
+        let p = BlockPattern::balanced(10, 3);
+        assert_eq!(p.sizes(), &[4, 3, 3]);
+        assert_eq!(p.total(), 10);
+        assert_eq!(p.offset_of(2), 7);
+    }
+
+    #[test]
+    fn locate_roundtrips_global_of() {
+        let p = BlockPattern::new(vec![3, 0, 5, 0, 2]);
+        for g in 0..p.total() {
+            let (r, l) = p.locate(g);
+            assert_eq!(p.global_of(r, l), g);
+            assert!(p.size_of(r) > 0);
+        }
+    }
+
+    #[test]
+    fn locate_skips_empty_blocks() {
+        let p = BlockPattern::new(vec![0, 0, 4]);
+        assert_eq!(p.locate(0), (2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_rejects_past_end() {
+        BlockPattern::new(vec![2, 2]).locate(4);
+    }
+
+    #[test]
+    fn empty_array_total_zero() {
+        let p = BlockPattern::new(vec![0, 0]);
+        assert_eq!(p.total(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Launch a simulated cluster: one OS thread per rank.
+
+use std::thread;
+
+use crate::cost::CostModel;
+use crate::state::{CommState, World};
+use crate::stats::{RankReport, RunSummary};
+use crate::topology::Topology;
+use crate::Comm;
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub topology: Topology,
+    pub cost: CostModel,
+    /// Stack size per rank-thread. Rank bodies are shallow; a small
+    /// stack keeps thousands of simulated ranks cheap.
+    pub stack_bytes: usize,
+}
+
+impl ClusterConfig {
+    /// A SuperMUC-Phase-2-like cluster (Table I) with `ranks` ranks at
+    /// 16 ranks/node.
+    pub fn supermuc_phase2(ranks: usize) -> Self {
+        Self {
+            topology: Topology::supermuc_phase2(ranks),
+            cost: CostModel::supermuc_phase2(),
+            stack_bytes: 1 << 20,
+        }
+    }
+
+    /// A small test cluster: up to 16 ranks per node, 4 NUMA domains.
+    pub fn small_cluster(ranks: usize) -> Self {
+        Self {
+            topology: Topology::new(ranks, 16.min(ranks.max(1)), 4, 7),
+            cost: CostModel::supermuc_phase2(),
+            stack_bytes: 1 << 20,
+        }
+    }
+
+    /// One shared-memory node (Fig. 4): every rank on the same node,
+    /// packed 7 per NUMA domain.
+    pub fn single_node(ranks: usize) -> Self {
+        Self {
+            topology: Topology::single_node(ranks),
+            cost: CostModel::supermuc_phase2(),
+            stack_bytes: 1 << 20,
+        }
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.topology.ranks()
+    }
+}
+
+/// Run `f` once per rank on its own thread; returns each rank's result
+/// and counter report, ordered by rank.
+///
+/// # Panics
+/// If any rank panics, the run is poisoned (so no rank deadlocks inside
+/// a collective) and this function re-panics with the first rank error.
+pub fn run<R, F>(cfg: &ClusterConfig, f: F) -> Vec<(R, RankReport)>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    let world = World::new(cfg.topology.clone(), cfg.cost.clone());
+    let p = cfg.ranks();
+    let root = CommState::new(world.clone(), (0..p).collect());
+    let f = &f;
+
+    let results: Vec<thread::Result<(R, RankReport)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..p)
+            .map(|rank| {
+                let world = world.clone();
+                let state = root.clone();
+                thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(cfg.stack_bytes)
+                    .spawn_scoped(s, move || {
+                        let comm = Comm::new(state, rank);
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(&comm)
+                        }));
+                        match out {
+                            Ok(v) => {
+                                let report = comm.report();
+                                Ok((v, report))
+                            }
+                            Err(e) => {
+                                world.poison_now();
+                                Err(e)
+                            }
+                        }
+                    })
+                    .expect("spawn rank thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread not killed externally"))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => Ok(v),
+                Err(e) => Err(e),
+            })
+            .collect()
+    });
+
+    let mut out = Vec::with_capacity(p);
+    let mut first_err = None;
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        std::panic::resume_unwind(e);
+    }
+    out
+}
+
+/// Convenience: run and fold the rank reports into a [`RunSummary`].
+pub fn run_summarized<R, F>(cfg: &ClusterConfig, f: F) -> (Vec<R>, RunSummary)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    let pairs = run(cfg, f);
+    let reports: Vec<RankReport> = pairs.iter().map(|(_, r)| *r).collect();
+    let values = pairs.into_iter().map(|(v, _)| v).collect();
+    (values, RunSummary::from_reports(&reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_rank_in_order() {
+        let out = run(&ClusterConfig::small_cluster(7), |c| c.rank() * 2);
+        let vals: Vec<usize> = out.into_iter().map(|(v, _)| v).collect();
+        assert_eq!(vals, vec![0, 2, 4, 6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn summary_reflects_traffic() {
+        let (_, summary) = run_summarized(&ClusterConfig::small_cluster(4), |c| {
+            c.allreduce_sum(vec![1u64; 128]);
+        });
+        assert!(summary.makespan_ns > 0);
+        assert_eq!(summary.collectives, 4);
+    }
+
+    #[test]
+    fn rank_panic_propagates_without_deadlock() {
+        let res = std::panic::catch_unwind(|| {
+            run(&ClusterConfig::small_cluster(4), |c| {
+                if c.rank() == 2 {
+                    panic!("rank 2 exploded");
+                }
+                // Other ranks block in a collective; poison must free them.
+                c.barrier();
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn single_rank_cluster_works() {
+        let out = run(&ClusterConfig::small_cluster(1), |c| {
+            c.barrier();
+            let s = c.allreduce_sum(vec![5]);
+            s[0]
+        });
+        assert_eq!(out[0].0, 5);
+    }
+
+    #[test]
+    fn deterministic_virtual_time() {
+        let go = || {
+            let (_, s) = run_summarized(&ClusterConfig::supermuc_phase2(32), |c| {
+                let xs = c.allgather(c.rank() as u64);
+                c.allreduce_sum(xs)
+            });
+            s.makespan_ns
+        };
+        assert_eq!(go(), go());
+    }
+}

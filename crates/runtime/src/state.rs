@@ -1,0 +1,370 @@
+//! Shared data plane backing a communicator.
+//!
+//! Every communicator owns one [`CollectiveCell`] (a generation-counted
+//! rendezvous through which all collectives move their payloads) and one
+//! mailbox per member rank for point-to-point messages. Payloads are
+//! type-erased so a single cell serves collectives of any element type.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cost::CostModel;
+use crate::stats::RankLocal;
+use crate::topology::Topology;
+
+/// How long a blocked rank sleeps between poison checks. Purely a
+/// liveness bound for error propagation; correctness never depends on it.
+const POISON_POLL: Duration = Duration::from_millis(25);
+
+/// Machine-wide immutable context shared by all communicators of a run.
+pub struct World {
+    pub topology: Topology,
+    pub cost: CostModel,
+    /// Set when any rank panics so the rest can abort instead of
+    /// deadlocking inside a collective.
+    pub poison: AtomicBool,
+    /// Per-global-rank clock and counters.
+    pub locals: Vec<Arc<RankLocal>>,
+}
+
+impl World {
+    pub fn new(topology: Topology, cost: CostModel) -> Arc<Self> {
+        let locals = (0..topology.ranks()).map(|_| Arc::new(RankLocal::default())).collect();
+        Arc::new(Self { topology, cost, poison: AtomicBool::new(false), locals })
+    }
+
+    pub fn poisoned(&self) -> bool {
+        self.poison.load(Ordering::Relaxed)
+    }
+
+    pub fn poison_now(&self) {
+        self.poison.store(true, Ordering::Relaxed);
+    }
+}
+
+/// One in-flight point-to-point message.
+pub(crate) struct Message {
+    pub src: usize,
+    pub tag: u64,
+    pub payload: Box<dyn Any + Send>,
+    /// Virtual time at which the payload is fully available at the
+    /// receiver.
+    pub arrival_ns: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    pub fn push(&self, msg: Message) {
+        self.queue.lock().push_back(msg);
+        self.cv.notify_all();
+    }
+
+    /// Blocking receive of the first message matching `src` and `tag`.
+    /// Panics if the world is poisoned while waiting.
+    pub fn pop(&self, world: &World, src: usize, tag: u64) -> Message {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                return q.remove(pos).expect("position just found");
+            }
+            if world.poisoned() {
+                panic!("recv aborted: a peer rank panicked");
+            }
+            self.cv.wait_for(&mut q, POISON_POLL);
+        }
+    }
+}
+
+/// Type-erased rendezvous for collectives. All member ranks deposit an
+/// input; the last arriver combines them (and decides the operation's
+/// virtual end time); everyone picks up the shared output; the last
+/// departer resets the cell for the next generation.
+pub(crate) struct CollectiveCell {
+    state: Mutex<CellState>,
+    cv: Condvar,
+}
+
+struct CellState {
+    /// Completed-collective count; a rank may only enter when the cell's
+    /// generation matches the number of collectives it has completed on
+    /// this communicator.
+    gen: u64,
+    arrived: usize,
+    departed: usize,
+    inputs: Vec<Option<Box<dyn Any + Send>>>,
+    clocks: Vec<u64>,
+    output: Option<Arc<dyn Any + Send + Sync>>,
+    /// Per-rank virtual completion times.
+    end_ns: Vec<u64>,
+}
+
+impl CollectiveCell {
+    pub fn new(size: usize) -> Self {
+        Self {
+            state: Mutex::new(CellState {
+                gen: 0,
+                arrived: 0,
+                departed: 0,
+                inputs: (0..size).map(|_| None).collect(),
+                clocks: vec![0; size],
+                output: None,
+                end_ns: vec![0; size],
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Context handed to the combine closure of a collective.
+pub struct CollectiveCtx<'a> {
+    pub cost: &'a CostModel,
+    pub topology: &'a Topology,
+    /// Communicator-rank -> global-rank mapping.
+    pub global_ranks: &'a [usize],
+    /// Maximum entry clock over all participants: the earliest instant
+    /// the collective can start.
+    pub enter_max_ns: u64,
+    /// Most expensive link class spanned by this communicator; the
+    /// standard charge rate for synchronizing collectives.
+    pub worst_link: crate::topology::LinkClass,
+}
+
+/// Virtual completion times decided by a combine closure.
+pub enum EndTimes {
+    /// All ranks finish together (synchronizing collectives).
+    Uniform(u64),
+    /// Rank `i` finishes at `v[i]` (personalized exchanges).
+    PerRank(Vec<u64>),
+}
+
+/// Backing state of one communicator.
+pub struct CommState {
+    pub world: Arc<World>,
+    /// Communicator-rank -> global-rank.
+    pub global_ranks: Vec<usize>,
+    /// Most expensive link class spanned by the members.
+    pub worst_link: crate::topology::LinkClass,
+    pub(crate) cell: CollectiveCell,
+    pub(crate) mailboxes: Vec<Mailbox>,
+}
+
+impl CommState {
+    pub fn new(world: Arc<World>, global_ranks: Vec<usize>) -> Arc<Self> {
+        let n = global_ranks.len();
+        assert!(n > 0, "communicator must have at least one member");
+        let worst_link = world.topology.worst_link(&global_ranks);
+        Arc::new(Self {
+            world,
+            global_ranks,
+            worst_link,
+            cell: CollectiveCell::new(n),
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+        })
+    }
+
+    pub fn size(&self) -> usize {
+        self.global_ranks.len()
+    }
+
+    /// Execute one collective as rank `rank` (communicator-local), whose
+    /// completed-collective count is `my_gen`. The `combine` closure runs
+    /// exactly once per generation, on the last-arriving rank, and sees
+    /// the inputs of all ranks ordered by rank.
+    pub fn collective<T, R, F>(&self, rank: usize, my_gen: u64, input: T, combine: F) -> Arc<R>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>, &CollectiveCtx<'_>) -> (R, EndTimes),
+    {
+        let world = &self.world;
+        let me = &world.locals[self.global_ranks[rank]];
+        let enter_ns = me.now_ns();
+        let size = self.size();
+
+        let mut st = self.cell.state.lock();
+        // Wait for the cell to be reset for our generation.
+        while st.gen != my_gen {
+            if world.poisoned() {
+                panic!("collective aborted: a peer rank panicked");
+            }
+            self.cv_wait(&mut st);
+        }
+        debug_assert!(st.inputs[rank].is_none(), "double entry into collective");
+        st.inputs[rank] = Some(Box::new(input));
+        st.clocks[rank] = enter_ns;
+        st.arrived += 1;
+
+        if st.arrived == size {
+            // Last arriver: combine.
+            let inputs: Vec<T> = st
+                .inputs
+                .iter_mut()
+                .map(|slot| {
+                    *slot
+                        .take()
+                        .expect("all ranks deposited")
+                        .downcast::<T>()
+                        .expect("uniform collective payload type")
+                })
+                .collect();
+            let enter_max_ns = st.clocks.iter().copied().max().unwrap_or(0);
+            let ctx = CollectiveCtx {
+                cost: &world.cost,
+                topology: &world.topology,
+                global_ranks: &self.global_ranks,
+                enter_max_ns,
+                worst_link: self.worst_link,
+            };
+            let (out, ends) = combine(inputs, &ctx);
+            match ends {
+                EndTimes::Uniform(t) => st.end_ns.iter_mut().for_each(|e| *e = t),
+                EndTimes::PerRank(v) => {
+                    assert_eq!(v.len(), size, "PerRank end times must cover every rank");
+                    st.end_ns.copy_from_slice(&v);
+                }
+            }
+            st.output = Some(Arc::new(out));
+            self.cell.cv.notify_all();
+        } else {
+            while st.output.is_none() {
+                if world.poisoned() {
+                    panic!("collective aborted: a peer rank panicked");
+                }
+                self.cv_wait(&mut st);
+            }
+        }
+
+        let out = st
+            .output
+            .as_ref()
+            .expect("output present")
+            .clone()
+            .downcast::<R>()
+            .expect("uniform collective result type");
+        let end = st.end_ns[rank];
+
+        st.departed += 1;
+        if st.departed == size {
+            st.arrived = 0;
+            st.departed = 0;
+            st.output = None;
+            st.gen += 1;
+            self.cell.cv.notify_all();
+        }
+        drop(st);
+
+        // Advance this rank's clock to the collective's end and account
+        // the waiting + transfer as communication time.
+        me.advance_to_ns(end);
+        me.counters.comm_ns.fetch_add(end.saturating_sub(enter_ns), Ordering::Relaxed);
+        me.counters.collectives.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+
+    fn cv_wait(&self, st: &mut parking_lot::MutexGuard<'_, CellState>) {
+        self.cell.cv.wait_for(st, POISON_POLL);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn world(p: usize) -> Arc<World> {
+        World::new(Topology::new(p, p.min(16), 4, 7), CostModel::default())
+    }
+
+    #[test]
+    fn single_rank_collective_combines_immediately() {
+        let w = world(1);
+        let st = CommState::new(w, vec![0]);
+        let out = st.collective(0, 0, 41u32, |inputs, ctx| {
+            assert_eq!(inputs, vec![41]);
+            (inputs[0] + 1, EndTimes::Uniform(ctx.enter_max_ns + 5))
+        });
+        assert_eq!(*out, 42);
+        assert_eq!(st.world.locals[0].now_ns(), 5);
+    }
+
+    #[test]
+    fn multi_rank_collective_sums_and_syncs_clocks() {
+        let w = world(4);
+        let st = CommState::new(w.clone(), vec![0, 1, 2, 3]);
+        // Give ranks skewed clocks.
+        for (r, local) in w.locals.iter().enumerate() {
+            local.advance_ns(10 * r as u64);
+        }
+        std::thread::scope(|s| {
+            for r in 0..4 {
+                let st = st.clone();
+                s.spawn(move || {
+                    let out = st.collective(r, 0, r as u64, |xs, ctx| {
+                        (xs.iter().sum::<u64>(), EndTimes::Uniform(ctx.enter_max_ns + 100))
+                    });
+                    assert_eq!(*out, 6);
+                });
+            }
+        });
+        for local in &w.locals {
+            assert_eq!(local.now_ns(), 30 + 100);
+        }
+    }
+
+    #[test]
+    fn cell_is_reusable_across_generations() {
+        let w = world(2);
+        let st = CommState::new(w, vec![0, 1]);
+        std::thread::scope(|s| {
+            for r in 0..2 {
+                let st = st.clone();
+                s.spawn(move || {
+                    for g in 0..50u64 {
+                        let out = st.collective(r, g, g, |xs, ctx| {
+                            (xs[0] + xs[1], EndTimes::Uniform(ctx.enter_max_ns))
+                        });
+                        assert_eq!(*out, 2 * g);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn mailbox_matches_src_and_tag() {
+        let w = world(2);
+        let mb = Mailbox::default();
+        mb.push(Message { src: 1, tag: 7, payload: Box::new(1u8), arrival_ns: 0 });
+        mb.push(Message { src: 0, tag: 7, payload: Box::new(2u8), arrival_ns: 0 });
+        let m = mb.pop(&w, 0, 7);
+        assert_eq!(*m.payload.downcast::<u8>().unwrap(), 2);
+        let m = mb.pop(&w, 1, 7);
+        assert_eq!(*m.payload.downcast::<u8>().unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "peer rank panicked")]
+    fn poison_unblocks_receiver() {
+        let w = world(2);
+        let mb = Mailbox::default();
+        std::thread::scope(|s| {
+            let wref = &w;
+            let mbref = &mb;
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                wref.poison_now();
+            });
+            mbref.pop(wref, 1, 0);
+        });
+    }
+}

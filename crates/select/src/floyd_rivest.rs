@@ -1,0 +1,147 @@
+//! Floyd–Rivest SELECT (paper ref [22]): expected `n + min(k, n-k) +
+//! O(√n)` comparisons by recursively narrowing to a sample-predicted
+//! window around the target rank before partitioning — the classic
+//! "sampling makes pivot selection more efficient" result the paper
+//! points to for optimizing selection (§IV-B, ref [24]).
+
+/// The `k`-th order statistic (0-based) by the Floyd–Rivest algorithm.
+/// `data` is reordered.
+///
+/// # Panics
+/// Panics if `data` is empty or `k >= data.len()`.
+pub fn floyd_rivest_select<T: Ord + Copy>(data: &mut [T], k: usize) -> T {
+    assert!(k < data.len(), "order statistic {k} out of range {}", data.len());
+    select_range(data, 0, data.len() - 1, k);
+    data[k]
+}
+
+/// Narrow `data[left..=right]` until `data[k]` is the k-th order
+/// statistic of the whole slice (classic Algorithm 489 structure).
+fn select_range<T: Ord + Copy>(data: &mut [T], mut left: usize, mut right: usize, k: usize) {
+    while right > left {
+        if right - left > 600 {
+            // Sample window: the k-th element of the full range is
+            // w.h.p. the k-th element of a √n-sized window around
+            // position k.
+            let n = (right - left + 1) as f64;
+            let i = (k - left + 1) as f64;
+            let z = n.ln();
+            let s = 0.5 * (2.0 * z / 3.0).exp();
+            let sign = if i - n / 2.0 < 0.0 { -1.0 } else { 1.0 };
+            let sd = 0.5 * (z * s * (n - s) / n).sqrt() * sign;
+            let new_left = (k as f64 - i * s / n + sd).max(left as f64) as usize;
+            let new_right = (k as f64 + (n - i) * s / n + sd).min(right as f64) as usize;
+            select_range(data, new_left.min(k), new_right.max(k), k);
+        }
+        // Hoare partition around data[k].
+        let t = data[k];
+        let mut i = left;
+        let mut j = right;
+        data.swap(left, k);
+        if data[right] > t {
+            data.swap(right, left);
+        }
+        while i < j {
+            data.swap(i, j);
+            i += 1;
+            j = j.saturating_sub(1);
+            while data[i] < t {
+                i += 1;
+            }
+            while data[j] > t {
+                j -= 1;
+            }
+        }
+        if data[left] == t {
+            data.swap(left, j);
+        } else {
+            j += 1;
+            data.swap(j, right);
+        }
+        // Shrink to the side containing k.
+        if j <= k {
+            left = j + 1;
+        }
+        if k <= j {
+            right = j.saturating_sub(1);
+            if j == 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(data: &[u64], k: usize) -> u64 {
+        let mut v = data.to_vec();
+        v.sort_unstable();
+        v[k]
+    }
+
+    fn noise(n: usize, seed: u64, modulus: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % modulus
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_over_ranks() {
+        for seed in 1..4 {
+            let data = noise(5000, seed, u64::MAX);
+            for k in [0, 1, 2499, 2500, 4998, 4999] {
+                let mut scratch = data.clone();
+                assert_eq!(floyd_rivest_select(&mut scratch, k), reference(&data, k), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_input_exercises_sampling_path() {
+        let data = noise(100_000, 7, u64::MAX);
+        for k in [0, 50_000, 99_999] {
+            let mut scratch = data.clone();
+            assert_eq!(floyd_rivest_select(&mut scratch, k), reference(&data, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn duplicates_and_patterns() {
+        for (data, label) in [
+            (noise(3000, 3, 7), "heavy duplicates"),
+            (vec![5u64; 2000], "constant"),
+            ((0..3000u64).collect::<Vec<_>>(), "sorted"),
+            ((0..3000u64).rev().collect::<Vec<_>>(), "reversed"),
+        ] {
+            for k in [0, data.len() / 2, data.len() - 1] {
+                let mut scratch = data.clone();
+                assert_eq!(
+                    floyd_rivest_select(&mut scratch, k),
+                    reference(&data, k),
+                    "{label} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs() {
+        assert_eq!(floyd_rivest_select(&mut [9u64], 0), 9);
+        assert_eq!(floyd_rivest_select(&mut [2u64, 1], 0), 1);
+        assert_eq!(floyd_rivest_select(&mut [2u64, 1], 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_k() {
+        floyd_rivest_select(&mut [1u64], 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Sequential selection: quickselect and the deterministic
+//! median-of-medians, the classical building blocks (paper §IV-A).
+
+/// Three-way partition of `data` around `pivot`: afterwards
+/// `data[..l] < pivot`, `data[l..u] == pivot`, `data[u..] > pivot`.
+/// Returns `(l, u)`.
+pub fn partition3<T: Ord + Copy>(data: &mut [T], pivot: T) -> (usize, usize) {
+    // Dutch national flag.
+    let mut lo = 0;
+    let mut mid = 0;
+    let mut hi = data.len();
+    while mid < hi {
+        match data[mid].cmp(&pivot) {
+            std::cmp::Ordering::Less => {
+                data.swap(lo, mid);
+                lo += 1;
+                mid += 1;
+            }
+            std::cmp::Ordering::Equal => mid += 1,
+            std::cmp::Ordering::Greater => {
+                hi -= 1;
+                data.swap(mid, hi);
+            }
+        }
+    }
+    (lo, hi)
+}
+
+/// The `k`-th order statistic (0-based) of `data` by randomized
+/// quickselect: expected `O(n)`. `data` is reordered.
+///
+/// # Panics
+/// Panics if `data` is empty or `k >= data.len()`.
+pub fn quickselect<T: Ord + Copy>(data: &mut [T], k: usize) -> T {
+    assert!(k < data.len(), "order statistic {k} out of range {}", data.len());
+    let mut rng = Xorshift64(0x9E3779B97F4A7C15 ^ data.len() as u64);
+    let mut slice = data;
+    let mut k = k;
+    loop {
+        if slice.len() <= 16 {
+            slice.sort_unstable();
+            return slice[k];
+        }
+        let pivot = median_of_3_random(slice, &mut rng);
+        let (l, u) = partition3(slice, pivot);
+        if k < l {
+            slice = &mut slice[..l];
+        } else if k < u {
+            return pivot;
+        } else {
+            k -= u;
+            slice = &mut slice[u..];
+        }
+    }
+}
+
+/// The `k`-th order statistic with guaranteed `O(n)` worst case via
+/// median-of-medians pivot selection (BFPRT, paper ref [21]).
+/// `data` is reordered.
+pub fn median_of_medians_select<T: Ord + Copy>(data: &mut [T], k: usize) -> T {
+    assert!(k < data.len(), "order statistic {k} out of range {}", data.len());
+    let mut slice = data;
+    let mut k = k;
+    loop {
+        if slice.len() <= 32 {
+            slice.sort_unstable();
+            return slice[k];
+        }
+        let pivot = median_of_medians_pivot(slice);
+        let (l, u) = partition3(slice, pivot);
+        if k < l {
+            slice = &mut slice[..l];
+        } else if k < u {
+            return pivot;
+        } else {
+            k -= u;
+            slice = &mut slice[u..];
+        }
+    }
+}
+
+/// Median of the slice (lower median for even sizes), via quickselect.
+pub fn median<T: Ord + Copy>(data: &mut [T]) -> T {
+    assert!(!data.is_empty(), "median of empty slice");
+    let k = (data.len() - 1) / 2;
+    quickselect(data, k)
+}
+
+fn median_of_medians_pivot<T: Ord + Copy>(data: &mut [T]) -> T {
+    // Medians of groups of five, compacted to the front, then recurse.
+    let n = data.len();
+    let groups = n / 5;
+    for g in 0..groups {
+        let base = g * 5;
+        data[base..base + 5].sort_unstable();
+        data.swap(g, base + 2);
+    }
+    if groups == 0 {
+        let mut tmp: Vec<T> = data.to_vec();
+        return median(&mut tmp);
+    }
+    let mut tmp: Vec<T> = data[..groups].to_vec();
+    median_of_medians_select(&mut tmp, (groups - 1) / 2)
+}
+
+fn median_of_3_random<T: Ord + Copy>(data: &[T], rng: &mut Xorshift64) -> T {
+    let n = data.len() as u64;
+    let a = data[(rng.next() % n) as usize];
+    let b = data[(rng.next() % n) as usize];
+    let c = data[(rng.next() % n) as usize];
+    // Median of three values.
+    if (a <= b) ^ (a <= c) {
+        a
+    } else if (b <= a) ^ (b <= c) {
+        b
+    } else {
+        c
+    }
+}
+
+/// Tiny deterministic generator for pivot picking (seeded from the
+/// input length so runs are reproducible).
+struct Xorshift64(u64);
+
+impl Xorshift64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference<T: Ord + Copy>(data: &[T], k: usize) -> T {
+        let mut v = data.to_vec();
+        v.sort_unstable();
+        v[k]
+    }
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<u64> {
+        let mut x = Xorshift64(seed | 1);
+        (0..n).map(|_| x.next() % 1000).collect()
+    }
+
+    #[test]
+    fn partition3_invariants() {
+        let mut v = vec![5u64, 1, 5, 9, 3, 5, 7, 0];
+        let (l, u) = partition3(&mut v, 5);
+        assert_eq!(l, 3);
+        assert_eq!(u, 6);
+        assert!(v[..l].iter().all(|&x| x < 5));
+        assert!(v[l..u].iter().all(|&x| x == 5));
+        assert!(v[u..].iter().all(|&x| x > 5));
+    }
+
+    #[test]
+    fn partition3_pivot_absent() {
+        let mut v = vec![1u64, 9, 2, 8];
+        let (l, u) = partition3(&mut v, 5);
+        assert_eq!(l, u);
+        assert_eq!(l, 2);
+    }
+
+    #[test]
+    fn quickselect_matches_sorting() {
+        for seed in 1..6 {
+            let data = pseudo_random(500, seed);
+            for k in [0, 1, 249, 250, 498, 499] {
+                let mut scratch = data.clone();
+                assert_eq!(quickselect(&mut scratch, k), reference(&data, k));
+            }
+        }
+    }
+
+    #[test]
+    fn median_of_medians_matches_sorting() {
+        for seed in 1..6 {
+            let data = pseudo_random(777, seed);
+            for k in [0, 388, 776] {
+                let mut scratch = data.clone();
+                assert_eq!(median_of_medians_select(&mut scratch, k), reference(&data, k));
+            }
+        }
+    }
+
+    #[test]
+    fn handles_all_duplicates() {
+        let mut v = vec![7u64; 100];
+        assert_eq!(quickselect(&mut v, 50), 7);
+        let mut v = vec![7u64; 100];
+        assert_eq!(median_of_medians_select(&mut v, 0), 7);
+    }
+
+    #[test]
+    fn handles_sorted_and_reversed_input() {
+        let asc: Vec<u64> = (0..1000).collect();
+        let desc: Vec<u64> = (0..1000).rev().collect();
+        let mut a = asc.clone();
+        assert_eq!(quickselect(&mut a, 123), 123);
+        let mut d = desc.clone();
+        assert_eq!(quickselect(&mut d, 123), 123);
+        let mut d = desc;
+        assert_eq!(median_of_medians_select(&mut d, 999), 999);
+    }
+
+    #[test]
+    fn median_lower_for_even() {
+        let mut v = vec![4u64, 1, 3, 2];
+        assert_eq!(median(&mut v), 2);
+        let mut v = vec![4u64, 1, 3];
+        assert_eq!(median(&mut v), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_k() {
+        quickselect(&mut [1u64, 2], 2);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quickselect(&mut [42u64], 0), 42);
+        assert_eq!(median_of_medians_select(&mut [42u64], 0), 42);
+    }
+}

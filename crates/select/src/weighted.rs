@@ -1,0 +1,204 @@
+//! Weighted median (paper Definition 2): the pivot-selection rule that
+//! lets distributed selection discard a quarter of the working set per
+//! round without any data redistribution.
+//!
+//! The paper normalizes weights to sum to one; we keep the weights as
+//! exact integers (partition sizes) and compare against `W/2` in scaled
+//! integer arithmetic, which makes tie cases exact instead of dependent
+//! on floating-point summation order.
+
+/// Find the weighted median of `(value, weight)` pairs with positive
+/// integer weights: the value `x` such that the total weight strictly
+/// below `x` is `< W/2` and the total weight strictly above is `<= W/2`.
+/// Runs in expected `O(n)` via quickselect-style recursion on weight
+/// mass. `items` is reordered.
+///
+/// # Panics
+/// Panics if `items` is empty or any weight is zero.
+pub fn weighted_median<T: Ord + Copy>(items: &mut [(T, u64)]) -> T {
+    assert!(!items.is_empty(), "weighted median of empty set");
+    for &(_, w) in items.iter() {
+        assert!(w > 0, "weights must be positive");
+    }
+    let total: u64 = items.iter().map(|&(_, w)| w).sum();
+    let mut slice = items;
+    // Weight mass known to lie strictly below the current slice.
+    let mut below = 0u64;
+    let mut rng = 0x2545F4914F6CDD1Du64;
+    loop {
+        if slice.len() == 1 {
+            return slice[0].0;
+        }
+        if slice.len() <= 8 {
+            slice.sort_unstable_by_key(|&(v, _)| v);
+            let mut acc = below; // weight strictly below slice[i]
+            let mut i = 0;
+            while i < slice.len() {
+                // Weight of the run of values equal to slice[i].
+                let val = slice[i].0;
+                let run_end = slice[i..].iter().take_while(|&&(x, _)| x == val).count() + i;
+                let eq: u64 = slice[i..run_end].iter().map(|&(_, w)| w).sum();
+                let above = total - acc - eq;
+                if 2 * acc < total && 2 * above <= total {
+                    return val;
+                }
+                acc += eq;
+                i = run_end;
+            }
+            // Unreachable for valid weights: the largest value always
+            // satisfies `above == 0 <= W/2`.
+            return slice.last().expect("non-empty").0;
+        }
+        // Random pivot, 3-way partition by value.
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let pivot = slice[(rng % slice.len() as u64) as usize].0;
+        let (l, u) = partition3_by_value(slice, pivot);
+        let w_less: u64 = slice[..l].iter().map(|&(_, w)| w).sum();
+        let w_eq: u64 = slice[l..u].iter().map(|&(_, w)| w).sum();
+        let below_pivot = below + w_less;
+        let above_pivot = total - below_pivot - w_eq;
+        if 2 * below_pivot < total && 2 * above_pivot <= total {
+            return pivot;
+        }
+        if 2 * below_pivot >= total {
+            slice = &mut slice[..l];
+        } else {
+            below = below_pivot + w_eq;
+            slice = &mut slice[u..];
+        }
+    }
+}
+
+fn partition3_by_value<T: Ord + Copy>(data: &mut [(T, u64)], pivot: T) -> (usize, usize) {
+    let mut lo = 0;
+    let mut mid = 0;
+    let mut hi = data.len();
+    while mid < hi {
+        match data[mid].0.cmp(&pivot) {
+            std::cmp::Ordering::Less => {
+                data.swap(lo, mid);
+                lo += 1;
+                mid += 1;
+            }
+            std::cmp::Ordering::Equal => mid += 1,
+            std::cmp::Ordering::Greater => {
+                hi -= 1;
+                data.swap(mid, hi);
+            }
+        }
+    }
+    (lo, hi)
+}
+
+/// Reference implementation by sorting: used by tests and as a fallback
+/// for tiny inputs.
+pub fn weighted_median_by_sort<T: Ord + Copy>(items: &[(T, u64)]) -> T {
+    assert!(!items.is_empty());
+    let mut v = items.to_vec();
+    v.sort_unstable_by_key(|&(x, _)| x);
+    let total: u64 = v.iter().map(|&(_, w)| w).sum();
+    let mut below = 0u64;
+    let mut i = 0;
+    while i < v.len() {
+        let val = v[i].0;
+        let run_end = v[i..].iter().take_while(|&&(x, _)| x == val).count() + i;
+        let eq: u64 = v[i..run_end].iter().map(|&(_, w)| w).sum();
+        let above = total - below - eq;
+        if 2 * below < total && 2 * above <= total {
+            return val;
+        }
+        below += eq;
+        i = run_end;
+    }
+    v.last().expect("non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_weights_reduce_to_median() {
+        let mut items: Vec<(u64, u64)> = [9u64, 1, 7, 3, 5].iter().map(|&x| (x, 1)).collect();
+        assert_eq!(weighted_median(&mut items), 5);
+    }
+
+    #[test]
+    fn heavy_element_dominates() {
+        let mut items = vec![(1u64, 1), (2, 1), (3, 100), (4, 1)];
+        assert_eq!(weighted_median(&mut items), 3);
+    }
+
+    #[test]
+    fn matches_reference_on_random_inputs() {
+        let mut rng = 88172645463325252u64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for trial in 0..500 {
+            let n = (next() % 40 + 1) as usize;
+            let items: Vec<(u64, u64)> =
+                (0..n).map(|_| (next() % 20, next() % 100 + 1)).collect();
+            let expect = weighted_median_by_sort(&items);
+            let mut scratch = items.clone();
+            let got = weighted_median(&mut scratch);
+            assert_eq!(got, expect, "trial {trial}: items {items:?}");
+        }
+    }
+
+    #[test]
+    fn definition_inequalities_hold() {
+        let mut rng = 0xDEADBEEFu64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..200 {
+            let n = (next() % 25 + 1) as usize;
+            let items: Vec<(i64, u64)> =
+                (0..n).map(|_| ((next() % 50) as i64 - 25, next() % 9 + 1)).collect();
+            let mut scratch = items.clone();
+            let m = weighted_median(&mut scratch);
+            let total: u64 = items.iter().map(|&(_, w)| w).sum();
+            let below: u64 = items.iter().filter(|&&(x, _)| x < m).map(|&(_, w)| w).sum();
+            let above: u64 = items.iter().filter(|&&(x, _)| x > m).map(|&(_, w)| w).sum();
+            assert!(2 * below < total, "below {below} of {total}");
+            assert!(2 * above <= total, "above {above} of {total}");
+        }
+    }
+
+    #[test]
+    fn two_elements() {
+        let mut items = vec![(10u64, 1), (20, 1)];
+        // below(10)=0 < W/2, above(10)=1 <= W/2=1 -> 10 qualifies.
+        assert_eq!(weighted_median(&mut items), 10);
+        let mut items = vec![(10u64, 1), (20, 3)];
+        assert_eq!(weighted_median(&mut items), 20);
+    }
+
+    #[test]
+    fn duplicates_pool_their_weight() {
+        let mut items = vec![(5u64, 3), (5, 3), (1, 2), (9, 2)];
+        // weight(5) = 6 of 10: below=2 < 5, above=2 <= 5.
+        assert_eq!(weighted_median(&mut items), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_weight() {
+        weighted_median(&mut [(1u64, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        weighted_median::<u64>(&mut []);
+    }
+}

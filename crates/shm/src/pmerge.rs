@@ -1,0 +1,182 @@
+//! Parallel merging: the two-way parallel merge used inside the task
+//! merge sort, and the parallel k-way schemes of the §VI-E2 study.
+
+use dhs_merge::{kway_merge, lower_bound, merge_two_into, MergeAlgo};
+
+use crate::fork::{join, map_parallel};
+
+/// Sequential-work threshold below which parallel merge recursion stops.
+const MERGE_GRAIN: usize = 4096;
+
+/// Merge sorted `a` and `b` into `out` (exactly `a.len() + b.len()`
+/// long) using up to `threads` threads. The classic scheme: split the
+/// larger input at its midpoint, binary-search the partner, and merge
+/// the two halves into disjoint output windows in parallel.
+pub fn parallel_merge_into<T: Ord + Copy + Send + Sync>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+    threads: usize,
+) {
+    assert_eq!(out.len(), a.len() + b.len(), "output window must fit both inputs exactly");
+    if threads <= 1 || a.len() + b.len() <= MERGE_GRAIN {
+        let mut tmp = Vec::new();
+        merge_two_into(a, b, &mut tmp);
+        out.copy_from_slice(&tmp);
+        return;
+    }
+    // Ensure `a` is the larger side.
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    if a.is_empty() {
+        return;
+    }
+    let mid = a.len() / 2;
+    let pivot = &a[mid];
+    let cut = lower_bound(b, pivot);
+    let (out_lo, out_hi) = out.split_at_mut(mid + cut);
+    join(
+        threads,
+        |t| parallel_merge_into(&a[..mid], &b[..cut], out_lo, t),
+        |t| parallel_merge_into(&a[mid..], &b[cut..], out_hi, t),
+    );
+}
+
+/// Parallel binary merge tree over `k` runs: every level merges all
+/// pairs concurrently ("all pairwise merges can be performed in
+/// parallel", §V-C). Intra-pair merging is sequential, mirroring the
+/// paper's OpenMP-task implementation.
+pub fn parallel_binary_tree_merge<T: Ord + Copy + Send + Sync>(
+    runs: &[Vec<T>],
+    threads: usize,
+) -> Vec<T> {
+    let mut level: Vec<Vec<T>> = runs.iter().filter(|r| !r.is_empty()).cloned().collect();
+    if level.is_empty() {
+        return Vec::new();
+    }
+    while level.len() > 1 {
+        let mut pairs: Vec<(Vec<T>, Vec<T>)> = Vec::with_capacity(level.len() / 2);
+        let mut odd: Option<Vec<T>> = None;
+        let mut it = level.drain(..);
+        loop {
+            match (it.next(), it.next()) {
+                (Some(a), Some(b)) => pairs.push((a, b)),
+                (Some(a), None) => {
+                    odd = Some(a);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        drop(it);
+        let mut next = map_parallel(threads, pairs, |(a, b)| {
+            let mut out = Vec::new();
+            merge_two_into(&a, &b, &mut out);
+            out
+        });
+        if let Some(a) = odd {
+            next.push(a);
+        }
+        level = next;
+    }
+    level.pop().expect("one run remains")
+}
+
+/// Parallel k-way merge by *input chunking*: the runs are divided among
+/// threads, each thread k/t-way-merges its share with `leaf_algo`, and
+/// the per-thread results are combined with a parallel binary tree.
+pub fn parallel_kway_chunked<T: Ord + Copy + Send + Sync>(
+    runs: &[Vec<T>],
+    threads: usize,
+    leaf_algo: MergeAlgo,
+) -> Vec<T> {
+    let t = threads.max(1).min(runs.len().max(1));
+    if t <= 1 {
+        return kway_merge(leaf_algo, runs);
+    }
+    let per = runs.len().div_ceil(t);
+    let shares: Vec<Vec<Vec<T>>> = runs.chunks(per).map(|c| c.to_vec()).collect();
+    let partials = map_parallel(t, shares, |share| kway_merge(leaf_algo, &share));
+    parallel_binary_tree_merge(&partials, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs_fixture(k: usize, n: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut x = seed | 1;
+        (0..k)
+            .map(|_| {
+                let mut v: Vec<u64> = (0..n)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x % 100_000
+                    })
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    fn reference(runs: &[Vec<u64>]) -> Vec<u64> {
+        let mut all: Vec<u64> = runs.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn parallel_merge_matches_sequential() {
+        let runs = runs_fixture(2, 20_000, 5);
+        let expect = reference(&runs);
+        let mut out = vec![0u64; expect.len()];
+        parallel_merge_into(&runs[0], &runs[1], &mut out, 4);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_merge_uneven_sides() {
+        let a: Vec<u64> = (0..10_000).map(|x| x * 3).collect();
+        let b: Vec<u64> = (0..100).map(|x| x * 7 + 1).collect();
+        let mut out = vec![0u64; a.len() + b.len()];
+        parallel_merge_into(&a, &b, &mut out, 8);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out.len(), 10_100);
+    }
+
+    #[test]
+    fn parallel_merge_empty_side() {
+        let a: Vec<u64> = (0..5000).collect();
+        let mut out = vec![0u64; 5000];
+        parallel_merge_into(&a, &[], &mut out, 4);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn tree_merge_matches_reference() {
+        for k in [1usize, 2, 7, 16] {
+            let runs = runs_fixture(k, 2000, k as u64);
+            assert_eq!(parallel_binary_tree_merge(&runs, 4), reference(&runs), "k={k}");
+        }
+    }
+
+    #[test]
+    fn chunked_kway_matches_reference() {
+        let runs = runs_fixture(12, 1500, 3);
+        let expect = reference(&runs);
+        for algo in MergeAlgo::ALL {
+            assert_eq!(parallel_kway_chunked(&runs, 4, algo), expect, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let runs = runs_fixture(5, 100, 9);
+        assert_eq!(
+            parallel_kway_chunked(&runs, 1, MergeAlgo::TournamentTree),
+            reference(&runs)
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Shared-memory parallel sorts: the Fig. 4 comparators.
+//!
+//! * [`parallel_merge_sort`] — fork–join merge sort with a *parallel*
+//!   merge step, the algorithm class of Intel Parallel STL / TBB
+//!   `std::sort(par_unseq, ...)` that the paper benchmarks against.
+//! * [`task_merge_sort`] — fork–join merge sort whose merge step is
+//!   sequential at every join, mirroring the simpler OpenMP-task merge
+//!   sort the paper includes "for reference".
+//! * [`parallel_quicksort`] — partition-based alternative; moves data
+//!   in place, useful as the local sort inside ranks.
+
+use crate::fork::join;
+use crate::pmerge::parallel_merge_into;
+use dhs_merge::merge_two_into;
+
+/// Below this size leaves fall back to `sort_unstable`.
+const SORT_GRAIN: usize = 8192;
+
+/// Parallel merge sort with parallel merging (TBB-like). Uses up to
+/// `threads` threads and `O(n)` scratch.
+pub fn parallel_merge_sort<T: Ord + Copy + Send + Sync>(data: &mut [T], threads: usize) {
+    if data.len() <= SORT_GRAIN || threads <= 1 {
+        data.sort_unstable();
+        return;
+    }
+    let mut scratch = data.to_vec();
+    msort(data, &mut scratch, threads, true);
+}
+
+/// Fork–join merge sort with sequential merges (OpenMP-task-like).
+pub fn task_merge_sort<T: Ord + Copy + Send + Sync>(data: &mut [T], threads: usize) {
+    if data.len() <= SORT_GRAIN || threads <= 1 {
+        data.sort_unstable();
+        return;
+    }
+    let mut scratch = data.to_vec();
+    msort(data, &mut scratch, threads, false);
+}
+
+/// Recursive step: sort `data`, using `scratch` of equal length.
+fn msort<T: Ord + Copy + Send + Sync>(
+    data: &mut [T],
+    scratch: &mut [T],
+    threads: usize,
+    parallel_merge: bool,
+) {
+    debug_assert_eq!(data.len(), scratch.len());
+    if data.len() <= SORT_GRAIN || threads <= 1 {
+        data.sort_unstable();
+        return;
+    }
+    let mid = data.len() / 2;
+    let (d_lo, d_hi) = data.split_at_mut(mid);
+    let (s_lo, s_hi) = scratch.split_at_mut(mid);
+    join(
+        threads,
+        |t| msort(d_lo, s_lo, t, parallel_merge),
+        |t| msort(d_hi, s_hi, t, parallel_merge),
+    );
+    if parallel_merge {
+        parallel_merge_into(&data[..mid], &data[mid..], scratch, threads);
+    } else {
+        let mut tmp = Vec::new();
+        merge_two_into(&data[..mid], &data[mid..], &mut tmp);
+        scratch.copy_from_slice(&tmp);
+    }
+    data.copy_from_slice(scratch);
+}
+
+/// Parallel three-way quicksort.
+pub fn parallel_quicksort<T: Ord + Copy + Send + Sync>(data: &mut [T], threads: usize) {
+    if data.len() <= SORT_GRAIN || threads <= 1 {
+        data.sort_unstable();
+        return;
+    }
+    // Median-of-three pivot.
+    let n = data.len();
+    let pivot = {
+        let (a, b, c) = (data[0], data[n / 2], data[n - 1]);
+        if (a <= b) ^ (a <= c) {
+            a
+        } else if (b <= a) ^ (b <= c) {
+            b
+        } else {
+            c
+        }
+    };
+    let (l, u) = partition3(data, pivot);
+    let (lo, rest) = data.split_at_mut(l);
+    let (_, hi) = rest.split_at_mut(u - l);
+    join(threads, |t| parallel_quicksort(lo, t), |t| parallel_quicksort(hi, t));
+}
+
+fn partition3<T: Ord + Copy>(data: &mut [T], pivot: T) -> (usize, usize) {
+    let mut lo = 0;
+    let mut mid = 0;
+    let mut hi = data.len();
+    while mid < hi {
+        match data[mid].cmp(&pivot) {
+            std::cmp::Ordering::Less => {
+                data.swap(lo, mid);
+                lo += 1;
+                mid += 1;
+            }
+            std::cmp::Ordering::Equal => mid += 1,
+            std::cmp::Ordering::Greater => {
+                hi -= 1;
+                data.swap(mid, hi);
+            }
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect()
+    }
+
+    fn check_sorter(f: impl Fn(&mut [u64], usize)) {
+        for (n, t) in [(0usize, 4), (1, 4), (100, 4), (50_000, 1), (50_000, 4), (50_000, 7)] {
+            let mut v = noise(n, (n + t) as u64);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            f(&mut v, t);
+            assert_eq!(v, expect, "n={n} t={t}");
+        }
+        // Adversarial patterns.
+        for pattern in [
+            (0..40_000u64).collect::<Vec<_>>(),
+            (0..40_000u64).rev().collect::<Vec<_>>(),
+            vec![5u64; 40_000],
+        ] {
+            let mut v = pattern.clone();
+            let mut expect = pattern;
+            expect.sort_unstable();
+            f(&mut v, 4);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn parallel_merge_sort_correct() {
+        check_sorter(parallel_merge_sort);
+    }
+
+    #[test]
+    fn task_merge_sort_correct() {
+        check_sorter(task_merge_sort);
+    }
+
+    #[test]
+    fn parallel_quicksort_correct() {
+        check_sorter(parallel_quicksort);
+    }
+}

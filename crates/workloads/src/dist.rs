@@ -1,0 +1,258 @@
+//! Key distributions used across the paper's experiments.
+//!
+//! The evaluation draws 64-bit unsigned integers uniformly from
+//! `[0, 10^9]` (strong/weak scaling), normally distributed doubles
+//! (shared-memory study), and stresses the splitter search with skewed,
+//! nearly-sorted and duplicate-heavy inputs (the cases where the
+//! Charm++ comparator failed to converge).
+
+use crate::mt::Mt19937_64;
+
+/// The input distributions exercised by the benchmarks and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform integers in `[lo, hi]` — the paper's scaling workload is
+    /// `Uniform { lo: 0, hi: 1_000_000_000 }`.
+    Uniform { lo: u64, hi: u64 },
+    /// Normally distributed values with the given mean and standard
+    /// deviation, mapped to order-preserving integers.
+    Normal { mean: f64, std_dev: f64 },
+    /// Exponentially distributed (heavy head) values with rate `lambda`.
+    Exponential { lambda: f64 },
+    /// Zipf-like rank-frequency skew over `items` distinct values with
+    /// exponent `s` (many duplicates of the most popular keys).
+    Zipf { items: u64, s: f64 },
+    /// Already sorted ascending, then `perturb_permille`/1000 of all
+    /// positions swapped with a random partner (nearly sorted input).
+    NearlySorted { perturb_permille: u32 },
+    /// Only `k` distinct values (duplicate-heavy).
+    FewDistinct { k: u64 },
+    /// Every key identical: the adversarial case for bisection, which
+    /// the uniqueness transform must rescue.
+    AllEqual { value: u64 },
+}
+
+impl Distribution {
+    /// The paper's scaling workload: uniform u64 in `[0, 1e9]`.
+    pub fn paper_uniform() -> Self {
+        Distribution::Uniform { lo: 0, hi: 1_000_000_000 }
+    }
+
+    /// The paper's shared-memory workload: standard normal.
+    pub fn paper_normal() -> Self {
+        Distribution::Normal { mean: 0.0, std_dev: 1.0 }
+    }
+
+    /// Generate `n` keys as `u64`. Floating distributions are mapped
+    /// through the order-preserving `f64 -> u64` transform so that all
+    /// sorting paths can operate on one key type where convenient.
+    pub fn generate_u64(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut g = Mt19937_64::new(seed);
+        match *self {
+            Distribution::Uniform { lo, hi } => {
+                (0..n).map(|_| g.range_inclusive(lo, hi)).collect()
+            }
+            Distribution::Normal { mean, std_dev } => {
+                normal_f64(&mut g, n, mean, std_dev).into_iter().map(f64_to_ordered_u64).collect()
+            }
+            Distribution::Exponential { lambda } => (0..n)
+                .map(|_| {
+                    let u = 1.0 - g.next_f64();
+                    f64_to_ordered_u64(-u.ln() / lambda)
+                })
+                .collect(),
+            Distribution::Zipf { items, s } => {
+                (0..n).map(|_| zipf_draw(&mut g, items, s)).collect()
+            }
+            Distribution::NearlySorted { perturb_permille } => {
+                let mut v: Vec<u64> = (0..n as u64).map(|i| i * 16).collect();
+                let swaps = (n as u64 * perturb_permille as u64 / 1000) as usize;
+                for _ in 0..swaps {
+                    if n < 2 {
+                        break;
+                    }
+                    let i = g.below(n as u64) as usize;
+                    let j = g.below(n as u64) as usize;
+                    v.swap(i, j);
+                }
+                v
+            }
+            Distribution::FewDistinct { k } => {
+                let k = k.max(1);
+                (0..n).map(|_| g.below(k) * 7919).collect()
+            }
+            Distribution::AllEqual { value } => vec![value; n],
+        }
+    }
+
+    /// Generate `n` keys as `f64` (floating workloads; integer
+    /// distributions are converted losslessly where possible).
+    pub fn generate_f64(&self, n: usize, seed: u64) -> Vec<f64> {
+        let mut g = Mt19937_64::new(seed);
+        match *self {
+            Distribution::Normal { mean, std_dev } => normal_f64(&mut g, n, mean, std_dev),
+            Distribution::Exponential { lambda } => (0..n)
+                .map(|_| {
+                    let u = 1.0 - g.next_f64();
+                    -u.ln() / lambda
+                })
+                .collect(),
+            _ => self.generate_u64(n, seed).into_iter().map(|x| x as f64).collect(),
+        }
+    }
+
+    /// A short machine-readable name for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Distribution::Uniform { .. } => "uniform",
+            Distribution::Normal { .. } => "normal",
+            Distribution::Exponential { .. } => "exponential",
+            Distribution::Zipf { .. } => "zipf",
+            Distribution::NearlySorted { .. } => "nearly-sorted",
+            Distribution::FewDistinct { .. } => "few-distinct",
+            Distribution::AllEqual { .. } => "all-equal",
+        }
+    }
+}
+
+/// Box–Muller normal variates.
+fn normal_f64(g: &mut Mt19937_64, n: usize, mean: f64, std_dev: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let u1 = loop {
+            let u = g.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = g.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        out.push(mean + std_dev * r * theta.cos());
+        if out.len() < n {
+            out.push(mean + std_dev * r * theta.sin());
+        }
+    }
+    out
+}
+
+/// Approximate Zipf sampling by inverse transform over the harmonic
+/// weights; exact enough for workload shaping (not for statistics).
+fn zipf_draw(g: &mut Mt19937_64, items: u64, s: f64) -> u64 {
+    let items = items.max(1);
+    // Inverse CDF of the continuous analogue p(x) ~ x^-s on [1, items].
+    let u = g.next_f64().max(f64::MIN_POSITIVE);
+    let x = if (s - 1.0).abs() < 1e-9 {
+        (items as f64).powf(u)
+    } else {
+        let a = 1.0 - s;
+        ((u * ((items as f64).powf(a) - 1.0)) + 1.0).powf(1.0 / a)
+    };
+    (x as u64).clamp(1, items)
+}
+
+/// Map an `f64` to a `u64` preserving total order (for all non-NaN
+/// values, including -0.0 < +0.0 being collapsed order-compatibly).
+pub fn f64_to_ordered_u64(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`f64_to_ordered_u64`].
+pub fn ordered_u64_to_f64(bits: u64) -> f64 {
+    if bits & (1 << 63) != 0 {
+        f64::from_bits(bits & !(1 << 63))
+    } else {
+        f64::from_bits(!bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = Distribution::paper_uniform();
+        let v = d.generate_u64(10_000, 1);
+        assert!(v.iter().all(|&x| x <= 1_000_000_000));
+        // Mean of U[0, 1e9] is 5e8; loose sanity window.
+        let mean = v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!((4.7e8..5.3e8).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = Distribution::paper_uniform();
+        assert_eq!(d.generate_u64(100, 9), d.generate_u64(100, 9));
+        assert_ne!(d.generate_u64(100, 9), d.generate_u64(100, 10));
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let d = Distribution::Normal { mean: 10.0, std_dev: 2.0 };
+        let v = d.generate_f64(20_000, 3);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn ordered_transform_preserves_order_and_roundtrips() {
+        let xs = [-1e18, -3.5, -0.0, 0.0, 1e-300, 2.25, 7.0, 1e18];
+        for w in xs.windows(2) {
+            assert!(f64_to_ordered_u64(w[0]) <= f64_to_ordered_u64(w[1]));
+        }
+        for &x in &xs {
+            let rt = ordered_u64_to_f64(f64_to_ordered_u64(x));
+            assert_eq!(rt.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn nearly_sorted_is_mostly_sorted() {
+        let d = Distribution::NearlySorted { perturb_permille: 10 };
+        let v = d.generate_u64(10_000, 5);
+        let inversions = v.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 0, "some perturbation expected");
+        assert!(inversions < 500, "should stay nearly sorted, got {inversions} inversions");
+    }
+
+    #[test]
+    fn few_distinct_has_few_distinct() {
+        let d = Distribution::FewDistinct { k: 4 };
+        let mut v = d.generate_u64(1000, 2);
+        v.sort_unstable();
+        v.dedup();
+        assert!(v.len() <= 4);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let d = Distribution::Zipf { items: 1000, s: 1.2 };
+        let v = d.generate_u64(10_000, 8);
+        let head = v.iter().filter(|&&x| x <= 10).count();
+        let tail = v.iter().filter(|&&x| x > 900).count();
+        assert!(head > tail, "zipf head {head} should outweigh tail {tail}");
+    }
+
+    #[test]
+    fn all_equal_is_constant() {
+        let d = Distribution::AllEqual { value: 42 };
+        assert!(d.generate_u64(100, 0).iter().all(|&x| x == 42));
+    }
+
+    #[test]
+    fn exponential_is_positive_and_skewed() {
+        let d = Distribution::Exponential { lambda: 1.0 };
+        let v = d.generate_f64(10_000, 4);
+        assert!(v.iter().all(|&x| x >= 0.0));
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Partition layouts: how many keys each rank contributes.
+//!
+//! The paper stresses that its algorithm handles *any* partitioning of
+//! input keys, "for example sparse vectors (matrices)" where a fraction
+//! of ranks contribute no elements at all.
+
+/// How the global input is spread over ranks before sorting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Layout {
+    /// Everyone holds `~N/P` keys (the paper's general case: all
+    /// partitions equal except possibly the last).
+    Balanced,
+    /// The first `empty_permille`/1000 of ranks hold nothing; the rest
+    /// share the keys evenly (sparse-matrix load-balancing case).
+    SparseFront { empty_permille: u32 },
+    /// Linearly ramped sizes: rank `P-1` holds about `ratio` times as
+    /// many keys as rank 0.
+    Ramp { ratio: u32 },
+    /// All keys on one rank (worst-case imbalance).
+    SingleRank { holder: usize },
+}
+
+impl Layout {
+    /// Per-rank input sizes summing exactly to `n_total`.
+    pub fn sizes(&self, n_total: usize, p: usize) -> Vec<usize> {
+        assert!(p > 0);
+        let mut sizes = match *self {
+            Layout::Balanced => even_split(n_total, p),
+            Layout::SparseFront { empty_permille } => {
+                let empty = (p * empty_permille as usize / 1000).min(p.saturating_sub(1));
+                let mut v = vec![0usize; empty];
+                v.extend(even_split(n_total, p - empty));
+                v
+            }
+            Layout::Ramp { ratio } => {
+                let ratio = ratio.max(1) as f64;
+                let weights: Vec<f64> = (0..p)
+                    .map(|i| 1.0 + (ratio - 1.0) * i as f64 / (p.max(2) - 1) as f64)
+                    .collect();
+                proportional_split(n_total, &weights)
+            }
+            Layout::SingleRank { holder } => {
+                assert!(holder < p, "holder rank out of range");
+                let mut v = vec![0usize; p];
+                v[holder] = n_total;
+                v
+            }
+        };
+        debug_assert_eq!(sizes.iter().sum::<usize>(), n_total);
+        debug_assert_eq!(sizes.len(), p);
+        // Avoid negative-size artifacts.
+        for s in &mut sizes {
+            debug_assert!(*s <= n_total);
+        }
+        sizes
+    }
+
+    /// A short machine-readable name for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Layout::Balanced => "balanced",
+            Layout::SparseFront { .. } => "sparse-front",
+            Layout::Ramp { .. } => "ramp",
+            Layout::SingleRank { .. } => "single-rank",
+        }
+    }
+}
+
+/// Split `n` into `p` parts differing by at most one, exactly summing
+/// to `n` (the first `n % p` parts get the extra element).
+pub fn even_split(n: usize, p: usize) -> Vec<usize> {
+    assert!(p > 0);
+    let base = n / p;
+    let extra = n % p;
+    (0..p).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Split `n` proportionally to `weights`, exactly summing to `n`.
+pub fn proportional_split(n: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0);
+    let mut out: Vec<usize> =
+        weights.iter().map(|w| (n as f64 * w / total).floor() as usize).collect();
+    let mut assigned: usize = out.iter().sum();
+    // Distribute the rounding remainder deterministically.
+    let len = out.len();
+    let mut i = 0;
+    while assigned < n {
+        out[i % len] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    out
+}
+
+/// Offsets (exclusive prefix sum) for a size vector.
+pub fn offsets(sizes: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(sizes.len() + 1);
+    let mut acc = 0;
+    for &s in sizes {
+        out.push(acc);
+        acc += s;
+    }
+    out.push(acc);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_sums_and_balances() {
+        let v = even_split(10, 3);
+        assert_eq!(v, vec![4, 3, 3]);
+        assert_eq!(even_split(9, 3), vec![3, 3, 3]);
+        assert_eq!(even_split(0, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn balanced_layout() {
+        let v = Layout::Balanced.sizes(101, 4);
+        assert_eq!(v.iter().sum::<usize>(), 101);
+        assert!(v.iter().all(|&s| s == 25 || s == 26));
+    }
+
+    #[test]
+    fn sparse_front_has_empty_ranks() {
+        let v = Layout::SparseFront { empty_permille: 500 }.sizes(100, 8);
+        assert_eq!(v.iter().sum::<usize>(), 100);
+        assert_eq!(&v[..4], &[0, 0, 0, 0]);
+        assert!(v[4..].iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn ramp_is_monotone() {
+        let v = Layout::Ramp { ratio: 8 }.sizes(10_000, 10);
+        assert_eq!(v.iter().sum::<usize>(), 10_000);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert!(v[9] >= 5 * v[0], "ratio should be visible: {v:?}");
+    }
+
+    #[test]
+    fn single_rank_holds_everything() {
+        let v = Layout::SingleRank { holder: 2 }.sizes(50, 4);
+        assert_eq!(v, vec![0, 0, 50, 0]);
+    }
+
+    #[test]
+    fn proportional_split_exact_sum() {
+        let v = proportional_split(100, &[1.0, 2.0, 3.0]);
+        assert_eq!(v.iter().sum::<usize>(), 100);
+        assert!(v[2] > v[0]);
+    }
+
+    #[test]
+    fn offsets_prefix() {
+        assert_eq!(offsets(&[3, 0, 2]), vec![0, 3, 3, 5]);
+        assert_eq!(offsets(&[]), vec![0]);
+    }
+}

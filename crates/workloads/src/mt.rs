@@ -1,0 +1,236 @@
+//! MT19937-64: the Mersenne Twister the paper's benchmarks draw keys
+//! from (C++ `std::mt19937_64`), reimplemented bit-exactly and verified
+//! against the Nishimura–Matsumoto reference output.
+
+const NN: usize = 312;
+const MM: usize = 156;
+const MATRIX_A: u64 = 0xB502_6F5A_A966_19E9;
+const UM: u64 = 0xFFFF_FFFF_8000_0000;
+const LM: u64 = 0x0000_0000_7FFF_FFFF;
+
+/// 64-bit Mersenne Twister (MT19937-64).
+#[derive(Clone)]
+pub struct Mt19937_64 {
+    mt: [u64; NN],
+    mti: usize,
+}
+
+impl std::fmt::Debug for Mt19937_64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mt19937_64").field("mti", &self.mti).finish_non_exhaustive()
+    }
+}
+
+impl Mt19937_64 {
+    /// Seed with a single 64-bit value (`init_genrand64`).
+    pub fn new(seed: u64) -> Self {
+        let mut mt = [0u64; NN];
+        mt[0] = seed;
+        for i in 1..NN {
+            mt[i] = 6364136223846793005u64
+                .wrapping_mul(mt[i - 1] ^ (mt[i - 1] >> 62))
+                .wrapping_add(i as u64);
+        }
+        Self { mt, mti: NN }
+    }
+
+    /// Seed with an array (`init_by_array64`), as in the reference
+    /// driver that produces the published test vector.
+    pub fn from_key(key: &[u64]) -> Self {
+        let mut s = Self::new(19650218);
+        let mut i = 1usize;
+        let mut j = 0usize;
+        let mut k = NN.max(key.len());
+        while k > 0 {
+            s.mt[i] = (s.mt[i]
+                ^ (s.mt[i - 1] ^ (s.mt[i - 1] >> 62)).wrapping_mul(3935559000370003845))
+            .wrapping_add(key[j])
+            .wrapping_add(j as u64);
+            i += 1;
+            j += 1;
+            if i >= NN {
+                s.mt[0] = s.mt[NN - 1];
+                i = 1;
+            }
+            if j >= key.len() {
+                j = 0;
+            }
+            k -= 1;
+        }
+        k = NN - 1;
+        while k > 0 {
+            s.mt[i] = (s.mt[i]
+                ^ (s.mt[i - 1] ^ (s.mt[i - 1] >> 62)).wrapping_mul(2862933555777941757))
+            .wrapping_sub(i as u64);
+            i += 1;
+            if i >= NN {
+                s.mt[0] = s.mt[NN - 1];
+                i = 1;
+            }
+            k -= 1;
+        }
+        s.mt[0] = 1u64 << 63;
+        s
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        if self.mti >= NN {
+            self.twist();
+        }
+        let mut x = self.mt[self.mti];
+        self.mti += 1;
+        x ^= (x >> 29) & 0x5555_5555_5555_5555;
+        x ^= (x << 17) & 0x71D6_7FFF_EDA6_0000;
+        x ^= (x << 37) & 0xFFF7_EEE0_0000_0000;
+        x ^= x >> 43;
+        x
+    }
+
+    fn twist(&mut self) {
+        for i in 0..NN {
+            let x = (self.mt[i] & UM) | (self.mt[(i + 1) % NN] & LM);
+            let mut next = x >> 1;
+            if x & 1 != 0 {
+                next ^= MATRIX_A;
+            }
+            self.mt[i] = self.mt[(i + MM) % NN] ^ next;
+        }
+        self.mti = 0;
+    }
+
+    /// Uniform `u64` in `[0, bound)` by rejection (unbiased).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        // Reject the final partial block of the 2^64 range.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % bound;
+            }
+        }
+    }
+
+    /// Uniform `u64` in `[lo, hi]` inclusive.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53-bit resolution
+    /// (`genrand64_real2`).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9007199254740992.0)
+    }
+}
+
+/// SplitMix64: tiny generator used for per-rank seed derivation.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Derive a statistically independent seed for `rank` from a base seed.
+pub fn rank_seed(base: u64, rank: usize) -> u64 {
+    let mut sm = SplitMix64(base ^ (rank as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    sm.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First outputs of the reference `mt19937-64.out` produced with
+    /// `init_by_array64({0x12345, 0x23456, 0x34567, 0x45678})`.
+    #[test]
+    fn matches_reference_vector() {
+        let mut g = Mt19937_64::from_key(&[0x12345, 0x23456, 0x34567, 0x45678]);
+        let expect: [u64; 5] = [
+            7266447313870364031,
+            4946485549665804864,
+            16945909448695747420,
+            16394063075524226720,
+            4873882236456199058,
+        ];
+        for e in expect {
+            assert_eq!(g.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn single_seed_is_deterministic() {
+        let mut a = Mt19937_64::new(5489);
+        let mut b = Mt19937_64::new(5489);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Mt19937_64::new(5490);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound_and_covers_range() {
+        let mut g = Mt19937_64::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            let x = g.below(8);
+            assert!(x < 8);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut g = Mt19937_64::new(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            let x = g.range_inclusive(10, 13);
+            assert!((10..=13).contains(&x));
+            lo_seen |= x == 10;
+            hi_seen |= x == 13;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut g = Mt19937_64::new(3);
+        for _ in 0..1000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_allowed() {
+        let mut g = Mt19937_64::new(1);
+        // Must not overflow internally.
+        let _ = g.range_inclusive(0, u64::MAX);
+    }
+
+    #[test]
+    fn rank_seeds_differ() {
+        let a = rank_seed(42, 0);
+        let b = rank_seed(42, 1);
+        let c = rank_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,83 @@
+//! Distributed percentile queries without sorting — the selection
+//! building block the paper positions as reusable beyond the sort
+//! ("we can reuse our distributed selection implementation ... e.g.
+//! dash::nth_element").
+//!
+//! A latency-monitoring scenario: every rank holds a shard of raw
+//! response-time samples; we extract p50/p90/p99/p99.9 with Algorithm 1
+//! (distributed selection) — no data movement at all — and cross-check
+//! against a full histogram sort.
+//!
+//! ```sh
+//! cargo run --release --example percentiles
+//! ```
+
+use dhs::core::{histogram_sort, SortConfig};
+use dhs::runtime::{run, ClusterConfig};
+use dhs::select::{dselect, dselect_with_stats};
+use dhs::workloads::{rank_seed, Distribution, Mt19937_64};
+
+fn main() {
+    let ranks = 32;
+    let samples_per_rank = 200_000;
+    let n_total = (ranks * samples_per_rank) as u64;
+    let cluster = ClusterConfig::supermuc_phase2(ranks);
+
+    println!("# percentile extraction over {n_total} latency samples on {ranks} ranks");
+
+    let results = run(&cluster, |comm| {
+        // Log-normal-ish latencies in microseconds: a heavy tail, the
+        // realistic hard case for percentile estimation.
+        let mut g = Mt19937_64::new(rank_seed(77, comm.rank()));
+        let base = Distribution::Exponential { lambda: 1.0 }
+            .generate_f64(samples_per_rank, rank_seed(78, comm.rank()));
+        let local: Vec<u64> = base
+            .into_iter()
+            .map(|x| (200.0 + 800.0 * x * x + g.next_f64()) as u64)
+            .collect();
+
+        // Percentiles by pure selection: zero keys leave their rank.
+        let t0 = comm.now_ns();
+        let quantile = |q: f64| -> u64 {
+            let k = ((n_total - 1) as f64 * q) as u64;
+            dselect(comm, &local, k)
+        };
+        let p50 = quantile(0.50);
+        let p90 = quantile(0.90);
+        let p99 = quantile(0.99);
+        let (p999, sel_stats) = {
+            let k = ((n_total - 1) as f64 * 0.999) as u64;
+            dselect_with_stats(comm, &local, k)
+        };
+        let select_ns = comm.now_ns() - t0;
+
+        // Cross-check: full distributed sort, then read the same ranks.
+        let t1 = comm.now_ns();
+        let mut sorted = local.clone();
+        histogram_sort(comm, &mut sorted, &SortConfig::default());
+        let sort_ns = comm.now_ns() - t1;
+
+        (p50, p90, p99, p999, sel_stats.rounds, select_ns, sort_ns, sorted)
+    });
+
+    let (p50, p90, p99, p999, rounds, select_ns, sort_ns, _) = results[0].0.clone();
+    println!("p50  = {p50:>6} us");
+    println!("p90  = {p90:>6} us");
+    println!("p99  = {p99:>6} us");
+    println!("p99.9= {p999:>6} us   ({rounds} weighted-median rounds)");
+    println!(
+        "simulated cost: 4 selections {:.3} ms vs full sort {:.3} ms ({:.1}x cheaper)",
+        select_ns as f64 / 1e6,
+        sort_ns as f64 / 1e6,
+        sort_ns as f64 / select_ns as f64
+    );
+
+    // Verify against the globally sorted data.
+    let all: Vec<u64> = results.iter().flat_map(|(r, _)| r.7.clone()).collect();
+    assert!(all.windows(2).all(|w| w[0] <= w[1]));
+    for (q, got) in [(0.50, p50), (0.90, p90), (0.99, p99), (0.999, p999)] {
+        let k = ((n_total - 1) as f64 * q) as usize;
+        assert_eq!(all[k], got, "selection must agree with sorted rank {k}");
+    }
+    println!("selection agrees with the sorted oracle at every percentile ✓");
+}

@@ -1,0 +1,64 @@
+//! The PGAS front door on one shared-memory node: a `GlobalArray`
+//! sorted with the `std::sort`-like interface (paper §VI-D / §VII:
+//! "The algorithm's interface is in accordance with C++ std::sort"),
+//! plus `nth_element`/`median` reusing the distributed selection — and
+//! a wall-clock comparison against this crate's actual multi-threaded
+//! merge sort.
+//!
+//! ```sh
+//! cargo run --release --example shm_sort
+//! ```
+
+use dhs::core::{median, nth_element, sort, OrderedF64};
+use dhs::pgas::GlobalArray;
+use dhs::runtime::{run, ClusterConfig};
+use dhs::shm::parallel_merge_sort;
+use dhs::workloads::{rank_seed, Distribution};
+
+fn main() {
+    let cores = 28; // one Table I node: 4 NUMA domains x 7 cores
+    let n_per_rank = 50_000;
+    let cluster = ClusterConfig::single_node(cores);
+
+    println!("# dash-style sort of a GlobalArray on one simulated {cores}-core node");
+    let results = run(&cluster, |comm| {
+        // Normally distributed doubles, the paper's Fig. 4 workload.
+        let local: Vec<OrderedF64> = Distribution::paper_normal()
+            .generate_f64(n_per_rank, rank_seed(64, comm.rank()))
+            .into_iter()
+            .map(|x| OrderedF64(x * 1e6))
+            .collect();
+        let arr = GlobalArray::from_local(comm, local);
+        arr.fence(comm);
+
+        // nth_element / median work without sorting...
+        let med_before = median(comm, &arr);
+        let p10 = nth_element(comm, &arr, (arr.global_len() as u64) / 10);
+
+        // ...and the array can be sorted in place, std::sort-style.
+        let stats = sort(comm, &arr);
+
+        // After sorting, the median is simply the middle element.
+        let mid = arr.get(comm, (arr.global_len() - 1) / 2);
+        assert_eq!(mid, med_before, "selection must agree with sorted order");
+
+        (med_before.0, p10.0, stats.total_ns())
+    });
+
+    let (med, p10, ns) = results[0].0;
+    println!("median = {med:.1}, 10th percentile = {p10:.1}");
+    println!("simulated sort time on {cores} cores: {:.2} ms", ns as f64 / 1e6);
+
+    // Host-side comparison: the real multi-threaded merge sort from
+    // dhs-shm (wall clock; meaningful only with real cores).
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut data = Distribution::paper_uniform().generate_u64(cores * n_per_rank, 1);
+    let t0 = std::time::Instant::now();
+    parallel_merge_sort(&mut data, host);
+    println!(
+        "host wall clock: parallel_merge_sort of {} keys on {host} core(s): {:.2} ms",
+        data.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    assert!(data.windows(2).all(|w| w[0] <= w[1]));
+}

@@ -1,0 +1,231 @@
+//! `dhs` — command-line driver for the distributed histogram sort and
+//! its baselines on the simulated cluster.
+//!
+//! ```sh
+//! dhs sort --algo histogram --ranks 64 --nper 65536 --dist zipf
+//! dhs sort --algo two-level --ranks 256 --groups 16 --verify
+//! dhs select --ranks 32 --nper 10000 --k 160000
+//! dhs topology --ranks 64
+//! ```
+
+use dhs::baselines::{
+    ams_sort, bitonic_sort, hss_sort, hyksort, psrs, sample_sort, AmsConfig, HssConfig,
+    HyksortConfig, PsrsConfig, SampleSortConfig,
+};
+use dhs::core::{
+    global_fingerprint, histogram_sort, histogram_sort_two_level, verify_sorted,
+    ExchangeStrategy, LocalSort, MergeAlgo, Partitioning, SortConfig, SortStats,
+};
+use dhs::runtime::{run, ClusterConfig, RankReport, RunSummary};
+use dhs::select::dselect;
+use dhs::workloads::{rank_local_keys, Distribution, Layout};
+use dhs_bench::Args;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = if argv.first().map_or(true, |a| a.starts_with("--")) {
+        "help".to_string()
+    } else {
+        argv.remove(0)
+    };
+    let args = Args::from_iter(argv);
+
+    match command.as_str() {
+        "sort" => cmd_sort(&args),
+        "select" => cmd_select(&args),
+        "topology" => cmd_topology(&args),
+        _ => {
+            eprintln!(
+                "usage: dhs <sort|select|topology> [--flags]\n\
+                 \n\
+                 sort     --algo histogram|two-level|hss|sample|psrs|hyksort|ams|bitonic\n\
+                 \x20        --ranks N --nper N --dist uniform|normal|zipf|nearly-sorted|\n\
+                 \x20        few-distinct|all-equal --layout balanced|sparse|ramp\n\
+                 \x20        --eps F --merge resort|tournament|binary|heap|funnel\n\
+                 \x20        --local-sort comparison|radix --groups N --seed N --verify\n\
+                 select   --ranks N --nper N --k N --dist ... --seed N\n\
+                 topology --ranks N"
+            );
+        }
+    }
+}
+
+fn dist_of(args: &Args) -> Distribution {
+    match args.raw("dist").unwrap_or("uniform") {
+        "uniform" => Distribution::paper_uniform(),
+        "uniform-full" => Distribution::Uniform { lo: 0, hi: u64::MAX },
+        "normal" => Distribution::paper_normal(),
+        "zipf" => Distribution::Zipf { items: 1 << 16, s: 1.2 },
+        "nearly-sorted" => Distribution::NearlySorted { perturb_permille: 10 },
+        "few-distinct" => Distribution::FewDistinct { k: 16 },
+        "all-equal" => Distribution::AllEqual { value: 7 },
+        other => panic!("unknown distribution {other}"),
+    }
+}
+
+fn layout_of(args: &Args) -> Layout {
+    match args.raw("layout").unwrap_or("balanced") {
+        "balanced" => Layout::Balanced,
+        "sparse" => Layout::SparseFront { empty_permille: 500 },
+        "ramp" => Layout::Ramp { ratio: 8 },
+        other => panic!("unknown layout {other}"),
+    }
+}
+
+fn sort_config(args: &Args) -> SortConfig {
+    SortConfig {
+        epsilon: args.get("eps", 0.0),
+        partitioning: match args.raw("partitioning").unwrap_or("perfect") {
+            "perfect" => Partitioning::Perfect,
+            "balanced" => Partitioning::Balanced,
+            other => panic!("unknown partitioning {other}"),
+        },
+        merge: match args.raw("merge").unwrap_or("resort") {
+            "resort" => MergeAlgo::Resort,
+            "tournament" => MergeAlgo::TournamentTree,
+            "binary" => MergeAlgo::BinaryTree,
+            "heap" => MergeAlgo::Heap,
+            "funnel" => MergeAlgo::Funnel,
+            other => panic!("unknown merge engine {other}"),
+        },
+        exchange: if args.has("pairwise") {
+            ExchangeStrategy::PairwiseMerge { overlap: args.has("overlap") }
+        } else {
+            ExchangeStrategy::AllToAllv
+        },
+        local_sort: match args.raw("local-sort").unwrap_or("comparison") {
+            "comparison" => LocalSort::Comparison,
+            "radix" => LocalSort::Radix,
+            other => panic!("unknown local sort {other}"),
+        },
+        unique_transform: args.has("unique"),
+    }
+}
+
+fn cmd_sort(args: &Args) {
+    let ranks: usize = args.get("ranks", 16);
+    let nper: usize = args.get("nper", 1 << 14);
+    let seed: u64 = args.get("seed", 1);
+    let algo = args.raw("algo").unwrap_or("histogram").to_string();
+    let groups: usize = args.get("groups", 0);
+    let verify = args.has("verify");
+    let dist = dist_of(args);
+    let layout = layout_of(args);
+    let cfg = sort_config(args);
+    let cluster = ClusterConfig::supermuc_phase2(ranks);
+    let n_total = ranks * nper;
+
+    println!(
+        "# dhs sort: algo={algo} ranks={ranks} keys/rank={nper} dist={} layout={}",
+        dist.label(),
+        layout.label()
+    );
+
+    let algo2 = algo.clone();
+    let out: Vec<((Option<SortStats>, usize, bool), RankReport)> = run(&cluster, move |comm| {
+        let mut local = rank_local_keys(dist, layout, n_total, ranks, comm.rank(), seed);
+        let fp = verify.then(|| global_fingerprint(comm, &local));
+        let stats = match algo2.as_str() {
+            "histogram" => Some(histogram_sort(comm, &mut local, &cfg)),
+            "two-level" => Some(histogram_sort_two_level(comm, &mut local, &cfg, groups)),
+            "hss" => {
+                hss_sort(comm, &mut local, &HssConfig::default());
+                None
+            }
+            "sample" => {
+                sample_sort(comm, &mut local, &SampleSortConfig::default());
+                None
+            }
+            "psrs" => {
+                psrs(comm, &mut local, &PsrsConfig::default());
+                None
+            }
+            "hyksort" => {
+                hyksort(comm, &mut local, &HyksortConfig::default());
+                None
+            }
+            "ams" => {
+                ams_sort(comm, &mut local, &AmsConfig::default());
+                None
+            }
+            "bitonic" => {
+                bitonic_sort(comm, &mut local);
+                None
+            }
+            other => panic!("unknown algorithm {other}"),
+        };
+        let ok = match fp {
+            Some((fp, n)) => verify_sorted(comm, &local, fp, n).is_none(),
+            None => true,
+        };
+        (stats, local.len(), ok)
+    });
+
+    let reports: Vec<RankReport> = out.iter().map(|(_, r)| *r).collect();
+    let summary = RunSummary::from_reports(&reports);
+    let max_keys = out.iter().map(|((_, n, _), _)| *n).max().unwrap_or(0);
+    let min_keys = out.iter().map(|((_, n, _), _)| *n).min().unwrap_or(0);
+    println!("simulated makespan : {:.3} ms", summary.makespan_secs() * 1e3);
+    println!("inter-node traffic : {} bytes", summary.inter_node_bytes);
+    println!("intra-node traffic : {} bytes", summary.intra_node_bytes);
+    println!("output keys/rank   : {min_keys}..{max_keys}");
+    if let Some(stats) = &out[0].0 .0 {
+        println!(
+            "phases (rank 0)    : sort {:.3} ms | histogram {:.3} ms ({} iters) | \
+             exchange {:.3} ms | merge {:.3} ms | other {:.3} ms",
+            stats.local_sort_ns as f64 / 1e6,
+            stats.histogram_ns as f64 / 1e6,
+            stats.iterations,
+            stats.exchange_ns as f64 / 1e6,
+            stats.merge_ns as f64 / 1e6,
+            stats.prepare_ns as f64 / 1e6,
+        );
+    }
+    if verify {
+        let ok = out.iter().all(|((_, _, ok), _)| *ok);
+        println!("verification       : {}", if ok { "PASS" } else { "FAIL" });
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_select(args: &Args) {
+    let ranks: usize = args.get("ranks", 16);
+    let nper: usize = args.get("nper", 1 << 14);
+    let seed: u64 = args.get("seed", 1);
+    let n_total = ranks * nper;
+    let k: u64 = args.get("k", (n_total / 2) as u64);
+    let dist = dist_of(args);
+    let cluster = ClusterConfig::supermuc_phase2(ranks);
+
+    let out = run(&cluster, move |comm| {
+        let local = rank_local_keys(dist, Layout::Balanced, n_total, ranks, comm.rank(), seed);
+        dselect(comm, &local, k)
+    });
+    println!(
+        "# dhs select: order statistic k={k} of {n_total} keys over {ranks} ranks = {}",
+        out[0].0
+    );
+}
+
+fn cmd_topology(args: &Args) {
+    let ranks: usize = args.get("ranks", 32);
+    let cluster = ClusterConfig::supermuc_phase2(ranks);
+    let t = &cluster.topology;
+    println!(
+        "# {} ranks on {} nodes ({} ranks/node, {} NUMA domains x {} cores)",
+        t.ranks(),
+        t.nodes(),
+        t.ranks_per_node(),
+        t.numa_per_node(),
+        t.cores_per_numa()
+    );
+    for r in 0..ranks.min(64) {
+        let p = t.placement(r);
+        println!("rank {r:>4}: node {:>3} numa {} core {}", p.node, p.numa, p.core);
+    }
+    if ranks > 64 {
+        println!("... ({} more ranks)", ranks - 64);
+    }
+}

@@ -1,0 +1,15 @@
+//! # dhs — Distributed Histogram Sort
+//!
+//! Umbrella crate re-exporting the full reproduction of *"Engineering a
+//! Distributed Histogram Sort"* (Kowalewski, Jungblut, Fürlinger — IEEE
+//! CLUSTER 2019). See `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use dhs_baselines as baselines;
+pub use dhs_core as core;
+pub use dhs_merge as merge;
+pub use dhs_pgas as pgas;
+pub use dhs_runtime as runtime;
+pub use dhs_select as select;
+pub use dhs_shm as shm;
+pub use dhs_workloads as workloads;

@@ -1,0 +1,88 @@
+//! Property tests of the [`dhs::core::Key`] laws: the order embedding
+//! that the splitter bisection depends on, for every key type the
+//! library ships.
+
+use dhs::core::{Key, OrderedF32, OrderedF64, UniqueKey};
+use proptest::prelude::*;
+
+fn check_pair<K: Key + std::fmt::Debug>(a: K, b: K) {
+    // Order embedding.
+    assert_eq!(a <= b, a.to_bits() <= b.to_bits(), "{a:?} vs {b:?}");
+    // Round trip.
+    assert_eq!(K::from_bits(a.to_bits()), a);
+    assert_eq!(K::from_bits(b.to_bits()), b);
+    // Image fits in BITS.
+    if K::BITS < 128 {
+        assert_eq!(a.to_bits() >> K::BITS, 0);
+    }
+    // Midpoint stays inside the interval.
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let m = K::mid_key(lo, hi);
+    assert!(lo <= m && m <= hi, "midpoint {m:?} outside [{lo:?}, {hi:?}]");
+}
+
+proptest! {
+    #[test]
+    fn u64_laws(a: u64, b: u64) {
+        check_pair(a, b);
+    }
+
+    #[test]
+    fn i64_laws(a: i64, b: i64) {
+        check_pair(a, b);
+    }
+
+    #[test]
+    fn u32_laws(a: u32, b: u32) {
+        check_pair(a, b);
+    }
+
+    #[test]
+    fn i32_laws(a: i32, b: i32) {
+        check_pair(a, b);
+    }
+
+    #[test]
+    fn f64_laws(a in proptest::num::f64::NORMAL | proptest::num::f64::ZERO
+                   | proptest::num::f64::SUBNORMAL | proptest::num::f64::INFINITE,
+                b in proptest::num::f64::NORMAL | proptest::num::f64::ZERO) {
+        check_pair(OrderedF64(a), OrderedF64(b));
+    }
+
+    #[test]
+    fn f32_laws(a in proptest::num::f32::NORMAL | proptest::num::f32::ZERO,
+                b in proptest::num::f32::NORMAL | proptest::num::f32::ZERO) {
+        check_pair(OrderedF32(a), OrderedF32(b));
+    }
+
+    #[test]
+    fn unique_key_laws(
+        ka: u64, kb: u64,
+        ra in 0u32..1 << 20, rb in 0u32..1 << 20,
+        ia: u32, ib: u32,
+    ) {
+        let a = UniqueKey { key: ka, rank: ra, index: ia };
+        let b = UniqueKey { key: kb, rank: rb, index: ib };
+        check_pair(a, b);
+        // Ties on the key are broken by origin, so distinct origins
+        // are never equal.
+        if ka == kb && (ra, ia) != (rb, ib) {
+            prop_assert_ne!(a, b);
+            prop_assert_ne!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn float_total_order_matches_ieee_on_comparables(a: f64, b: f64) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let (oa, ob) = (OrderedF64(a), OrderedF64(b));
+        if a < b {
+            prop_assert!(oa < ob);
+        }
+        if a == b {
+            // -0.0 and +0.0 compare equal in IEEE but have distinct
+            // bit images; the embedding must still order consistently.
+            prop_assert_eq!(oa <= ob, oa.to_bits() <= ob.to_bits());
+        }
+    }
+}

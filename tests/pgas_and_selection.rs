@@ -1,0 +1,81 @@
+//! Integration of the PGAS layer with the sort and selection stack:
+//! `dash::sort`-style array sorting, `nth_element` consistency, and
+//! the one-sided view of sorted data.
+
+use dhs::core::{median, nth_element, sort, OrderedF64};
+use dhs::pgas::GlobalArray;
+use dhs::runtime::{run, ClusterConfig};
+use dhs::select::dselect;
+use dhs::workloads::{rank_local_keys, rank_seed, Distribution, Layout};
+use proptest::prelude::*;
+
+#[test]
+fn sorted_array_readable_one_sided() {
+    let p = 8;
+    let n = 8 * 250;
+    let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+        let local =
+            rank_local_keys(Distribution::paper_uniform(), Layout::Balanced, n, p, comm.rank(), 3);
+        let arr = GlobalArray::from_local(comm, local);
+        sort(comm, &arr);
+        // Every rank independently verifies the global order through
+        // one-sided reads.
+        let all = arr.get_range(comm, 0, arr.global_len());
+        assert!(all.windows(2).all(|w| w[0] <= w[1]));
+        all[0]
+    });
+    let first = out[0].0;
+    assert!(out.iter().all(|(v, _)| *v == first));
+}
+
+#[test]
+fn nth_element_equals_sorted_index_for_floats() {
+    let p = 4;
+    let n_per = 300;
+    let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+        let local: Vec<OrderedF64> = Distribution::paper_normal()
+            .generate_f64(n_per, rank_seed(5, comm.rank()))
+            .into_iter()
+            .map(OrderedF64)
+            .collect();
+        let arr = GlobalArray::from_local(comm, local);
+        arr.fence(comm);
+        let q1 = nth_element(comm, &arr, (arr.global_len() as u64) / 4);
+        let med = median(comm, &arr);
+        sort(comm, &arr);
+        let q1_sorted = arr.get(comm, arr.global_len() / 4);
+        let med_sorted = arr.get(comm, (arr.global_len() - 1) / 2);
+        assert_eq!(q1, q1_sorted);
+        assert_eq!(med, med_sorted);
+        med.0
+    });
+    // Median of N(0,1) should be near zero.
+    assert!(out[0].0.abs() < 0.2, "median {} too far from 0", out[0].0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dselect_matches_sorted_reference(
+        p in 2usize..7,
+        n_per in 0usize..400,
+        k_frac in 0.0f64..1.0,
+        seed in 0u64..100_000,
+    ) {
+        let n_total = p * n_per;
+        prop_assume!(n_total > 0);
+        let k = ((n_total - 1) as f64 * k_frac) as u64;
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            let local = rank_local_keys(
+                Distribution::Zipf { items: 100, s: 1.1 },
+                Layout::Balanced, n_total, p, comm.rank(), seed);
+            (dselect(comm, &local, k), local)
+        });
+        let mut all: Vec<u64> = out.iter().flat_map(|((_, l), _)| l.clone()).collect();
+        all.sort_unstable();
+        for ((got, _), _) in out {
+            prop_assert_eq!(got, all[k as usize]);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Cross-crate integration: the paper's output invariants, checked on
+//! randomized shapes with property-based testing.
+//!
+//! For every configuration the sorted output must be (a) a permutation
+//! of the input multiset, (b) locally sorted, (c) globally ordered by
+//! rank, and (d) sized according to the partitioning policy.
+
+use std::collections::HashMap;
+
+use dhs::core::{histogram_sort, MergeAlgo, Partitioning, SortConfig};
+use dhs::runtime::{run, ClusterConfig};
+use dhs::workloads::{rank_local_keys, Distribution, Layout};
+use proptest::prelude::*;
+
+/// Run the sort and verify all four invariants. Returns per-rank sizes.
+fn sort_and_verify(
+    p: usize,
+    n_total: usize,
+    dist: Distribution,
+    layout: Layout,
+    cfg: &SortConfig,
+    seed: u64,
+) -> Vec<usize> {
+    let cfg2 = cfg.clone();
+    let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+        let mut local = rank_local_keys(dist, layout, n_total, p, comm.rank(), seed);
+        let before = local.clone();
+        histogram_sort(comm, &mut local, &cfg2);
+        (before, local)
+    });
+
+    // (a) permutation of the input multiset.
+    let mut in_counts: HashMap<u64, i64> = HashMap::new();
+    let mut out_counts: HashMap<u64, i64> = HashMap::new();
+    for ((before, after), _) in &out {
+        for &k in before {
+            *in_counts.entry(k).or_default() += 1;
+        }
+        for &k in after {
+            *out_counts.entry(k).or_default() += 1;
+        }
+    }
+    assert_eq!(in_counts, out_counts, "output must be a permutation of the input");
+
+    // (b) + (c) local sortedness and global rank ordering.
+    let mut prev: Option<u64> = None;
+    for ((_, after), _) in &out {
+        for &k in after {
+            if let Some(p) = prev {
+                assert!(p <= k, "global order violated: {p} > {k}");
+            }
+            prev = Some(k);
+        }
+    }
+
+    // (d) partition sizes.
+    let sizes: Vec<usize> = out.iter().map(|((_, a), _)| a.len()).collect();
+    match cfg.partitioning {
+        Partitioning::Perfect if cfg.epsilon == 0.0 => {
+            let expect = layout.sizes(n_total, p);
+            assert_eq!(sizes, expect, "perfect partitioning must restore capacities");
+        }
+        Partitioning::Balanced if cfg.epsilon == 0.0 => {
+            let max = sizes.iter().max().copied().unwrap_or(0);
+            let min = sizes.iter().min().copied().unwrap_or(0);
+            assert!(max - min <= 1, "balanced partitioning: {sizes:?}");
+        }
+        Partitioning::Perfect => {
+            // Each boundary may drift by at most the Definition 1 slack
+            // from the capacity prefix, so each rank's size stays
+            // within its own capacity ± 2·slack.
+            let slack =
+                ((n_total as f64) * cfg.epsilon / (2.0 * p as f64)).floor() as usize;
+            let caps = layout.sizes(n_total, p);
+            for (rank, (&got, &cap)) in sizes.iter().zip(&caps).enumerate() {
+                assert!(
+                    got.abs_diff(cap) <= 2 * slack,
+                    "rank {rank}: size {got} vs capacity {cap} exceeds 2*slack {slack}"
+                );
+            }
+        }
+        Partitioning::Balanced => {
+            let cap = ((n_total as f64) * (1.0 + cfg.epsilon) / p as f64).ceil() as usize + 1;
+            assert!(sizes.iter().all(|&s| s <= cap), "epsilon bound violated: {sizes:?}");
+        }
+    }
+    sizes
+}
+
+fn arb_distribution() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::paper_uniform()),
+        Just(Distribution::Uniform { lo: 0, hi: u64::MAX }),
+        Just(Distribution::Normal { mean: 0.0, std_dev: 1.0 }),
+        Just(Distribution::Zipf { items: 64, s: 1.2 }),
+        Just(Distribution::NearlySorted { perturb_permille: 20 }),
+        Just(Distribution::FewDistinct { k: 3 }),
+        Just(Distribution::AllEqual { value: 42 }),
+    ]
+}
+
+fn arb_layout() -> impl Strategy<Value = Layout> {
+    prop_oneof![
+        Just(Layout::Balanced),
+        Just(Layout::SparseFront { empty_permille: 400 }),
+        Just(Layout::Ramp { ratio: 6 }),
+        (0usize..4).prop_map(|h| Layout::SingleRank { holder: h }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn histogram_sort_invariants_hold(
+        p in 2usize..9,
+        n_total in 0usize..4000,
+        dist in arb_distribution(),
+        layout in arb_layout(),
+        seed in 0u64..1_000_000,
+        eps_pm in 0u32..3,
+    ) {
+        // SingleRank holder index must be valid for this p.
+        let layout = match layout {
+            Layout::SingleRank { holder } => Layout::SingleRank { holder: holder % p },
+            other => other,
+        };
+        let cfg = SortConfig {
+            epsilon: [0.0, 0.01, 0.1][eps_pm as usize],
+            ..SortConfig::default()
+        };
+        sort_and_verify(p, n_total, dist, layout, &cfg, seed);
+    }
+
+    #[test]
+    fn balanced_partitioning_invariants_hold(
+        p in 2usize..9,
+        n_total in 0usize..3000,
+        dist in arb_distribution(),
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = SortConfig { partitioning: Partitioning::Balanced, ..SortConfig::default() };
+        let sizes = sort_and_verify(p, n_total, dist, Layout::Balanced, &cfg, seed);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n_total);
+    }
+
+    #[test]
+    fn unique_transform_changes_nothing_observable(
+        p in 2usize..7,
+        n_total in 1usize..2000,
+        seed in 0u64..1_000_000,
+    ) {
+        // Heavy duplicates: the transform's motivating case.
+        let dist = Distribution::FewDistinct { k: 4 };
+        let plain = SortConfig::default();
+        let unique = SortConfig { unique_transform: true, ..SortConfig::default() };
+        let a = sort_and_verify(p, n_total, dist, Layout::Balanced, &plain, seed);
+        let b = sort_and_verify(p, n_total, dist, Layout::Balanced, &unique, seed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn two_level_sort_invariants_hold(
+        p in 4usize..17,
+        n_total in 0usize..3000,
+        groups in 0usize..5,
+        dist in arb_distribution(),
+        seed in 0u64..1_000_000,
+    ) {
+        let out = dhs::runtime::run(
+            &dhs::runtime::ClusterConfig::small_cluster(p),
+            move |comm| {
+                let mut local = rank_local_keys(dist, Layout::Balanced, n_total, p, comm.rank(), seed);
+                let before = local.clone();
+                dhs::core::histogram_sort_two_level(
+                    comm, &mut local, &SortConfig::default(), groups);
+                (before, local)
+            },
+        );
+        let mut input: Vec<u64> = out.iter().flat_map(|((b, _), _)| b.clone()).collect();
+        let output: Vec<u64> = out.iter().flat_map(|((_, a), _)| a.clone()).collect();
+        input.sort_unstable();
+        prop_assert!(output.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(&input, &{ let mut o = output.clone(); o.sort_unstable(); o });
+        for ((before, after), _) in &out {
+            prop_assert_eq!(before.len(), after.len(), "perfect partitioning");
+        }
+    }
+
+    #[test]
+    fn exchange_strategies_agree(
+        p in 2usize..8,
+        n_total in 0usize..2000,
+        dist in arb_distribution(),
+        seed in 0u64..1_000_000,
+        overlap: bool,
+    ) {
+        let flat = SortConfig::default();
+        let pairwise = SortConfig {
+            exchange: dhs::core::ExchangeStrategy::PairwiseMerge { overlap },
+            ..SortConfig::default()
+        };
+        let a = sort_and_verify(p, n_total, dist, Layout::Balanced, &flat, seed);
+        let b = sort_and_verify(p, n_total, dist, Layout::Balanced, &pairwise, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radix_local_sort_agrees(
+        p in 2usize..8,
+        n_total in 0usize..2000,
+        dist in arb_distribution(),
+        seed in 0u64..1_000_000,
+    ) {
+        let radix = SortConfig {
+            local_sort: dhs::core::LocalSort::Radix,
+            ..SortConfig::default()
+        };
+        let a = sort_and_verify(p, n_total, dist, Layout::Balanced, &SortConfig::default(), seed);
+        let b = sort_and_verify(p, n_total, dist, Layout::Balanced, &radix, seed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn all_merge_engines_integrate() {
+    for merge in MergeAlgo::ALL {
+        let cfg = SortConfig { merge, ..SortConfig::default() };
+        sort_and_verify(6, 3000, Distribution::paper_uniform(), Layout::Balanced, &cfg, 5);
+    }
+}
+
+#[test]
+fn large_rank_count_smoke() {
+    // 64 ranks on the Table I topology, duplicates and sparseness.
+    let cfg = SortConfig::default();
+    sort_and_verify(
+        64,
+        64 * 500,
+        Distribution::Zipf { items: 1000, s: 1.1 },
+        Layout::SparseFront { empty_permille: 250 },
+        &cfg,
+        11,
+    );
+}
