@@ -44,12 +44,18 @@ impl Default for AmsConfig {
 /// sort.
 pub fn ams_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &AmsConfig) -> AlgoStats {
     assert!(cfg.k >= 2 && cfg.overpartition >= 1);
-    let mut stats = AlgoStats { converged: true, ..AlgoStats::default() };
+    let mut stats = AlgoStats {
+        converged: true,
+        ..AlgoStats::default()
+    };
     let elem = std::mem::size_of::<K>() as u64;
 
     let t0 = comm.now_ns();
     local.sort_unstable();
-    comm.charge(Work::SortElems { n: local.len() as u64, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: local.len() as u64,
+        elem_bytes: elem,
+    });
     stats.sort_merge_ns += comm.now_ns() - t0;
 
     let mut owned: Option<Comm> = None;
@@ -122,15 +128,17 @@ fn ams_level<K: Key>(
     );
 
     // 2. Measure the buckets: local counts, one reduction.
-    cur.charge(Work::BinarySearches { searches: splitters.len() as u64, n: local.len() as u64 });
+    cur.charge(Work::BinarySearches {
+        searches: splitters.len() as u64,
+        n: local.len() as u64,
+    });
     let mut cuts: Vec<usize> = Vec::with_capacity(buckets_n + 1);
     cuts.push(0);
     for s in &splitters {
         cuts.push(local.partition_point(|x| *x <= *s));
     }
     cuts.push(local.len());
-    let local_sizes: Vec<u64> =
-        cuts.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+    let local_sizes: Vec<u64> = cuts.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
     let global_sizes = cur.allreduce_sum(local_sizes);
 
     // 3. Overpartitioning: assign contiguous buckets to groups by
@@ -169,7 +177,10 @@ fn ams_level<K: Key>(
     //    re-sort is the safe merge here.
     let t2 = cur.now_ns();
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
-    cur.charge(Work::SortElems { n: n_recv, elem_bytes: elem });
+    cur.charge(Work::SortElems {
+        n: n_recv,
+        elem_bytes: elem,
+    });
     let mut merged: Vec<K> = received.into_iter().flatten().collect();
     merged.sort_unstable();
     *local = merged;
@@ -211,7 +222,15 @@ mod tests {
     #[test]
     fn sorts_various_shapes() {
         check(8, 400, u64::MAX, AmsConfig::default());
-        check(9, 333, u64::MAX, AmsConfig { k: 3, ..Default::default() });
+        check(
+            9,
+            333,
+            u64::MAX,
+            AmsConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         check(5, 200, 11, AmsConfig::default());
         check(4, 100, 1, AmsConfig::default());
     }
@@ -221,7 +240,11 @@ mod tests {
         // Zipf-like skew with a weak sample: more buckets per group
         // should cut the imbalance versus no overpartitioning.
         let imbalance = |a: usize| {
-            let cfg = AmsConfig { overpartition: a, oversampling: 4, ..Default::default() };
+            let cfg = AmsConfig {
+                overpartition: a,
+                oversampling: 4,
+                ..Default::default()
+            };
             let sizes = check_skewed(16, 2000, cfg);
             *sizes.iter().max().expect("non-empty") as f64 / 2000.0
         };
@@ -238,14 +261,20 @@ mod tests {
         }
         let heavy = imbalance(1);
         let light = imbalance(8);
-        assert!(light <= heavy + 0.25, "overpartitioned {light} vs plain {heavy}");
+        assert!(
+            light <= heavy + 0.25,
+            "overpartitioned {light} vs plain {heavy}"
+        );
     }
 
     #[test]
     fn empty_ranks_supported() {
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
-            let mut local =
-                if comm.rank() == 2 { keys_for(2, 500, 1 << 20) } else { Vec::new() };
+            let mut local = if comm.rank() == 2 {
+                keys_for(2, 500, 1 << 20)
+            } else {
+                Vec::new()
+            };
             ams_sort(comm, &mut local, &AmsConfig::default());
             local
         });
@@ -258,7 +287,14 @@ mod tests {
     fn level_count_matches_group_fanout() {
         let out = run(&ClusterConfig::small_cluster(16), |comm| {
             let mut local = keys_for(comm.rank(), 100, u64::MAX);
-            ams_sort(comm, &mut local, &AmsConfig { k: 4, ..Default::default() })
+            ams_sort(
+                comm,
+                &mut local,
+                &AmsConfig {
+                    k: 4,
+                    ..Default::default()
+                },
+            )
         });
         for (stats, _) in out {
             assert_eq!(stats.rounds, 2);

@@ -20,20 +20,29 @@ use crate::stats::AlgoStats;
 /// (the constraints the paper calls out for such implementations).
 pub fn bitonic_sort<K: Key>(comm: &Comm, local: &mut Vec<K>) -> AlgoStats {
     let p = comm.size();
-    assert!(p.is_power_of_two(), "bitonic sort requires a power-of-two rank count, got {p}");
+    assert!(
+        p.is_power_of_two(),
+        "bitonic sort requires a power-of-two rank count, got {p}"
+    );
     let sizes: Vec<usize> = comm.allgather(local.len());
     assert!(
         sizes.windows(2).all(|w| w[0] == w[1]),
         "bitonic sort requires equal local sizes, got {sizes:?}"
     );
 
-    let mut stats = AlgoStats { converged: true, ..AlgoStats::default() };
+    let mut stats = AlgoStats {
+        converged: true,
+        ..AlgoStats::default()
+    };
     let elem = std::mem::size_of::<K>() as u64;
     let n = local.len();
 
     let t0 = comm.now_ns();
     local.sort_unstable();
-    comm.charge(Work::SortElems { n: n as u64, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: n as u64,
+        elem_bytes: elem,
+    });
     stats.sort_merge_ns += comm.now_ns() - t0;
 
     if p == 1 {
@@ -57,7 +66,11 @@ pub fn bitonic_sort<K: Key>(comm: &Comm, local: &mut Vec<K>) -> AlgoStats {
             stats.exchange_ns += comm.now_ns() - t1;
 
             let t2 = comm.now_ns();
-            comm.charge(Work::MergeElems { n: 2 * n as u64, ways: 2, elem_bytes: elem });
+            comm.charge(Work::MergeElems {
+                n: 2 * n as u64,
+                ways: 2,
+                elem_bytes: elem,
+            });
             let merged = merge_two(local, &theirs);
             let keep_min = (rank < partner) == ascending;
             *local = if keep_min {

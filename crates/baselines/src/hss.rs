@@ -64,14 +64,20 @@ struct Bracket<K> {
 
 /// Sort the distributed vector by histogram sort with sampling.
 pub fn hss_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &HssConfig) -> AlgoStats {
-    let mut stats = AlgoStats { converged: true, ..AlgoStats::default() };
+    let mut stats = AlgoStats {
+        converged: true,
+        ..AlgoStats::default()
+    };
     let p = comm.size();
     let elem = std::mem::size_of::<K>() as u64;
 
     // Local sort.
     let t0 = comm.now_ns();
     local.sort_unstable();
-    comm.charge(Work::SortElems { n: local.len() as u64, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: local.len() as u64,
+        elem_bytes: elem,
+    });
     let sort_in_ns = comm.now_ns() - t0;
 
     let caps: Vec<usize> = comm.allgather(local.len());
@@ -100,8 +106,15 @@ pub fn hss_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &HssConfig) -> Alg
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
-        MergeAlgo::Resort => comm.charge(Work::SortElems { n: n_recv, elem_bytes: elem }),
-        _ => comm.charge(Work::MergeElems { n: n_recv, ways: ways.max(2), elem_bytes: elem }),
+        MergeAlgo::Resort => comm.charge(Work::SortElems {
+            n: n_recv,
+            elem_bytes: elem,
+        }),
+        _ => comm.charge(Work::MergeElems {
+            n: n_recv,
+            ways: ways.max(2),
+            elem_bytes: elem,
+        }),
     }
     *local = kway_merge(cfg.merge, &received);
     stats.sort_merge_ns = sort_in_ns + (comm.now_ns() - t3);
@@ -120,7 +133,11 @@ fn hss_find_splitters<K: Key>(
 ) -> SplitterResult<K> {
     let n_local = sorted_local.len() as u64;
     if targets.is_empty() {
-        return SplitterResult { splitters: Vec::new(), iterations: 0 };
+        return SplitterResult {
+            splitters: Vec::new(),
+            iterations: 0,
+            degraded: false,
+        };
     }
 
     // Global extremes plus their histograms (one reduction each way).
@@ -166,8 +183,9 @@ fn hss_find_splitters<K: Key>(
     let mut rounds = 0u32;
 
     loop {
-        let active: Vec<usize> =
-            (0..brackets.len()).filter(|&i| brackets[i].done.is_none()).collect();
+        let active: Vec<usize> = (0..brackets.len())
+            .filter(|&i| brackets[i].done.is_none())
+            .collect();
         if active.is_empty() {
             break;
         }
@@ -203,7 +221,10 @@ fn hss_find_splitters<K: Key>(
                 }
             }
         }
-        comm.charge(Work::BinarySearches { searches: 2 * active.len() as u64, n: n_local });
+        comm.charge(Work::BinarySearches {
+            searches: 2 * active.len() as u64,
+            n: n_local,
+        });
         // Samples flow to a central processor which picks one probe per
         // bracket and broadcasts the probes — O(active) result bytes
         // instead of replicating every sample. The probe is the
@@ -279,7 +300,10 @@ fn hss_find_splitters<K: Key>(
         }
 
         // One global histogram reduction for all probes of this round.
-        comm.charge(Work::BinarySearches { searches: 2 * probes.len() as u64, n: n_local });
+        comm.charge(Work::BinarySearches {
+            searches: 2 * probes.len() as u64,
+            n: n_local,
+        });
         let mut hist: Vec<u64> = Vec::with_capacity(2 * probes.len());
         for &(_, probe) in &probes {
             hist.push(sorted_local.partition_point(|x| *x < probe) as u64);
@@ -311,10 +335,20 @@ fn hss_find_splitters<K: Key>(
         .zip(targets)
         .map(|(b, &target)| {
             let (key, realized, lower, upper) = b.done.expect("all settled");
-            SplitterInfo { key, target, realized, global_lower: lower, global_upper: upper }
+            SplitterInfo {
+                key,
+                target,
+                realized,
+                global_lower: lower,
+                global_upper: upper,
+            }
         })
         .collect();
-    SplitterResult { splitters, iterations: rounds }
+    SplitterResult {
+        splitters,
+        iterations: rounds,
+        degraded: !stats.converged,
+    }
 }
 
 /// Accept on an endpoint if the target already falls into one of the
@@ -336,10 +370,8 @@ fn force_accept_endpoint<K: Key>(b: &mut Bracket<K>, t: u64) {
     let dist = |(l, u): (u64, u64)| -> u64 {
         if t < l {
             l - t
-        } else if t > u {
-            t - u
         } else {
-            0
+            t.saturating_sub(u)
         }
     };
     let (key, (l, u)) = if dist(b.lo_hist) <= dist(b.hi_hist) {
@@ -398,8 +430,15 @@ mod tests {
     #[test]
     fn epsilon_converges_in_fewer_rounds() {
         let exact = check(8, 2000, u64::MAX, HssConfig::default());
-        let relaxed =
-            check(8, 2000, u64::MAX, HssConfig { epsilon: 0.05, ..HssConfig::default() });
+        let relaxed = check(
+            8,
+            2000,
+            u64::MAX,
+            HssConfig {
+                epsilon: 0.05,
+                ..HssConfig::default()
+            },
+        );
         let exact_rounds: u32 = exact.iter().map(|s| s.rounds).max().unwrap_or(0);
         let relaxed_rounds: u32 = relaxed.iter().map(|s| s.rounds).max().unwrap_or(0);
         assert!(
@@ -412,7 +451,11 @@ mod tests {
     fn round_cap_still_sorts() {
         // Starve the search: 1 sample per round, 2 rounds max. Output
         // must still be globally sorted, only balance degrades.
-        let cfg = HssConfig { samples_per_round: 1, max_rounds: 2, ..HssConfig::default() };
+        let cfg = HssConfig {
+            samples_per_round: 1,
+            max_rounds: 2,
+            ..HssConfig::default()
+        };
         let out = run(&ClusterConfig::small_cluster(4), move |comm| {
             let mut local = keys_for(comm.rank(), 500, u64::MAX);
             let stats = hss_sort(comm, &mut local, &cfg);
@@ -426,8 +469,11 @@ mod tests {
     #[test]
     fn empty_ranks_ok() {
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
-            let mut local =
-                if comm.rank() == 0 { keys_for(0, 700, 1 << 20) } else { Vec::new() };
+            let mut local = if comm.rank() == 0 {
+                keys_for(0, 700, 1 << 20)
+            } else {
+                Vec::new()
+            };
             hss_sort(comm, &mut local, &HssConfig::default());
             local.len()
         });

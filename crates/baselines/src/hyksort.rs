@@ -26,20 +26,29 @@ pub struct HyksortConfig {
 
 impl Default for HyksortConfig {
     fn default() -> Self {
-        Self { k: 4, merge: MergeAlgo::TournamentTree }
+        Self {
+            k: 4,
+            merge: MergeAlgo::TournamentTree,
+        }
     }
 }
 
 /// Sort the distributed vector with hypercube k-way quicksort.
 pub fn hyksort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &HyksortConfig) -> AlgoStats {
     assert!(cfg.k >= 2, "fan-out must be at least 2");
-    let mut stats = AlgoStats { converged: true, ..AlgoStats::default() };
+    let mut stats = AlgoStats {
+        converged: true,
+        ..AlgoStats::default()
+    };
     let elem = std::mem::size_of::<K>() as u64;
 
     // Initial local sort.
     let t0 = comm.now_ns();
     local.sort_unstable();
-    comm.charge(Work::SortElems { n: local.len() as u64, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: local.len() as u64,
+        elem_bytes: elem,
+    });
     stats.sort_merge_ns += comm.now_ns() - t0;
 
     // Recursion: `level` borrows either the root comm or an owned
@@ -97,7 +106,10 @@ fn hyksort_level<K: Key>(
     let mut acc = 0u64;
     for g in 0..k - 1 {
         let end = group_start(g + 1);
-        acc += caps[group_start(g)..end].iter().map(|&c| c as u64).sum::<u64>();
+        acc += caps[group_start(g)..end]
+            .iter()
+            .map(|&c| c as u64)
+            .sum::<u64>();
         targets.push(acc);
     }
     let found = find_splitters(cur, local, &targets, 0);
@@ -107,7 +119,10 @@ fn hyksort_level<K: Key>(
     // contingents, as in Algorithm 4).
     let t1 = cur.now_ns();
     let mut bounds: Vec<u64> = Vec::with_capacity(2 * (k - 1));
-    cur.charge(Work::BinarySearches { searches: 2 * (k as u64 - 1), n: local.len() as u64 });
+    cur.charge(Work::BinarySearches {
+        searches: 2 * (k as u64 - 1),
+        n: local.len() as u64,
+    });
     for info in &found.splitters {
         bounds.push(local.partition_point(|x| *x < info.key) as u64);
         bounds.push(local.partition_point(|x| *x <= info.key) as u64);
@@ -116,8 +131,8 @@ fn hyksort_level<K: Key>(
     let mut cuts = vec![0usize];
     for (i, info) in found.splitters.iter().enumerate() {
         let mut excess = info.realized - info.global_lower;
-        for r in 0..rank {
-            excess = excess.saturating_sub(all_bounds[r][2 * i + 1] - all_bounds[r][2 * i]);
+        for peer in all_bounds.iter().take(rank) {
+            excess = excess.saturating_sub(peer[2 * i + 1] - peer[2 * i]);
         }
         let l = all_bounds[rank][2 * i];
         let u = all_bounds[rank][2 * i + 1];
@@ -147,7 +162,11 @@ fn hyksort_level<K: Key>(
     let t2 = cur.now_ns();
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
-    cur.charge(Work::MergeElems { n: n_recv, ways: ways.max(2), elem_bytes: elem });
+    cur.charge(Work::MergeElems {
+        n: n_recv,
+        ways: ways.max(2),
+        elem_bytes: elem,
+    });
     *local = kway_merge(cfg.merge, &received);
     stats.sort_merge_ns += cur.now_ns() - t2;
 
@@ -175,7 +194,10 @@ mod tests {
     }
 
     fn check(p: usize, n: usize, modulus: u64, k: usize) {
-        let cfg = HyksortConfig { k, ..Default::default() };
+        let cfg = HyksortConfig {
+            k,
+            ..Default::default()
+        };
         let out = run(&ClusterConfig::small_cluster(p), move |comm| {
             let mut local = keys_for(comm.rank(), n, modulus);
             let stats = hyksort(comm, &mut local, &cfg);
@@ -205,7 +227,14 @@ mod tests {
     fn level_count_is_log_k_p() {
         let out = run(&ClusterConfig::small_cluster(16), |comm| {
             let mut local = keys_for(comm.rank(), 200, u64::MAX);
-            hyksort(comm, &mut local, &HyksortConfig { k: 4, ..Default::default() })
+            hyksort(
+                comm,
+                &mut local,
+                &HyksortConfig {
+                    k: 4,
+                    ..Default::default()
+                },
+            )
         });
         for (stats, _) in out {
             assert_eq!(stats.rounds, 2, "16 ranks at k=4 is two levels");
@@ -215,8 +244,11 @@ mod tests {
     #[test]
     fn empty_ranks_ok() {
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
-            let mut local =
-                if comm.rank() == 3 { keys_for(3, 444, 1 << 20) } else { Vec::new() };
+            let mut local = if comm.rank() == 3 {
+                keys_for(3, 444, 1 << 20)
+            } else {
+                Vec::new()
+            };
             hyksort(comm, &mut local, &HyksortConfig::default());
             local
         });

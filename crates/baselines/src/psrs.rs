@@ -18,20 +18,29 @@ pub struct PsrsConfig {
 
 impl Default for PsrsConfig {
     fn default() -> Self {
-        Self { merge: MergeAlgo::TournamentTree }
+        Self {
+            merge: MergeAlgo::TournamentTree,
+        }
     }
 }
 
 /// Sort the distributed vector by PSRS.
 pub fn psrs<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &PsrsConfig) -> AlgoStats {
-    let mut stats = AlgoStats { converged: true, rounds: 1, ..AlgoStats::default() };
+    let mut stats = AlgoStats {
+        converged: true,
+        rounds: 1,
+        ..AlgoStats::default()
+    };
     let p = comm.size();
     let elem = std::mem::size_of::<K>() as u64;
 
     // Step 1: local sort.
     let t0 = comm.now_ns();
     local.sort_unstable();
-    comm.charge(Work::SortElems { n: local.len() as u64, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: local.len() as u64,
+        elem_bytes: elem,
+    });
     let sort_in_ns = comm.now_ns() - t0;
 
     // Step 2: regular sampling — P-1 probes at positions (i+1)·n/P of
@@ -41,7 +50,9 @@ pub fn psrs<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &PsrsConfig) -> AlgoSt
     let probes: Vec<K> = if local.is_empty() {
         Vec::new()
     } else {
-        (1..p).map(|i| local[(i * local.len() / p).min(local.len() - 1)]).collect()
+        (1..p)
+            .map(|i| local[(i * local.len() / p).min(local.len() - 1)])
+            .collect()
     };
     let splitters: Vec<K> = comm.gather_reduce(
         probes,
@@ -51,7 +62,9 @@ pub fn psrs<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &PsrsConfig) -> AlgoSt
             if pool.is_empty() {
                 Vec::new()
             } else {
-                (1..p).map(|i| pool[(i * pool.len() / p).min(pool.len() - 1)]).collect()
+                (1..p)
+                    .map(|i| pool[(i * pool.len() / p).min(pool.len() - 1)])
+                    .collect()
             }
         },
         |r: &Vec<K>| (r.len() * elem as usize) as u64,
@@ -85,8 +98,15 @@ pub fn psrs<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &PsrsConfig) -> AlgoSt
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
-        MergeAlgo::Resort => comm.charge(Work::SortElems { n: n_recv, elem_bytes: elem }),
-        _ => comm.charge(Work::MergeElems { n: n_recv, ways: ways.max(2), elem_bytes: elem }),
+        MergeAlgo::Resort => comm.charge(Work::SortElems {
+            n: n_recv,
+            elem_bytes: elem,
+        }),
+        _ => comm.charge(Work::MergeElems {
+            n: n_recv,
+            ways: ways.max(2),
+            elem_bytes: elem,
+        }),
     }
     *local = kway_merge(cfg.merge, &received);
     stats.sort_merge_ns = sort_in_ns + (comm.now_ns() - t3);
@@ -143,8 +163,11 @@ mod tests {
     #[test]
     fn handles_empty_ranks() {
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
-            let mut local =
-                if comm.rank() >= 2 { keys_for(comm.rank(), 400, 1 << 20) } else { Vec::new() };
+            let mut local = if comm.rank() >= 2 {
+                keys_for(comm.rank(), 400, 1 << 20)
+            } else {
+                Vec::new()
+            };
             psrs(comm, &mut local, &PsrsConfig::default());
             local
         });

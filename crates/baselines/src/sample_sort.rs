@@ -24,19 +24,23 @@ pub struct SampleSortConfig {
 
 impl Default for SampleSortConfig {
     fn default() -> Self {
-        Self { oversampling: 32, merge: MergeAlgo::Resort, seed: 0xDA5A }
+        Self {
+            oversampling: 32,
+            merge: MergeAlgo::Resort,
+            seed: 0xDA5A,
+        }
     }
 }
 
 /// Sort the distributed vector by sample sort. Returns phase stats.
 /// Output is globally ordered by rank; per-rank sizes are only
 /// probabilistically balanced.
-pub fn sample_sort<K: Key>(
-    comm: &Comm,
-    local: &mut Vec<K>,
-    cfg: &SampleSortConfig,
-) -> AlgoStats {
-    let mut stats = AlgoStats { converged: true, rounds: 1, ..AlgoStats::default() };
+pub fn sample_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SampleSortConfig) -> AlgoStats {
+    let mut stats = AlgoStats {
+        converged: true,
+        rounds: 1,
+        ..AlgoStats::default()
+    };
     let p = comm.size();
     let elem = std::mem::size_of::<K>() as u64;
 
@@ -47,7 +51,9 @@ pub fn sample_sort<K: Key>(
     let sample: Vec<K> = if local.is_empty() {
         Vec::new()
     } else {
-        (0..s).map(|_| local[(rng.next_u64() % local.len() as u64) as usize]).collect()
+        (0..s)
+            .map(|_| local[(rng.next_u64() % local.len() as u64) as usize])
+            .collect()
     };
     comm.charge(Work::MoveBytes(sample.len() as u64 * elem));
 
@@ -62,7 +68,9 @@ pub fn sample_sort<K: Key>(
             if pool.is_empty() {
                 Vec::new()
             } else {
-                (1..p).map(|i| pool[(i * pool.len() / p).min(pool.len() - 1)]).collect()
+                (1..p)
+                    .map(|i| pool[(i * pool.len() / p).min(pool.len() - 1)])
+                    .collect()
             }
         },
         |r: &Vec<K>| (r.len() * elem as usize) as u64,
@@ -72,7 +80,10 @@ pub fn sample_sort<K: Key>(
     // Superstep 3: partition and exchange.
     let t1 = comm.now_ns();
     local.sort_unstable();
-    comm.charge(Work::SortElems { n: local.len() as u64, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: local.len() as u64,
+        elem_bytes: elem,
+    });
     let sort_in_ns = comm.now_ns() - t1;
 
     let t2 = comm.now_ns();
@@ -100,8 +111,15 @@ pub fn sample_sort<K: Key>(
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
-        MergeAlgo::Resort => comm.charge(Work::SortElems { n: n_recv, elem_bytes: elem }),
-        _ => comm.charge(Work::MergeElems { n: n_recv, ways: ways.max(2), elem_bytes: elem }),
+        MergeAlgo::Resort => comm.charge(Work::SortElems {
+            n: n_recv,
+            elem_bytes: elem,
+        }),
+        _ => comm.charge(Work::MergeElems {
+            n: n_recv,
+            ways: ways.max(2),
+            elem_bytes: elem,
+        }),
     }
     *local = kway_merge(cfg.merge, &received);
     stats.sort_merge_ns = sort_in_ns + (comm.now_ns() - t3);
@@ -155,8 +173,11 @@ mod tests {
     #[test]
     fn empty_partitions_ok() {
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
-            let mut local =
-                if comm.rank() == 1 { keys_for(1, 500, 1 << 20) } else { Vec::new() };
+            let mut local = if comm.rank() == 1 {
+                keys_for(1, 500, 1 << 20)
+            } else {
+                Vec::new()
+            };
             sample_sort(comm, &mut local, &SampleSortConfig::default());
             local
         });
@@ -172,7 +193,10 @@ mod tests {
         let imbalance = |s: usize| {
             let out = run(&ClusterConfig::small_cluster(p), move |comm| {
                 let mut local = keys_for(comm.rank(), n, u64::MAX);
-                let cfg = SampleSortConfig { oversampling: s, ..Default::default() };
+                let cfg = SampleSortConfig {
+                    oversampling: s,
+                    ..Default::default()
+                };
                 sample_sort(comm, &mut local, &cfg);
                 local.len()
             });
@@ -181,6 +205,9 @@ mod tests {
         };
         // Not strictly monotone per-seed, but 256 samples should beat 2
         // clearly on this size.
-        assert!(imbalance(256) < imbalance(2), "more samples, better balance");
+        assert!(
+            imbalance(256) < imbalance(2),
+            "more samples, better balance"
+        );
     }
 }

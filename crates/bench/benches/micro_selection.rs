@@ -46,8 +46,7 @@ fn bench_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("weighted-median");
     group.sample_size(20);
     for p in [64usize, 1024] {
-        let items: Vec<(u64, u64)> =
-            data(p, 7).into_iter().map(|x| (x, x % 100 + 1)).collect();
+        let items: Vec<(u64, u64)> = data(p, 7).into_iter().map(|x| (x, x % 100 + 1)).collect();
         group.bench_function(format!("p={p}"), |b| {
             b.iter_batched(
                 || items.clone(),

@@ -13,10 +13,10 @@ pub struct Args {
 impl Args {
     /// Parse the process arguments.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut out = Args::default();
         let mut it = iter.into_iter().peekable();
         while let Some(arg) = it.next() {
@@ -37,7 +37,10 @@ impl Args {
 
     /// `--key value` parsed as `T`, or `default`.
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Whether a bare `--switch` was given.
@@ -62,7 +65,7 @@ mod tests {
     use super::*;
 
     fn args(s: &str) -> Args {
-        Args::from_iter(s.split_whitespace().map(String::from))
+        Args::from_args(s.split_whitespace().map(String::from))
     }
 
     #[test]

@@ -20,16 +20,30 @@ use dhs_workloads::{Distribution, Layout};
 fn main() {
     let args = Args::parse();
     let p: usize = if args.quick() { 32 } else { args.get("p", 256) };
-    let n_per: usize = if args.quick() { 1 << 11 } else { args.get("nper", 1 << 14) };
+    let n_per: usize = if args.quick() {
+        1 << 11
+    } else {
+        args.get("nper", 1 << 14)
+    };
     let reps: usize = if args.quick() { 2 } else { args.get("reps", 5) };
     let n_total = p * n_per;
 
     println!("# Ablation A1: load-balance threshold sweep (5VI-B)");
     println!("# P = {p}, {n_per} keys/rank uniform u64 in [0,1e9], {reps} reps\n");
 
-    let mut t = Table::new(["epsilon", "iterations", "median-time", "max-keys", "min-keys", "imbalance"]);
+    let mut t = Table::new([
+        "epsilon",
+        "iterations",
+        "median-time",
+        "max-keys",
+        "min-keys",
+        "imbalance",
+    ]);
     for eps in [0.0, 1e-4, 1e-3, 1e-2, 0.1] {
-        let cfg = SortConfig { epsilon: eps, ..SortConfig::default() };
+        let cfg = SortConfig {
+            epsilon: eps,
+            ..SortConfig::default()
+        };
         let cluster = ClusterConfig::supermuc_phase2(p);
         let mut times = Vec::new();
         let mut last = None;

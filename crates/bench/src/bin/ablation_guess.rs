@@ -31,8 +31,14 @@ fn measure(
     let mut times = Vec::new();
     for rep in 0..reps {
         let out = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
-            let mut local =
-                rank_local_keys(dist, Layout::Balanced, n_per * p, p, comm.rank(), 0xAB3 + rep as u64);
+            let mut local = rank_local_keys(
+                dist,
+                Layout::Balanced,
+                n_per * p,
+                p,
+                comm.rank(),
+                0xAB3 + rep as u64,
+            );
             local.sort_unstable();
             let caps: Vec<usize> = comm.allgather(local.len());
             let targets = perfect_targets(&caps);
@@ -41,8 +47,7 @@ fn measure(
             (res.iterations, comm.now_ns() - t0)
         });
         iters.push(out.iter().map(|((it, _), _)| *it).max().expect("non-empty") as f64);
-        times
-            .push(out.iter().map(|((_, t), _)| *t).max().expect("non-empty") as f64 * 1e-9);
+        times.push(out.iter().map(|((_, t), _)| *t).max().expect("non-empty") as f64 * 1e-9);
     }
     (median_ci(&iters).median, median_ci(&times).median)
 }
@@ -50,7 +55,11 @@ fn measure(
 fn main() {
     let args = Args::parse();
     let p: usize = if args.quick() { 16 } else { args.get("p", 128) };
-    let n_per: usize = if args.quick() { 1 << 11 } else { args.get("nper", 1 << 14) };
+    let n_per: usize = if args.quick() {
+        1 << 11
+    } else {
+        args.get("nper", 1 << 14)
+    };
     let reps: usize = if args.quick() { 1 } else { args.get("reps", 3) };
 
     println!("# Ablation A3: initial splitter guesses (5III-B)");
@@ -59,21 +68,51 @@ fn main() {
     let inits = [
         ("full-domain", InitialBounds::FullDomain),
         ("data-minmax", InitialBounds::DataMinMax),
-        ("sampled-quantiles", InitialBounds::SampledQuantiles { per_rank: 8 }),
+        (
+            "sampled-quantiles",
+            InitialBounds::SampledQuantiles { per_rank: 8 },
+        ),
     ];
     let dists = [
         ("uniform [0,1e9]", Distribution::paper_uniform()),
-        ("uniform full-range", Distribution::Uniform { lo: 0, hi: u64::MAX }),
+        (
+            "uniform full-range",
+            Distribution::Uniform {
+                lo: 0,
+                hi: u64::MAX,
+            },
+        ),
         ("normal", Distribution::paper_normal()),
-        ("zipf", Distribution::Zipf { items: 1 << 20, s: 1.1 }),
-        ("nearly-sorted", Distribution::NearlySorted { perturb_permille: 10 }),
+        (
+            "zipf",
+            Distribution::Zipf {
+                items: 1 << 20,
+                s: 1.1,
+            },
+        ),
+        (
+            "nearly-sorted",
+            Distribution::NearlySorted {
+                perturb_permille: 10,
+            },
+        ),
     ];
 
-    let mut t = Table::new(["distribution", "initialization", "iterations", "splitter-time"]);
+    let mut t = Table::new([
+        "distribution",
+        "initialization",
+        "iterations",
+        "splitter-time",
+    ]);
     for (dname, dist) in dists {
         for (iname, init) in inits {
             let (iters, time) = measure(p, n_per, reps, dist, init);
-            t.row([dname.to_string(), iname.to_string(), format!("{iters:.0}"), fmt_secs(time)]);
+            t.row([
+                dname.to_string(),
+                iname.to_string(),
+                format!("{iters:.0}"),
+                fmt_secs(time),
+            ]);
         }
     }
     t.print();

@@ -19,15 +19,24 @@ use dhs_workloads::{Distribution, Layout};
 
 fn main() {
     let args = Args::parse();
-    let n_per: usize = if args.quick() { 1 << 11 } else { args.get("nper", 1 << 18) };
-    let p_max: usize = if args.quick() { 64 } else { args.get("pmax", 512) };
+    let n_per: usize = if args.quick() {
+        1 << 11
+    } else {
+        args.get("nper", 1 << 18)
+    };
+    let p_max: usize = if args.quick() {
+        64
+    } else {
+        args.get("pmax", 512)
+    };
     let reps: usize = if args.quick() { 2 } else { args.get("reps", 5) };
 
     println!("# Ablation A2: intra-node shared-memory fast path (5VI-A1, 5VI-D)");
     println!("# weak scaling, {n_per} keys/rank uniform u64, 16 ranks/node, {reps} reps\n");
 
-    let ps: Vec<usize> =
-        std::iter::successors(Some(16usize), |&p| Some(p * 2)).take_while(|&p| p <= p_max).collect();
+    let ps: Vec<usize> = std::iter::successors(Some(16usize), |&p| Some(p * 2))
+        .take_while(|&p| p <= p_max)
+        .collect();
 
     let mut t = Table::new(["ranks", "fastpath-on", "fastpath-off", "slowdown-off"]);
     for &p in &ps {

@@ -30,29 +30,53 @@ fn one(p: usize, n_total: usize, seed: u64, groups: Option<usize>) -> (f64, u32,
         );
         match groups {
             None => histogram_sort(comm, &mut local, &SortConfig::default()),
-            Some(g) => {
-                histogram_sort_two_level(comm, &mut local, &SortConfig::default(), g)
-            }
+            Some(g) => histogram_sort_two_level(comm, &mut local, &SortConfig::default(), g),
         }
     });
-    let total =
-        out.iter().map(|(s, _)| s.total_ns()).max().expect("non-empty") as f64 * 1e-9;
-    let iters = out.iter().map(|(s, _)| s.iterations).max().expect("non-empty");
-    let hist =
-        out.iter().map(|(s, _)| s.histogram_ns).max().expect("non-empty") as f64 * 1e-9;
+    let total = out
+        .iter()
+        .map(|(s, _)| s.total_ns())
+        .max()
+        .expect("non-empty") as f64
+        * 1e-9;
+    let iters = out
+        .iter()
+        .map(|(s, _)| s.iterations)
+        .max()
+        .expect("non-empty");
+    let hist = out
+        .iter()
+        .map(|(s, _)| s.histogram_ns)
+        .max()
+        .expect("non-empty") as f64
+        * 1e-9;
     (total, iters, hist)
 }
 
 fn main() {
     let args = Args::parse();
-    let n_total: usize = if args.quick() { 1 << 16 } else { args.get("n", 1 << 22) };
-    let p_max: usize = if args.quick() { 64 } else { args.get("pmax", 2048) };
+    let n_total: usize = if args.quick() {
+        1 << 16
+    } else {
+        args.get("n", 1 << 22)
+    };
+    let p_max: usize = if args.quick() {
+        64
+    } else {
+        args.get("pmax", 2048)
+    };
     let groups: usize = args.get("groups", 0);
     let reps: usize = if args.quick() { 1 } else { args.get("reps", 3) };
 
     println!("# Ablation A5: flat vs two-level histogram sort (5VII future work)");
-    println!("# N = {n_total} uniform u64, groups = {}, {reps} reps\n",
-             if groups == 0 { "sqrt(P)".to_string() } else { groups.to_string() });
+    println!(
+        "# N = {n_total} uniform u64, groups = {}, {reps} reps\n",
+        if groups == 0 {
+            "sqrt(P)".to_string()
+        } else {
+            groups.to_string()
+        }
+    );
 
     let p_start = p_max.min(256);
     let ps: Vec<usize> = std::iter::successors(Some(p_start), |&p| Some(p * 2))
@@ -70,10 +94,12 @@ fn main() {
         "winner",
     ]);
     for &p in &ps {
-        let flat: Vec<(f64, u32, f64)> =
-            (0..reps).map(|r| one(p, n_total, 0xAB5 + r as u64, None)).collect();
-        let two: Vec<(f64, u32, f64)> =
-            (0..reps).map(|r| one(p, n_total, 0xAB5 + r as u64, Some(groups))).collect();
+        let flat: Vec<(f64, u32, f64)> = (0..reps)
+            .map(|r| one(p, n_total, 0xAB5 + r as u64, None))
+            .collect();
+        let two: Vec<(f64, u32, f64)> = (0..reps)
+            .map(|r| one(p, n_total, 0xAB5 + r as u64, Some(groups)))
+            .collect();
         let f = median_ci(&flat.iter().map(|x| x.0).collect::<Vec<_>>()).median;
         let w = median_ci(&two.iter().map(|x| x.0).collect::<Vec<_>>()).median;
         t.row([

@@ -15,8 +15,8 @@ use dhs_bench::stats::median_ci;
 use dhs_bench::table::{fmt_secs, Table};
 use dhs_bench::Args;
 use dhs_core::{
-    exchange_and_merge, find_splitters, perfect_targets,
     exchange::{exchange_data, plan_exchange},
+    exchange_and_merge, find_splitters, perfect_targets,
 };
 use dhs_merge::{kway_merge, MergeAlgo};
 use dhs_runtime::{run, AllToAllAlgo, ClusterConfig, Work};
@@ -45,10 +45,17 @@ fn merged_exchange_time(p: usize, n_per: usize, seed: u64, strategy: &str) -> f6
                 let n: u64 = received.iter().map(|r| r.len() as u64).sum();
                 let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
                 if strategy.ends_with("resort") {
-                    comm.charge(Work::SortElems { n, elem_bytes: elem });
+                    comm.charge(Work::SortElems {
+                        n,
+                        elem_bytes: elem,
+                    });
                     let _ = kway_merge(MergeAlgo::Resort, &received);
                 } else {
-                    comm.charge(Work::MergeElems { n, ways: ways.max(2), elem_bytes: elem });
+                    comm.charge(Work::MergeElems {
+                        n,
+                        ways: ways.max(2),
+                        elem_bytes: elem,
+                    });
                     let _ = kway_merge(MergeAlgo::TournamentTree, &received);
                 }
             }
@@ -91,7 +98,11 @@ fn schedule_time(p: usize, n_per: usize, seed: u64, algo: AllToAllAlgo) -> f64 {
 fn main() {
     let args = Args::parse();
     let p: usize = if args.quick() { 16 } else { args.get("p", 128) };
-    let n_per: usize = if args.quick() { 1 << 11 } else { args.get("nper", 1 << 16) };
+    let n_per: usize = if args.quick() {
+        1 << 11
+    } else {
+        args.get("nper", 1 << 16)
+    };
     let reps: usize = if args.quick() { 1 } else { args.get("reps", 3) };
 
     println!("# Ablation A4: exchange scheduling and merge overlap (5VI-E1)");
@@ -99,7 +110,12 @@ fn main() {
 
     println!("## exchange + merge strategy (simulated time of exchange+merge phases)");
     let mut t = Table::new(["strategy", "median"]);
-    for strategy in ["alltoallv+resort", "alltoallv+tournament", "pairwise", "pairwise+overlap"] {
+    for strategy in [
+        "alltoallv+resort",
+        "alltoallv+tournament",
+        "pairwise",
+        "pairwise+overlap",
+    ] {
         let times: Vec<f64> = (0..reps)
             .map(|rep| merged_exchange_time(p, n_per, 0xAB4 + rep as u64, strategy))
             .collect();
@@ -112,11 +128,14 @@ fn main() {
     for shift in [2usize, 6, 10, 14, 18] {
         let nper = 1usize << shift;
         let mut medians = Vec::new();
-        for algo in
-            [AllToAllAlgo::OneFactor, AllToAllAlgo::Bruck, AllToAllAlgo::HierarchicalLeaders]
-        {
-            let times: Vec<f64> =
-                (0..reps).map(|r| schedule_time(p, nper, r as u64, algo)).collect();
+        for algo in [
+            AllToAllAlgo::OneFactor,
+            AllToAllAlgo::Bruck,
+            AllToAllAlgo::HierarchicalLeaders,
+        ] {
+            let times: Vec<f64> = (0..reps)
+                .map(|r| schedule_time(p, nper, r as u64, algo))
+                .collect();
             medians.push(median_ci(&times).median);
         }
         let names = ["1-factor", "bruck", "leaders"];

@@ -19,7 +19,11 @@ use dhs_workloads::{Distribution, Layout};
 fn main() {
     let args = Args::parse();
     let p: usize = if args.quick() { 8 } else { args.get("p", 64) };
-    let n_per: usize = if args.quick() { 1 << 10 } else { args.get("nper", 1 << 13) };
+    let n_per: usize = if args.quick() {
+        1 << 10
+    } else {
+        args.get("nper", 1 << 13)
+    };
     let reps: usize = if args.quick() { 1 } else { args.get("reps", 3) };
     let n_total = p * n_per;
 
@@ -39,19 +43,42 @@ fn main() {
     let dists: Vec<(&str, Distribution)> = vec![
         ("uniform", Distribution::paper_uniform()),
         ("normal", Distribution::paper_normal()),
-        ("zipf", Distribution::Zipf { items: 1 << 16, s: 1.2 }),
-        ("nearly-sorted", Distribution::NearlySorted { perturb_permille: 10 }),
+        (
+            "zipf",
+            Distribution::Zipf {
+                items: 1 << 16,
+                s: 1.2,
+            },
+        ),
+        (
+            "nearly-sorted",
+            Distribution::NearlySorted {
+                perturb_permille: 10,
+            },
+        ),
         ("few-distinct", Distribution::FewDistinct { k: 16 }),
         ("all-equal", Distribution::AllEqual { value: 7 }),
     ];
     let layouts: Vec<(&str, Layout)> = vec![
         ("balanced", Layout::Balanced),
-        ("sparse-front", Layout::SparseFront { empty_permille: 500 }),
+        (
+            "sparse-front",
+            Layout::SparseFront {
+                empty_permille: 500,
+            },
+        ),
     ];
 
     for (lname, layout) in &layouts {
         println!("## layout: {lname}");
-        let mut t = Table::new(["distribution", "algorithm", "median", "rounds", "conv", "balance"]);
+        let mut t = Table::new([
+            "distribution",
+            "algorithm",
+            "median",
+            "rounds",
+            "conv",
+            "balance",
+        ]);
         for (dname, dist) in &dists {
             for algo in &algos {
                 let equal_sizes = matches!(layout, Layout::Balanced);

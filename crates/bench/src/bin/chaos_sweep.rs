@@ -1,0 +1,232 @@
+//! Chaos sweep: the histogram sort against two baselines under seeded
+//! fault injection — straggler slowdowns, degraded links, and lossy
+//! transports of increasing severity. Every fault is a deterministic
+//! function of the plan seed, so each cell of the sweep is exactly
+//! reproducible.
+//!
+//! Prints a table per fault family and writes the full grid as JSON to
+//! `results/chaos_sweep.json`.
+//!
+//! Flags: `--p <ranks>` (default 32), `--nper <keys/rank>` (default
+//! 2^12), `--out <path>`, `--quick`.
+
+use std::fmt::Write as _;
+
+use dhs_baselines::{HssConfig, SampleSortConfig};
+use dhs_bench::experiment::{run_distributed_sort, DistributedRun, SortAlgo};
+use dhs_bench::table::{fmt_secs, Table};
+use dhs_bench::Args;
+use dhs_core::{ExchangeStrategy, SortConfig};
+use dhs_runtime::{ClusterConfig, FaultPlan, LinkClass, LinkFault, LossSpec};
+use dhs_workloads::{Distribution, Layout};
+
+/// One fault scenario applied to every algorithm.
+struct Scenario {
+    name: &'static str,
+    family: &'static str,
+    severity: f64,
+    plan: FaultPlan,
+}
+
+fn scenarios(p: usize) -> Vec<Scenario> {
+    let mut out = vec![Scenario {
+        name: "baseline",
+        family: "none",
+        severity: 0.0,
+        plan: FaultPlan::default(),
+    }];
+
+    // Stragglers: the slowest quarter of the ranks computes `f`x slower.
+    for (name, factor) in [
+        ("stragglers-mild", 1.5),
+        ("stragglers-moderate", 3.0),
+        ("stragglers-severe", 8.0),
+    ] {
+        let mut plan = FaultPlan::seeded(0xC0FFEE);
+        for rank in (0..p).filter(|r| r % 4 == 3) {
+            plan = plan.with_straggler(rank, factor);
+        }
+        out.push(Scenario {
+            name,
+            family: "straggler",
+            severity: factor,
+            plan,
+        });
+    }
+
+    // Message loss on the point-to-point transport.
+    for (name, rate) in [
+        ("loss-1pct", 0.01),
+        ("loss-10pct", 0.10),
+        ("loss-30pct", 0.30),
+    ] {
+        let plan = FaultPlan::seeded(0xBAD5EED).with_loss(LossSpec {
+            rate,
+            timeout_ns: 50_000,
+            max_retries: 16,
+            duplicate_rate: rate / 2.0,
+        });
+        out.push(Scenario {
+            name,
+            family: "loss",
+            severity: rate,
+            plan,
+        });
+    }
+
+    // Inter-node link degradation for the middle third of the run
+    // (virtual time window chosen to overlap the exchange phase).
+    for (name, beta_factor) in [
+        ("link-slow-2x", 2.0),
+        ("link-slow-4x", 4.0),
+        ("link-slow-16x", 16.0),
+    ] {
+        let plan = FaultPlan::seeded(0xD06E).with_link_fault(LinkFault {
+            class: Some(LinkClass::InterNode),
+            extra_alpha_ns: 10_000.0,
+            beta_factor,
+            from_ns: 0,
+            until_ns: u64::MAX,
+        });
+        out.push(Scenario {
+            name,
+            family: "link",
+            severity: beta_factor,
+            plan,
+        });
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn run_json(r: &DistributedRun) -> String {
+    format!(
+        "{{\"makespan_s\": {:.9}, \"iterations\": {}, \"converged\": {}, \
+         \"p2p_retries\": {}, \"p2p_duplicates\": {}, \"max_keys\": {}, \"min_keys\": {}, \
+         \"inter_node_bytes\": {}}}",
+        r.makespan_s,
+        r.iterations,
+        r.converged,
+        r.p2p_retries,
+        r.p2p_duplicates,
+        r.max_keys,
+        r.min_keys,
+        r.inter_node_bytes,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let p: usize = if args.quick() { 8 } else { args.get("p", 32) };
+    let n_per: usize = if args.quick() {
+        1 << 9
+    } else {
+        args.get("nper", 1 << 12)
+    };
+    let out_path = args
+        .raw("out")
+        .unwrap_or("results/chaos_sweep.json")
+        .to_string();
+    let n_total = p * n_per;
+    let seed = 0x5EED;
+
+    // The pairwise-merge variant routes its exchange through the
+    // point-to-point transport, which is where message loss bites; the
+    // collective-based sorters only feel stragglers and slow links.
+    let algos: Vec<(&str, SortAlgo)> = vec![
+        ("dash-histogram", SortAlgo::Histogram(SortConfig::default())),
+        (
+            "dash-histogram-pairwise",
+            SortAlgo::Histogram(SortConfig {
+                exchange: ExchangeStrategy::PairwiseMerge { overlap: false },
+                ..SortConfig::default()
+            }),
+        ),
+        ("charm-hss", SortAlgo::Hss(HssConfig::default())),
+        (
+            "sample-sort",
+            SortAlgo::SampleSort(SampleSortConfig::default()),
+        ),
+    ];
+
+    println!("# Chaos sweep: fault injection across sorters");
+    println!("# P = {p}, {n_per} keys/rank, uniform keys, plan seeds fixed\n");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"ranks\": {p},");
+    let _ = writeln!(json, "  \"keys_per_rank\": {n_per},");
+    let _ = writeln!(json, "  \"scenarios\": [");
+
+    let scens = scenarios(p);
+    let mut table = Table::new([
+        "scenario",
+        "algorithm",
+        "makespan",
+        "slowdown",
+        "retries",
+        "conv",
+    ]);
+    let mut baselines: Vec<f64> = Vec::new();
+    for (si, sc) in scens.iter().enumerate() {
+        let cluster = ClusterConfig::supermuc_phase2(p).with_fault(sc.plan.clone());
+        let mut cells = String::new();
+        for (ai, (label, algo)) in algos.iter().enumerate() {
+            let run = run_distributed_sort(
+                &cluster,
+                algo,
+                Distribution::paper_uniform(),
+                Layout::Balanced,
+                n_total,
+                seed,
+            );
+            if sc.family == "none" {
+                baselines.push(run.makespan_s);
+            }
+            let slowdown = run.makespan_s / baselines[ai].max(f64::MIN_POSITIVE);
+            table.row([
+                sc.name.to_string(),
+                label.to_string(),
+                fmt_secs(run.makespan_s),
+                format!("{slowdown:.2}x"),
+                run.p2p_retries.to_string(),
+                if run.converged { "yes" } else { "NO" }.to_string(),
+            ]);
+            let _ = write!(
+                cells,
+                "        {{\"algorithm\": \"{}\", \"result\": {}}}{}",
+                json_escape(label),
+                run_json(&run),
+                if ai + 1 < algos.len() { ",\n" } else { "\n" }
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"family\": \"{}\", \"severity\": {}, \"runs\": [",
+            json_escape(sc.name),
+            json_escape(sc.family),
+            sc.severity
+        );
+        let _ = write!(json, "{cells}");
+        let _ = writeln!(
+            json,
+            "    ]}}{}",
+            if si + 1 < scens.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    table.print();
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write chaos sweep JSON");
+    println!("\nwrote {out_path}");
+}

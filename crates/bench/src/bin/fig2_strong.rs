@@ -14,24 +14,33 @@
 //! 1024), `--reps <runs>` (default 5, paper uses 10), `--breakdown`,
 //! `--quick`.
 
+use dhs_baselines::HssConfig;
 use dhs_bench::experiment::{run_distributed_sort, SortAlgo};
 use dhs_bench::stats::{median_ci, strong_efficiency};
 use dhs_bench::table::{fmt_secs, Table};
 use dhs_bench::Args;
 use dhs_core::SortConfig;
-use dhs_baselines::HssConfig;
 use dhs_runtime::ClusterConfig;
 use dhs_workloads::{Distribution, Layout};
 
 fn main() {
     let args = Args::parse();
-    let n_total: usize = if args.quick() { 1 << 16 } else { args.get("n", 1 << 23) };
-    let p_max: usize = if args.quick() { 64 } else { args.get("pmax", 2048) };
+    let n_total: usize = if args.quick() {
+        1 << 16
+    } else {
+        args.get("n", 1 << 23)
+    };
+    let p_max: usize = if args.quick() {
+        64
+    } else {
+        args.get("pmax", 2048)
+    };
     let reps: usize = if args.quick() { 2 } else { args.get("reps", 3) };
     let breakdown = args.has("breakdown");
 
-    let ps: Vec<usize> =
-        std::iter::successors(Some(16usize), |&p| Some(p * 2)).take_while(|&p| p <= p_max).collect();
+    let ps: Vec<usize> = std::iter::successors(Some(16usize), |&p| Some(p * 2))
+        .take_while(|&p| p <= p_max)
+        .collect();
 
     println!("# Figure 2: strong scaling, uniform u64 in [0,1e9], N = {n_total} keys total (paper: memory-bound sizes on up to 3584 cores)");
     println!("# perfect partitioning (eps = 0), 16 ranks/node, {reps} reps, median + 95% CI");
@@ -42,7 +51,16 @@ fn main() {
         SortAlgo::Hss(HssConfig::default()),
     ];
 
-    let mut fig2a = Table::new(["algorithm", "ranks", "nodes", "median", "ci95", "speedup", "eff", "iters"]);
+    let mut fig2a = Table::new([
+        "algorithm",
+        "ranks",
+        "nodes",
+        "median",
+        "ci95",
+        "speedup",
+        "eff",
+        "iters",
+    ]);
     let mut breakdown_rows: Vec<(usize, Vec<(&'static str, f64)>)> = Vec::new();
 
     for algo in &algos {
@@ -58,7 +76,7 @@ fn main() {
                     Distribution::paper_uniform(),
                     Layout::Balanced,
                     n_total,
-                    0xF16_2 + rep as u64,
+                    0xF162 + rep as u64,
                 );
                 times.push(run.makespan_s);
                 last = Some(run);
@@ -86,8 +104,10 @@ fn main() {
 
     if breakdown {
         println!("\n## Fig 2b: relative phase fractions (DASH)");
-        let names: Vec<&str> =
-            breakdown_rows.first().map(|(_, f)| f.iter().map(|&(n, _)| n).collect()).unwrap_or_default();
+        let names: Vec<&str> = breakdown_rows
+            .first()
+            .map(|(_, f)| f.iter().map(|&(n, _)| n).collect())
+            .unwrap_or_default();
         let mut t = Table::new(
             std::iter::once("ranks".to_string()).chain(names.iter().map(|s| s.to_string())),
         );

@@ -23,13 +23,22 @@ use dhs_workloads::{Distribution, Layout};
 
 fn main() {
     let args = Args::parse();
-    let n_per: usize = if args.quick() { 1 << 12 } else { args.get("nper", 1 << 19) };
-    let p_max: usize = if args.quick() { 64 } else { args.get("pmax", 256) };
+    let n_per: usize = if args.quick() {
+        1 << 12
+    } else {
+        args.get("nper", 1 << 19)
+    };
+    let p_max: usize = if args.quick() {
+        64
+    } else {
+        args.get("pmax", 256)
+    };
     let reps: usize = if args.quick() { 2 } else { args.get("reps", 3) };
     let breakdown = args.has("breakdown");
 
-    let ps: Vec<usize> =
-        std::iter::successors(Some(16usize), |&p| Some(p * 2)).take_while(|&p| p <= p_max).collect();
+    let ps: Vec<usize> = std::iter::successors(Some(16usize), |&p| Some(p * 2))
+        .take_while(|&p| p <= p_max)
+        .collect();
 
     println!("# Figure 3: weak scaling, uniform u64 in [0,1e9], {n_per} keys/rank");
     println!("# perfect partitioning (eps = 0), 16 ranks/node, {reps} reps, median + 95% CI");
@@ -40,8 +49,16 @@ fn main() {
         SortAlgo::Hss(HssConfig::default()),
     ];
 
-    let mut fig3a =
-        Table::new(["algorithm", "ranks", "total-keys", "median", "ci95", "weak-eff", "iters", "inter-node"]);
+    let mut fig3a = Table::new([
+        "algorithm",
+        "ranks",
+        "total-keys",
+        "median",
+        "ci95",
+        "weak-eff",
+        "iters",
+        "inter-node",
+    ]);
     let mut breakdown_rows: Vec<(usize, Vec<(&'static str, f64)>)> = Vec::new();
 
     for algo in &algos {
@@ -58,7 +75,7 @@ fn main() {
                     Distribution::paper_uniform(),
                     Layout::Balanced,
                     n_total,
-                    0xF16_3 + rep as u64,
+                    0xF163 + rep as u64,
                 );
                 times.push(run.makespan_s);
                 last = Some(run);
@@ -86,8 +103,10 @@ fn main() {
 
     if breakdown {
         println!("\n## Fig 3b: relative phase fractions (DASH)");
-        let names: Vec<&str> =
-            breakdown_rows.first().map(|(_, f)| f.iter().map(|&(n, _)| n).collect()).unwrap_or_default();
+        let names: Vec<&str> = breakdown_rows
+            .first()
+            .map(|(_, f)| f.iter().map(|&(n, _)| n).collect())
+            .unwrap_or_default();
         let mut t = Table::new(
             std::iter::once("ranks".to_string()).chain(names.iter().map(|s| s.to_string())),
         );

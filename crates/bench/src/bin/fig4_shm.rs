@@ -56,7 +56,11 @@ fn simulated_time(cores: usize, n_total: usize, seed: u64, which: &str) -> f64 {
 
 fn main() {
     let args = Args::parse();
-    let n_total: usize = if args.quick() { 1 << 16 } else { args.get("n", 1 << 21) };
+    let n_total: usize = if args.quick() {
+        1 << 16
+    } else {
+        args.get("n", 1 << 21)
+    };
     let reps: usize = if args.quick() { 2 } else { args.get("reps", 5) };
     let wall = args.has("wall");
 
@@ -64,13 +68,20 @@ fn main() {
     println!("# normal f64 scaled to [-1e6,1e6], N = {n_total} keys, {reps} reps");
     println!("# 7 cores per NUMA domain (Table I node); times are simulated seconds\n");
 
-    let mut t = Table::new(["contender", "cores", "numa-domains", "median", "ci95", "speedup-vs-7"]);
+    let mut t = Table::new([
+        "contender",
+        "cores",
+        "numa-domains",
+        "median",
+        "ci95",
+        "speedup-vs-7",
+    ]);
     for contender in ["dash", "tbb", "openmp"] {
         let mut base: Option<f64> = None;
         for domains in 1..=4usize {
             let cores = 7 * domains;
             let times: Vec<f64> = (0..reps)
-                .map(|rep| simulated_time(cores, n_total, 0xF16_4 + rep as u64, contender))
+                .map(|rep| simulated_time(cores, n_total, 0xF164 + rep as u64, contender))
                 .collect();
             let m = median_ci(&times);
             let bt = *base.get_or_insert(m.median);
@@ -92,7 +103,10 @@ fn main() {
     t.print();
 
     if wall {
-        println!("\n## real wall-clock of dhs-shm sorts on this host ({} cores)", host_cores());
+        println!(
+            "\n## real wall-clock of dhs-shm sorts on this host ({} cores)",
+            host_cores()
+        );
         println!("# only meaningful on a multi-core host");
         let mut t = Table::new(["sorter", "threads", "median-wall"]);
         for threads in [1usize, 2, 4, 7, 14, 28] {
@@ -100,8 +114,14 @@ fn main() {
                 continue;
             }
             for (name, f) in [
-                ("parallel-merge-sort", dhs_shm::parallel_merge_sort as fn(&mut [u64], usize)),
-                ("task-merge-sort", dhs_shm::task_merge_sort as fn(&mut [u64], usize)),
+                (
+                    "parallel-merge-sort",
+                    dhs_shm::parallel_merge_sort as fn(&mut [u64], usize),
+                ),
+                (
+                    "task-merge-sort",
+                    dhs_shm::task_merge_sort as fn(&mut [u64], usize),
+                ),
             ] {
                 let times: Vec<f64> = (0..reps)
                     .map(|rep| {
@@ -112,7 +132,11 @@ fn main() {
                         t0.elapsed().as_secs_f64()
                     })
                     .collect();
-                t.row([name.to_string(), threads.to_string(), fmt_secs(median_ci(&times).median)]);
+                t.row([
+                    name.to_string(),
+                    threads.to_string(),
+                    fmt_secs(median_ci(&times).median),
+                ]);
             }
         }
         t.print();
@@ -120,5 +144,7 @@ fn main() {
 }
 
 fn host_cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }

@@ -18,9 +18,7 @@
 use dhs_bench::stats::median_ci;
 use dhs_bench::table::Table;
 use dhs_bench::Args;
-use dhs_core::{
-    find_splitters_cfg, perfect_targets, Key, OrderedF32, OrderedF64, SplitterOptions,
-};
+use dhs_core::{find_splitters_cfg, perfect_targets, Key, OrderedF32, OrderedF64, SplitterOptions};
 use dhs_runtime::{run, ClusterConfig};
 use dhs_workloads::{rank_seed, Distribution};
 
@@ -29,7 +27,10 @@ where
     K: Key,
     F: Fn(usize, usize, u64) -> Vec<K> + Send + Sync + Copy,
 {
-    let opts = SplitterOptions { strict_paper_rule: strict, ..SplitterOptions::default() };
+    let opts = SplitterOptions {
+        strict_paper_rule: strict,
+        ..SplitterOptions::default()
+    };
     let samples: Vec<f64> = (0..reps)
         .map(|rep| {
             let out = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
@@ -47,26 +48,41 @@ where
 
 fn main() {
     let args = Args::parse();
-    let n_per: usize = if args.quick() { 1 << 10 } else { args.get("nper", 1 << 14) };
+    let n_per: usize = if args.quick() {
+        1 << 10
+    } else {
+        args.get("nper", 1 << 14)
+    };
     let reps: usize = if args.quick() { 1 } else { args.get("reps", 3) };
-    let ps: Vec<usize> = if args.quick() { vec![4, 16] } else { vec![4, 16, 64, 256] };
+    let ps: Vec<usize> = if args.quick() {
+        vec![4, 16]
+    } else {
+        vec![4, 16, 64, 256]
+    };
 
     println!("# Splitter-search iteration counts (paper 5V-A)");
     println!("# {n_per} keys/rank, eps = 0, median over {reps} reps");
     println!("# paper anchors (strict rule): f64 ~60-64, f32 ~25-35, flat in P\n");
 
     let u64_full = |rank: usize, n: usize, seed: u64| -> Vec<u64> {
-        Distribution::Uniform { lo: 0, hi: u64::MAX }.generate_u64(n, rank_seed(seed, rank))
+        Distribution::Uniform {
+            lo: 0,
+            hi: u64::MAX,
+        }
+        .generate_u64(n, rank_seed(seed, rank))
     };
     let u64_paper = |rank: usize, n: usize, seed: u64| -> Vec<u64> {
         Distribution::paper_uniform().generate_u64(n, rank_seed(seed, rank))
     };
     let u32_full = |rank: usize, n: usize, seed: u64| -> Vec<u32> {
-        Distribution::Uniform { lo: 0, hi: u32::MAX as u64 }
-            .generate_u64(n, rank_seed(seed, rank))
-            .into_iter()
-            .map(|x| x as u32)
-            .collect()
+        Distribution::Uniform {
+            lo: 0,
+            hi: u32::MAX as u64,
+        }
+        .generate_u64(n, rank_seed(seed, rank))
+        .into_iter()
+        .map(|x| x as u32)
+        .collect()
     };
     let f64_norm = |rank: usize, n: usize, seed: u64| -> Vec<OrderedF64> {
         Distribution::paper_normal()
@@ -83,22 +99,34 @@ fn main() {
             .collect()
     };
     let u64_zipf = |rank: usize, n: usize, seed: u64| -> Vec<u64> {
-        Distribution::Zipf { items: 1 << 20, s: 1.1 }.generate_u64(n, rank_seed(seed, rank))
+        Distribution::Zipf {
+            items: 1 << 20,
+            s: 1.1,
+        }
+        .generate_u64(n, rank_seed(seed, rank))
     };
 
     for strict in [true, false] {
         println!(
             "## {} acceptance rule",
-            if strict { "strict (paper Algorithm 2)" } else { "relaxed (library default)" }
+            if strict {
+                "strict (paper Algorithm 2)"
+            } else {
+                "relaxed (library default)"
+            }
         );
         let mut t = Table::new(
             std::iter::once("workload".to_string()).chain(ps.iter().map(|p| format!("P={p}"))),
         );
         macro_rules! row {
             ($name:expr, $make:expr) => {
-                t.row(std::iter::once($name.to_string()).chain(ps.iter().map(|&p| {
-                    format!("{:.0}", iterations_for(p, n_per, reps, strict, $make))
-                })));
+                t.row(
+                    std::iter::once($name.to_string()).chain(
+                        ps.iter().map(|&p| {
+                            format!("{:.0}", iterations_for(p, n_per, reps, strict, $make))
+                        }),
+                    ),
+                );
             };
         }
         row!("u64 uniform full-range", u64_full);

@@ -18,13 +18,16 @@ use dhs_bench::table::Table;
 use dhs_bench::Args;
 use dhs_merge::{kway_merge, MergeAlgo};
 use dhs_shm::parallel_kway_chunked;
-use dhs_workloads::{Distribution, Layout, rank_local_keys};
+use dhs_workloads::{rank_local_keys, Distribution, Layout};
 
 fn chunks(n_total: usize, k: usize, seed: u64) -> Vec<Vec<u64>> {
     (0..k)
         .map(|i| {
             let mut c: Vec<u64> = rank_local_keys(
-                Distribution::Uniform { lo: 0, hi: u32::MAX as u64 },
+                Distribution::Uniform {
+                    lo: 0,
+                    hi: u32::MAX as u64,
+                },
                 Layout::Balanced,
                 n_total,
                 k,
@@ -39,11 +42,20 @@ fn chunks(n_total: usize, k: usize, seed: u64) -> Vec<Vec<u64>> {
 
 fn main() {
     let args = Args::parse();
-    let n_total: usize = if args.quick() { 1 << 18 } else { args.get("n", 1 << 22) };
+    let n_total: usize = if args.quick() {
+        1 << 18
+    } else {
+        args.get("n", 1 << 22)
+    };
     let reps: usize = if args.quick() { 2 } else { args.get("reps", 3) };
-    let ks: Vec<usize> =
-        if args.quick() { vec![2, 16, 128] } else { vec![2, 4, 8, 16, 32, 64, 128, 256, 512] };
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let ks: Vec<usize> = if args.quick() {
+        vec![2, 16, 128]
+    } else {
+        vec![2, 4, 8, 16, 32, 64, 128, 256, 512]
+    };
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     println!("# Merge study (paper 5VI-E2): k-way merge of equal sorted chunks");
     println!("# N = {n_total} u64 keys total, wall-clock ns/element, median of {reps} reps");
@@ -66,14 +78,20 @@ fn main() {
                     dt
                 })
                 .collect();
-            cells.push(format!("{:.1}", median_ci(&times).median * 1e9 / n_total as f64));
+            cells.push(format!(
+                "{:.1}",
+                median_ci(&times).median * 1e9 / n_total as f64
+            ));
         }
         t.row(cells);
     }
     t.print();
 
     println!("\n## parallel chunked k-way merge (tournament leaves) vs threads");
-    let threads: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&t| t <= 2 * host).collect();
+    let threads: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= 2 * host)
+        .collect();
     let mut t2 = Table::new(
         std::iter::once("threads".to_string()).chain(ks.iter().map(|k| format!("k={k}"))),
     );
@@ -90,7 +108,10 @@ fn main() {
                     dt
                 })
                 .collect();
-            cells.push(format!("{:.1}", median_ci(&times).median * 1e9 / n_total as f64));
+            cells.push(format!(
+                "{:.1}",
+                median_ci(&times).median * 1e9 / n_total as f64
+            ));
         }
         t2.row(cells);
     }

@@ -9,8 +9,10 @@ fn main() {
     let cost = CostModel::supermuc_phase2();
 
     println!("# Table I: simulated single-node specification (SuperMUC Phase 2)");
-    println!("CPU                 2 x E5-2697v3 (modelled: 4 NUMA domains x {} cores)",
-             topo.cores_per_numa());
+    println!(
+        "CPU                 2 x E5-2697v3 (modelled: 4 NUMA domains x {} cores)",
+        topo.cores_per_numa()
+    );
     println!("Memory              64GB (56GB usable) -- capacity not enforced by the simulator");
     println!("Network             InfiniBand FDR14 fat tree (alpha-beta model below)");
     println!("Compiler            rustc (this crate) in place of ICC 18.0.2");
@@ -25,7 +27,11 @@ fn main() {
         ("inter-node ", LinkClass::InterNode),
     ] {
         let l = cost.link(class);
-        let bw = if l.beta_ns_per_byte > 0.0 { 1.0 / l.beta_ns_per_byte } else { f64::INFINITY };
+        let bw = if l.beta_ns_per_byte > 0.0 {
+            1.0 / l.beta_ns_per_byte
+        } else {
+            f64::INFINITY
+        };
         println!(
             "{name} alpha = {:>7.1} ns   beta = {:.3} ns/B  (~{:.1} GB/s)",
             l.alpha_ns, l.beta_ns_per_byte, bw

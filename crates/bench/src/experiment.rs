@@ -56,6 +56,11 @@ pub struct DistributedRun {
     pub min_keys: usize,
     /// Whether the splitter phase met its tolerance everywhere.
     pub converged: bool,
+    /// Loss-induced retransmissions summed over ranks (0 without an
+    /// active fault plan).
+    pub p2p_retries: u64,
+    /// Injected duplicate deliveries summed over ranks.
+    pub p2p_duplicates: u64,
 }
 
 impl DistributedRun {
@@ -96,7 +101,7 @@ pub fn run_distributed_sort(
                         ("other", s.prepare_ns),
                     ],
                     s.iterations,
-                    true,
+                    !s.outcome.is_degraded(),
                 )
             }
             SortAlgo::Hss(cfg) => {
@@ -136,7 +141,11 @@ pub fn run_distributed_sort(
     let mut min_keys = usize::MAX;
     let mut inter = 0u64;
     let mut intra = 0u64;
+    let mut retries = 0u64;
+    let mut duplicates = 0u64;
     for ((phases, iters, conv, n_out, total_ns), report) in &out {
+        retries += report.counters.p2p_retries;
+        duplicates += report.counters.p2p_duplicates;
         makespan_ns = makespan_ns.max(*total_ns);
         iterations = iterations.max(*iters);
         converged &= conv;
@@ -156,13 +165,18 @@ pub fn run_distributed_sort(
     }
     DistributedRun {
         makespan_s: makespan_ns as f64 * 1e-9,
-        phases: phase_max.into_iter().map(|(n, t)| (n, t as f64 * 1e-9)).collect(),
+        phases: phase_max
+            .into_iter()
+            .map(|(n, t)| (n, t as f64 * 1e-9))
+            .collect(),
         iterations,
         inter_node_bytes: inter,
         intra_node_bytes: intra,
         max_keys,
         min_keys,
         converged,
+        p2p_retries: retries,
+        p2p_duplicates: duplicates,
     }
 }
 

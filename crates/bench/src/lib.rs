@@ -8,8 +8,8 @@
 //! plain-text table rendering.
 
 pub mod args;
-pub mod sim_shm;
 pub mod experiment;
+pub mod sim_shm;
 pub mod stats;
 pub mod table;
 

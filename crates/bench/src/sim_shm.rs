@@ -31,7 +31,10 @@ pub fn sim_tbb_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
     let p = comm.size();
 
     // Leaf sort of the thread's own chunk.
-    comm.charge(Work::SortElems { n: n_local, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: n_local,
+        elem_bytes: elem,
+    });
     comm.barrier();
 
     // Merge levels: at level l, regions of 2^(l+1) threads merge. All
@@ -42,7 +45,11 @@ pub fn sim_tbb_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
     for l in 0..levels {
         let region = 2usize << l;
         let link = region_link(comm, region);
-        comm.charge(Work::MergeElems { n: n_local, ways: 2, elem_bytes: elem });
+        comm.charge(Work::MergeElems {
+            n: n_local,
+            ways: 2,
+            elem_bytes: elem,
+        });
         charge_traffic(comm, link, n_local * elem);
         comm.barrier();
     }
@@ -56,16 +63,23 @@ pub fn sim_openmp_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
     let n_local = local.len() as u64;
     let p = comm.size();
 
-    comm.charge(Work::SortElems { n: n_local, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: n_local,
+        elem_bytes: elem,
+    });
     comm.barrier();
 
     let levels = dhs_runtime::log2_ceil(p);
     for l in 0..levels {
         let region = 2usize << l;
         let link = region_link(comm, region);
-        if comm.rank() % region == 0 {
+        if comm.rank().is_multiple_of(region) {
             let merged = n_local * region as u64;
-            comm.charge(Work::MergeElems { n: merged, ways: 2, elem_bytes: elem });
+            comm.charge(Work::MergeElems {
+                n: merged,
+                ways: 2,
+                elem_bytes: elem,
+            });
             charge_traffic(comm, link, merged / 2 * elem);
         }
         // The join point of the task tree.
@@ -77,8 +91,9 @@ pub fn sim_openmp_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
 /// containing this rank.
 fn region_link(comm: &Comm, region: usize) -> LinkClass {
     let start = (comm.rank() / region) * region;
-    let globals: Vec<usize> =
-        (start..(start + region).min(comm.size())).map(|r| comm.global_rank(r)).collect();
+    let globals: Vec<usize> = (start..(start + region).min(comm.size()))
+        .map(|r| comm.global_rank(r))
+        .collect();
     comm.topology().worst_link(&globals)
 }
 
@@ -107,7 +122,10 @@ mod tests {
         let t7 = time(7);
         let t28 = time(28);
         assert!(t28 < t7, "t28 {t28} should beat t7 {t7}");
-        assert!((t28 as f64) > (t7 as f64) / 4.0, "speedup must be sublinear");
+        assert!(
+            (t28 as f64) > (t7 as f64) / 4.0,
+            "speedup must be sublinear"
+        );
     }
 
     #[test]

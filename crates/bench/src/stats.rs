@@ -17,15 +17,27 @@ pub fn median_ci(samples: &[f64]) -> MedianCi {
     let mut v = samples.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
     let n = v.len();
-    let median = if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 };
+    let median = if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    };
     // Binomial(n, 1/2) order-statistic bounds: find the widest k with
     // P(lo_k <= median <= hi_k) >= 0.95 using the normal approximation
     // k = floor((n - 1.96*sqrt(n))/2); clamp for small n.
     let k = (((n as f64) - 1.96 * (n as f64).sqrt()) / 2.0).floor();
-    let k = if k.is_sign_negative() { 0usize } else { k as usize };
+    let k = if k.is_sign_negative() {
+        0usize
+    } else {
+        k as usize
+    };
     let lo = v[k.min(n - 1)];
     let hi = v[n - 1 - k.min(n - 1)];
-    MedianCi { median, lo: lo.min(median), hi: hi.max(median) }
+    MedianCi {
+        median,
+        lo: lo.min(median),
+        hi: hi.max(median),
+    }
 }
 
 /// Relative speedup/efficiency helpers for scaling tables.

@@ -87,7 +87,10 @@ mod tests {
             sort(comm, &arr);
             arr.local_len()
         });
-        assert_eq!(out.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![100, 200, 300]);
+        assert_eq!(
+            out.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![100, 200, 300]
+        );
     }
 
     #[test]

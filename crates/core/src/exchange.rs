@@ -45,7 +45,10 @@ pub fn plan_exchange<K: Key>(
     let n_local = sorted_local.len();
 
     // Local bounds of every splitter key.
-    comm.charge(Work::BinarySearches { searches: 2 * s as u64, n: n_local as u64 });
+    comm.charge(Work::BinarySearches {
+        searches: 2 * s as u64,
+        n: n_local as u64,
+    });
     let mut lowers: Vec<u64> = Vec::with_capacity(s);
     let mut contingents: Vec<u64> = Vec::with_capacity(s);
     for info in &splitters.splitters {
@@ -87,17 +90,14 @@ pub fn plan_exchange<K: Key>(
 /// Execute the `ALL-TO-ALLV`: slice `sorted_local` by the plan and
 /// exchange. Returns the received runs ordered by source rank; each run
 /// is sorted (a contiguous slice of a sorted array).
-pub fn exchange_data<K: Key>(
-    comm: &Comm,
-    sorted_local: &[K],
-    plan: &ExchangePlan,
-) -> Vec<Vec<K>> {
+pub fn exchange_data<K: Key>(comm: &Comm, sorted_local: &[K], plan: &ExchangePlan) -> Vec<Vec<K>> {
     let p = comm.size();
     assert_eq!(plan.cuts.len(), p + 1);
     let elem = std::mem::size_of::<K>() as u64;
     comm.charge(Work::MoveBytes(sorted_local.len() as u64 * elem));
-    let buckets: Vec<Vec<K>> =
-        (0..p).map(|d| sorted_local[plan.cuts[d]..plan.cuts[d + 1]].to_vec()).collect();
+    let buckets: Vec<Vec<K>> = (0..p)
+        .map(|d| sorted_local[plan.cuts[d]..plan.cuts[d + 1]].to_vec())
+        .collect();
     comm.alltoallv(buckets)
 }
 
@@ -181,7 +181,11 @@ mod tests {
     fn sparse_input_exchange() {
         // Two ranks hold everything; capacities are preserved.
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
-            let local = if comm.rank() % 2 == 0 { keys_for(comm.rank(), 300, 1 << 20) } else { vec![] };
+            let local = if comm.rank() % 2 == 0 {
+                keys_for(comm.rank(), 300, 1 << 20)
+            } else {
+                vec![]
+            };
             let caps: Vec<usize> = comm.allgather(local.len());
             let res = find_splitters(comm, &local, &perfect_targets(&caps), 0);
             let plan = plan_exchange(comm, &local, &res);

@@ -104,12 +104,20 @@ impl Key for OrderedF64 {
     #[inline]
     fn to_bits(self) -> u128 {
         let b = self.0.to_bits();
-        (if b & (1 << 63) != 0 { !b } else { b | (1 << 63) }) as u128
+        (if b & (1 << 63) != 0 {
+            !b
+        } else {
+            b | (1 << 63)
+        }) as u128
     }
     #[inline]
     fn from_bits(bits: u128) -> Self {
         let b = bits as u64;
-        let raw = if b & (1 << 63) != 0 { b & !(1 << 63) } else { !b };
+        let raw = if b & (1 << 63) != 0 {
+            b & !(1 << 63)
+        } else {
+            !b
+        };
         OrderedF64(f64::from_bits(raw))
     }
 }
@@ -144,12 +152,20 @@ impl Key for OrderedF32 {
     #[inline]
     fn to_bits(self) -> u128 {
         let b = self.0.to_bits();
-        (if b & (1 << 31) != 0 { !b } else { b | (1 << 31) }) as u128
+        (if b & (1 << 31) != 0 {
+            !b
+        } else {
+            b | (1 << 31)
+        }) as u128
     }
     #[inline]
     fn from_bits(bits: u128) -> Self {
         let b = bits as u32;
-        let raw = if b & (1 << 31) != 0 { b & !(1 << 31) } else { !b };
+        let raw = if b & (1 << 31) != 0 {
+            b & !(1 << 31)
+        } else {
+            !b
+        };
         OrderedF32(f32::from_bits(raw))
     }
 }
@@ -191,7 +207,11 @@ pub fn make_unique<K: Key>(local: &[K], rank: usize) -> Vec<UniqueKey<K>> {
     local
         .iter()
         .enumerate()
-        .map(|(i, &key)| UniqueKey { key, rank: rank as u32, index: i as u32 })
+        .map(|(i, &key)| UniqueKey {
+            key,
+            rank: rank as u32,
+            index: i as u32,
+        })
         .collect()
 }
 
@@ -207,7 +227,10 @@ mod tests {
     fn check_embedding<K: Key + std::fmt::Debug>(values: &[K]) {
         for &a in values {
             assert_eq!(K::from_bits(a.to_bits()), a, "roundtrip {a:?}");
-            assert!(a.to_bits() >> K::BITS == 0 || K::BITS == 128, "fits in BITS {a:?}");
+            assert!(
+                a.to_bits() >> K::BITS == 0 || K::BITS == 128,
+                "fits in BITS {a:?}"
+            );
             for &b in values {
                 assert_eq!(a <= b, a.to_bits() <= b.to_bits(), "order {a:?} {b:?}");
             }
@@ -228,11 +251,20 @@ mod tests {
 
     #[test]
     fn float_embedding() {
-        let vals: Vec<OrderedF64> =
-            [-f64::INFINITY, -1e300, -2.5, -0.0, 0.0, 1e-300, 3.25, 1e300, f64::INFINITY]
-                .iter()
-                .map(|&x| OrderedF64(x))
-                .collect();
+        let vals: Vec<OrderedF64> = [
+            -f64::INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            3.25,
+            1e300,
+            f64::INFINITY,
+        ]
+        .iter()
+        .map(|&x| OrderedF64(x))
+        .collect();
         for w in vals.windows(2) {
             assert!(w[0] <= w[1]);
             assert!(w[0].to_bits() <= w[1].to_bits());
@@ -245,8 +277,10 @@ mod tests {
 
     #[test]
     fn float32_embedding() {
-        let vals: Vec<OrderedF32> =
-            [-1e30f32, -1.5, 0.0, 2.25, 1e30].iter().map(|&x| OrderedF32(x)).collect();
+        let vals: Vec<OrderedF32> = [-1e30f32, -1.5, 0.0, 2.25, 1e30]
+            .iter()
+            .map(|&x| OrderedF32(x))
+            .collect();
         for w in vals.windows(2) {
             assert!(w[0].to_bits() < w[1].to_bits());
         }
@@ -264,9 +298,21 @@ mod tests {
 
     #[test]
     fn unique_key_orders_by_key_then_origin() {
-        let a = UniqueKey { key: 5u64, rank: 0, index: 9 };
-        let b = UniqueKey { key: 5u64, rank: 1, index: 0 };
-        let c = UniqueKey { key: 6u64, rank: 0, index: 0 };
+        let a = UniqueKey {
+            key: 5u64,
+            rank: 0,
+            index: 9,
+        };
+        let b = UniqueKey {
+            key: 5u64,
+            rank: 1,
+            index: 0,
+        };
+        let c = UniqueKey {
+            key: 6u64,
+            rank: 0,
+            index: 0,
+        };
         assert!(a < b && b < c);
         assert!(a.to_bits() < b.to_bits() && b.to_bits() < c.to_bits());
         assert_eq!(UniqueKey::<u64>::from_bits(b.to_bits()), b);

@@ -40,17 +40,17 @@ pub mod splitter;
 pub mod verify;
 
 pub use api::{median, nth_element, sort, sort_array};
+pub use key::{make_unique, strip_unique, Key, OrderedF32, OrderedF64, UniqueKey};
 pub use multilevel::histogram_sort_two_level;
 pub use overlap::{exchange_and_merge, one_factor_partner, one_factor_rounds, OverlapStats};
-pub use key::{make_unique, strip_unique, Key, OrderedF32, OrderedF64, UniqueKey};
 pub use sort::{
-    histogram_sort, histogram_sort_by, ExchangeStrategy, LocalSort, Partitioning, SortConfig,
-    SortStats,
+    histogram_sort, histogram_sort_by, ExchangeStrategy, InvalidSortConfig, LocalSort,
+    Partitioning, SortConfig, SortOutcome, SortStats,
 };
-pub use verify::{global_fingerprint, multiset_fingerprint, verify_sorted, SortViolation};
 pub use splitter::{
     balanced_targets, find_splitters, find_splitters_cfg, find_splitters_opts, perfect_targets,
     slack_for, InitialBounds, SplitterInfo, SplitterOptions, SplitterResult,
 };
+pub use verify::{global_fingerprint, multiset_fingerprint, verify_sorted, SortViolation};
 
 pub use dhs_merge::MergeAlgo;

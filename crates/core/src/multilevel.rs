@@ -32,20 +32,30 @@ pub fn histogram_sort_two_level<K: Key>(
         "two-level sort currently supports perfect partitioning only"
     );
     let p = comm.size();
-    let g = if groups == 0 { (p as f64).sqrt().ceil() as usize } else { groups };
+    let g = if groups == 0 {
+        (p as f64).sqrt().ceil() as usize
+    } else {
+        groups
+    };
     let g = g.clamp(1, p);
     if g <= 1 || g >= p {
         // Degenerates to the flat algorithm.
         return histogram_sort(comm, local, cfg);
     }
 
-    let mut stats = SortStats { n_in: local.len(), ..SortStats::default() };
+    let mut stats = SortStats {
+        n_in: local.len(),
+        ..SortStats::default()
+    };
     let elem = std::mem::size_of::<K>() as u64;
 
     // Shared local sort.
     let t0 = comm.now_ns();
     local.sort_unstable();
-    comm.charge(Work::SortElems { n: local.len() as u64, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: local.len() as u64,
+        elem_bytes: elem,
+    });
     stats.local_sort_ns = comm.now_ns() - t0;
 
     let caps: Vec<usize> = comm.allgather(local.len());
@@ -85,7 +95,10 @@ pub fn histogram_sort_two_level<K: Key>(
 
     let t3 = comm.now_ns();
     let received = exchange_group_data(comm, local, &plan);
-    comm.charge(Work::SortElems { n: received.len() as u64, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: received.len() as u64,
+        elem_bytes: elem,
+    });
     let mut mine = received;
     mine.sort_unstable();
     *local = mine;
@@ -131,10 +144,15 @@ pub fn histogram_sort_two_level<K: Key>(
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
-        dhs_merge::MergeAlgo::Resort => {
-            comm.charge(Work::SortElems { n: n_recv, elem_bytes: elem })
-        }
-        _ => comm.charge(Work::MergeElems { n: n_recv, ways: ways.max(2), elem_bytes: elem }),
+        dhs_merge::MergeAlgo::Resort => comm.charge(Work::SortElems {
+            n: n_recv,
+            elem_bytes: elem,
+        }),
+        _ => comm.charge(Work::MergeElems {
+            n: n_recv,
+            ways: ways.max(2),
+            elem_bytes: elem,
+        }),
     }
     *local = dhs_merge::kway_merge(cfg.merge, &received);
     stats.merge_ns += comm.now_ns() - t7;
@@ -224,8 +242,7 @@ mod tests {
     fn check(p: usize, n: usize, modulus: u64, groups: usize) {
         let out = run(&ClusterConfig::small_cluster(p), move |comm| {
             let mut local = keys_for(comm.rank(), n, modulus);
-            let stats =
-                histogram_sort_two_level(comm, &mut local, &SortConfig::default(), groups);
+            let stats = histogram_sort_two_level(comm, &mut local, &SortConfig::default(), groups);
             (local, stats)
         });
         let mut expect: Vec<u64> = (0..p).flat_map(|r| keys_for(r, n, modulus)).collect();
@@ -259,8 +276,11 @@ mod tests {
     #[test]
     fn sparse_input() {
         let out = run(&ClusterConfig::small_cluster(8), |comm| {
-            let mut local =
-                if comm.rank() < 2 { keys_for(comm.rank(), 400, 1 << 20) } else { Vec::new() };
+            let mut local = if comm.rank() < 2 {
+                keys_for(comm.rank(), 400, 1 << 20)
+            } else {
+                Vec::new()
+            };
             histogram_sort_two_level(comm, &mut local, &SortConfig::default(), 0);
             local.len()
         });

@@ -61,7 +61,7 @@ pub fn one_factor_partner(p: usize, round: usize, rank: usize) -> Option<usize> 
 pub fn one_factor_rounds(p: usize) -> usize {
     if p <= 1 {
         0
-    } else if p % 2 == 0 {
+    } else if p.is_multiple_of(2) {
         p - 1
     } else {
         p
@@ -132,9 +132,11 @@ pub fn exchange_and_merge<K: Key>(
         // work.
         if !received.is_empty() {
             let merged_n = (acc.len() + received.len()) as u64;
-            pending_merge_ns = comm
-                .cost_model()
-                .work_ns(Work::MergeElems { n: merged_n, ways: 2, elem_bytes: elem });
+            pending_merge_ns = comm.cost_model().work_ns(Work::MergeElems {
+                n: merged_n,
+                ways: 2,
+                elem_bytes: elem,
+            });
             acc = merge_two(&acc, &received);
         } else {
             pending_merge_ns = 0;
@@ -158,7 +160,7 @@ mod tests {
         for p in [2usize, 3, 4, 5, 8, 9, 16] {
             for round in 0..one_factor_rounds(p) {
                 let mut seen = vec![false; p];
-                for i in 0..p {
+                for (i, was_idle) in seen.iter_mut().enumerate() {
                     match one_factor_partner(p, round, i) {
                         Some(j) => {
                             assert_ne!(i, j, "p={p} r={round}");
@@ -170,8 +172,8 @@ mod tests {
                         }
                         None => {
                             assert!(p % 2 == 1, "only odd p idles ranks");
-                            assert!(!seen[i]);
-                            seen[i] = true;
+                            assert!(!*was_idle);
+                            *was_idle = true;
                         }
                     }
                 }
@@ -184,16 +186,16 @@ mod tests {
         for p in [4usize, 5, 8, 9] {
             let mut met = vec![vec![0u32; p]; p];
             for round in 0..one_factor_rounds(p) {
-                for i in 0..p {
+                for (i, row) in met.iter_mut().enumerate() {
                     if let Some(j) = one_factor_partner(p, round, i) {
-                        met[i][j] += 1;
+                        row[j] += 1;
                     }
                 }
             }
-            for i in 0..p {
-                for j in 0..p {
+            for (i, row) in met.iter().enumerate() {
+                for (j, &count) in row.iter().enumerate() {
                     if i != j {
-                        assert_eq!(met[i][j], 1, "p={p}: pair ({i},{j})");
+                        assert_eq!(count, 1, "p={p}: pair ({i},{j})");
                     }
                 }
             }
@@ -248,6 +250,9 @@ mod tests {
     fn overlap_reduces_virtual_time() {
         let (_, with) = pipeline(8, 4000, true);
         let (_, without) = pipeline(8, 4000, false);
-        assert!(with < without, "overlap {with} should beat no-overlap {without}");
+        assert!(
+            with < without,
+            "overlap {with} should beat no-overlap {without}"
+        );
     }
 }

@@ -4,9 +4,14 @@
 use dhs_merge::{kway_merge, MergeAlgo};
 use dhs_runtime::{Comm, Work};
 
+use std::fmt;
+
 use crate::exchange::{exchange_data, plan_exchange};
 use crate::key::{make_unique, strip_unique, Key};
-use crate::splitter::{balanced_targets, find_splitters, perfect_targets, slack_for};
+use crate::splitter::{
+    balanced_targets, find_splitters_cfg, perfect_targets, slack_for, SplitterOptions,
+    SplitterResult,
+};
 
 /// How output boundaries are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +69,51 @@ pub struct SortConfig {
     /// equal-key runs exactly), but kept for fidelity and ablation: it
     /// trades 8 bytes/key of metadata for distinct keys.
     pub unique_transform: bool,
+    /// Hard cap on splitter-refinement iterations. When the cap stops
+    /// the search early, the sort falls back to the best partition
+    /// found so far and reports [`SortOutcome::Degraded`] with the
+    /// achieved ε instead of spinning (useful under injected faults or
+    /// adversarial keys). `None` (default) lets the search run to its
+    /// key-width convergence bound.
+    pub max_splitter_iterations: Option<u32>,
+}
+
+/// A [`SortConfig`] that cannot be executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidSortConfig {
+    /// `epsilon` must be finite and `>= 0`.
+    BadEpsilon(f64),
+    /// A splitter-iteration cap of 0 can never place a boundary.
+    ZeroIterationCap,
+}
+
+impl fmt::Display for InvalidSortConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidSortConfig::BadEpsilon(e) => {
+                write!(f, "epsilon must be finite and non-negative, got {e}")
+            }
+            InvalidSortConfig::ZeroIterationCap => {
+                write!(f, "max_splitter_iterations must be at least 1 when set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidSortConfig {}
+
+impl SortConfig {
+    /// Check the configuration for values that make the sort
+    /// meaningless. Called by every sort entry point.
+    pub fn validate(&self) -> Result<(), InvalidSortConfig> {
+        if !self.epsilon.is_finite() || self.epsilon < 0.0 {
+            return Err(InvalidSortConfig::BadEpsilon(self.epsilon));
+        }
+        if self.max_splitter_iterations == Some(0) {
+            return Err(InvalidSortConfig::ZeroIterationCap);
+        }
+        Ok(())
+    }
 }
 
 impl Default for SortConfig {
@@ -77,6 +127,7 @@ impl Default for SortConfig {
             exchange: ExchangeStrategy::AllToAllv,
             local_sort: LocalSort::Comparison,
             unique_transform: false,
+            max_splitter_iterations: None,
         }
     }
 }
@@ -87,20 +138,49 @@ fn local_sort_exec<K: Key>(comm: &Comm, data: &mut [K], engine: LocalSort) {
     match engine {
         LocalSort::Comparison => {
             data.sort_unstable();
-            comm.charge(Work::SortElems { n, elem_bytes: std::mem::size_of::<K>() as u64 });
+            comm.charge(Work::SortElems {
+                n,
+                elem_bytes: std::mem::size_of::<K>() as u64,
+            });
         }
         LocalSort::Radix => {
             dhs_shm::radix_sort_by_bits(data, |x| x.to_bits(), K::BITS);
             // One streaming read + one scattered write per pass.
             let passes = K::BITS.div_ceil(8) as u64;
-            comm.charge(Work::MoveBytes(2 * passes * n * std::mem::size_of::<K>() as u64));
+            comm.charge(Work::MoveBytes(
+                2 * passes * n * std::mem::size_of::<K>() as u64,
+            ));
             comm.charge(Work::RandomAccesses(passes * n / 8));
         }
     }
 }
 
+/// How a sort run ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum SortOutcome {
+    /// Every splitter met its target within the configured ε slack.
+    #[default]
+    Exact,
+    /// The splitter-iteration cap fired: the output is still globally
+    /// sorted, but boundaries follow the best partition found, with an
+    /// effective load-balance threshold of `achieved_epsilon` (the ε
+    /// for which Definition 1 would have accepted this partition).
+    Degraded {
+        /// Smallest ε accepting the realized boundaries.
+        achieved_epsilon: f64,
+        /// Iterations actually spent before the cap.
+        iterations: u32,
+    },
+}
+
+impl SortOutcome {
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, SortOutcome::Degraded { .. })
+    }
+}
+
 /// Per-phase timings (virtual nanoseconds) and counters of one sort.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SortStats {
     /// Histogramming iterations (`ALLREDUCE` rounds).
     pub iterations: u32,
@@ -118,16 +198,15 @@ pub struct SortStats {
     /// Keys held before / after.
     pub n_in: usize,
     pub n_out: usize,
+    /// Whether the partition met the configured ε or was degraded by
+    /// the splitter-iteration cap.
+    pub outcome: SortOutcome,
 }
 
 impl SortStats {
     /// End-to-end virtual time of the sort on this rank.
     pub fn total_ns(&self) -> u64 {
-        self.local_sort_ns
-            + self.histogram_ns
-            + self.prepare_ns
-            + self.exchange_ns
-            + self.merge_ns
+        self.local_sort_ns + self.histogram_ns + self.prepare_ns + self.exchange_ns + self.merge_ns
     }
 }
 
@@ -136,7 +215,13 @@ impl SortStats {
 /// `local` is sorted, globally ordered by rank, and sized according to
 /// the partitioning policy.
 pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig) -> SortStats {
-    let mut stats = SortStats { n_in: local.len(), ..SortStats::default() };
+    if let Err(e) = cfg.validate() {
+        panic!("invalid SortConfig: {e}");
+    }
+    let mut stats = SortStats {
+        n_in: local.len(),
+        ..SortStats::default()
+    };
 
     // Phase 1: local sort.
     let t0 = comm.now_ns();
@@ -163,13 +248,32 @@ pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig)
         // The transform ships (rank, index) alongside each key.
         comm.charge(Work::MoveBytes(local.len() as u64 * 8));
         let mut sorted = wrapped;
-        run_pipeline(comm, &mut sorted, &targets, slack, cfg, &mut stats);
+        run_pipeline(comm, &mut sorted, &targets, slack, n_total, cfg, &mut stats);
         *local = strip_unique(sorted);
     } else {
-        run_pipeline(comm, local, &targets, slack, cfg, &mut stats);
+        run_pipeline(comm, local, &targets, slack, n_total, cfg, &mut stats);
     }
     stats.n_out = local.len();
     stats
+}
+
+/// Classify the splitter result: exact within ε, or — when the
+/// iteration cap froze unsettled splitters — the smallest ε for which
+/// Definition 1 would have accepted the realized boundaries.
+fn outcome_of<K>(res: &SplitterResult<K>, n_total: u64, p: usize) -> SortOutcome {
+    if !res.degraded {
+        return SortOutcome::Exact;
+    }
+    let max_dev = res
+        .splitters
+        .iter()
+        .map(|s| s.realized.abs_diff(s.target))
+        .max()
+        .unwrap_or(0);
+    SortOutcome::Degraded {
+        achieved_epsilon: 2.0 * p as f64 * max_dev as f64 / n_total.max(1) as f64,
+        iterations: res.iterations,
+    }
 }
 
 /// Sort a distributed vector of arbitrary records by an extracted
@@ -188,13 +292,22 @@ where
     K: Key,
     F: Fn(&T) -> K,
 {
-    let mut stats = SortStats { n_in: local.len(), ..SortStats::default() };
+    if let Err(e) = cfg.validate() {
+        panic!("invalid SortConfig: {e}");
+    }
+    let mut stats = SortStats {
+        n_in: local.len(),
+        ..SortStats::default()
+    };
     let elem = std::mem::size_of::<T>() as u64;
 
     // Phase 1: local sort by key.
     let t0 = comm.now_ns();
     local.sort_by_key(|x| key_fn(x));
-    comm.charge(Work::SortElems { n: local.len() as u64, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: local.len() as u64,
+        elem_bytes: elem,
+    });
     stats.local_sort_ns = comm.now_ns() - t0;
 
     let caps: Vec<usize> = comm.allgather(local.len());
@@ -214,10 +327,17 @@ where
     // transform falls out naturally: records are positionally unique
     // via the Algorithm 4 refinement, so only the key view is needed.
     let keys: Vec<K> = local.iter().map(&key_fn).collect();
-    comm.charge(Work::MoveBytes(keys.len() as u64 * std::mem::size_of::<K>() as u64));
+    comm.charge(Work::MoveBytes(
+        keys.len() as u64 * std::mem::size_of::<K>() as u64,
+    ));
     let t1 = comm.now_ns();
-    let splitters = crate::splitter::find_splitters(comm, &keys, &targets, slack);
+    let opts = SplitterOptions {
+        max_iterations: cfg.max_splitter_iterations,
+        ..SplitterOptions::default()
+    };
+    let splitters = find_splitters_cfg(comm, &keys, &targets, slack, opts);
     stats.iterations = splitters.iterations;
+    stats.outcome = outcome_of(&splitters, n_total, p);
     stats.histogram_ns = comm.now_ns() - t1;
 
     // Phase 3: plan on the key view, exchange the records.
@@ -227,15 +347,19 @@ where
 
     let t3 = comm.now_ns();
     comm.charge(Work::MoveBytes(local.len() as u64 * elem));
-    let buckets: Vec<Vec<T>> =
-        (0..p).map(|d| local[plan.cuts[d]..plan.cuts[d + 1]].to_vec()).collect();
+    let buckets: Vec<Vec<T>> = (0..p)
+        .map(|d| local[plan.cuts[d]..plan.cuts[d + 1]].to_vec())
+        .collect();
     let received = comm.alltoallv(buckets);
     stats.exchange_ns = comm.now_ns() - t3;
 
     // Phase 4: re-sort the received records by key.
     let t4 = comm.now_ns();
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
-    comm.charge(Work::SortElems { n: n_recv, elem_bytes: elem });
+    comm.charge(Work::SortElems {
+        n: n_recv,
+        elem_bytes: elem,
+    });
     *local = received.into_iter().flatten().collect();
     local.sort_by_key(|x| key_fn(x));
     stats.merge_ns = comm.now_ns() - t4;
@@ -249,6 +373,7 @@ fn run_pipeline<K: Key>(
     sorted_local: &mut Vec<K>,
     targets: &[u64],
     slack: u64,
+    n_total: u64,
     cfg: &SortConfig,
     stats: &mut SortStats,
 ) {
@@ -256,8 +381,13 @@ fn run_pipeline<K: Key>(
 
     // Phase 2: splitter determination by iterative histogramming.
     let t1 = comm.now_ns();
-    let splitters = find_splitters(comm, sorted_local, targets, slack);
+    let opts = SplitterOptions {
+        max_iterations: cfg.max_splitter_iterations,
+        ..SplitterOptions::default()
+    };
+    let splitters = find_splitters_cfg(comm, sorted_local, targets, slack, opts);
     stats.iterations = splitters.iterations;
+    stats.outcome = outcome_of(&splitters, n_total, comm.size());
     stats.histogram_ns = comm.now_ns() - t1;
 
     // Phase 3a: exchange preparation (Algorithm 4).
@@ -343,7 +473,10 @@ mod tests {
         let expect = global_expected(p, n, modulus);
         let mut got = Vec::new();
         for (rank, ((local, stats), _)) in out.iter().enumerate() {
-            assert!(local.windows(2).all(|w| w[0] <= w[1]), "rank {rank} not locally sorted");
+            assert!(
+                local.windows(2).all(|w| w[0] <= w[1]),
+                "rank {rank} not locally sorted"
+            );
             if expect_exact_counts {
                 assert_eq!(local.len(), n, "rank {rank} perfect partition violated");
             }
@@ -367,7 +500,10 @@ mod tests {
 
     #[test]
     fn radix_local_sort_gives_same_result() {
-        let cfg = SortConfig { local_sort: LocalSort::Radix, ..SortConfig::default() };
+        let cfg = SortConfig {
+            local_sort: LocalSort::Radix,
+            ..SortConfig::default()
+        };
         check_sorted_output(4, 700, u64::MAX, &cfg, true);
         check_sorted_output(5, 300, 9, &cfg, true);
     }
@@ -375,7 +511,10 @@ mod tests {
     #[test]
     fn radix_is_cheaper_than_comparison_in_model() {
         let time = |ls: LocalSort| {
-            let cfg = SortConfig { local_sort: ls, ..SortConfig::default() };
+            let cfg = SortConfig {
+                local_sort: ls,
+                ..SortConfig::default()
+            };
             let out = run(&ClusterConfig::small_cluster(4), move |comm| {
                 let mut local = keys_for(comm.rank(), 100_000, u64::MAX);
                 histogram_sort(comm, &mut local, &cfg).local_sort_ns
@@ -400,14 +539,20 @@ mod tests {
     #[test]
     fn all_merge_engines_give_same_result() {
         for merge in MergeAlgo::ALL {
-            let cfg = SortConfig { merge, ..SortConfig::default() };
+            let cfg = SortConfig {
+                merge,
+                ..SortConfig::default()
+            };
             check_sorted_output(4, 300, 1 << 20, &cfg, true);
         }
     }
 
     #[test]
     fn unique_transform_roundtrip() {
-        let cfg = SortConfig { unique_transform: true, ..SortConfig::default() };
+        let cfg = SortConfig {
+            unique_transform: true,
+            ..SortConfig::default()
+        };
         check_sorted_output(4, 500, 3, &cfg, true);
         check_sorted_output(5, 500, u64::MAX, &cfg, true);
     }
@@ -417,8 +562,10 @@ mod tests {
         let p = 4;
         let n = 2000;
         let eps = 0.1;
-        let cfg =
-            SortConfig { epsilon: eps, ..SortConfig::default() };
+        let cfg = SortConfig {
+            epsilon: eps,
+            ..SortConfig::default()
+        };
         let out = run(&ClusterConfig::small_cluster(p), move |comm| {
             let mut local = keys_for(comm.rank(), n, u64::MAX);
             histogram_sort(comm, &mut local, &cfg);
@@ -437,6 +584,93 @@ mod tests {
     }
 
     #[test]
+    fn iteration_cap_degrades_gracefully() {
+        let p = 4;
+        let n = 2000;
+        // One iteration can never settle ε=0 splitters on wide keys.
+        let cfg = SortConfig {
+            max_splitter_iterations: Some(1),
+            ..SortConfig::default()
+        };
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            let mut local = keys_for(comm.rank(), n, u64::MAX);
+            let stats = histogram_sort(comm, &mut local, &cfg);
+            (local, stats)
+        });
+        let expect = global_expected(p, n, u64::MAX);
+        let mut got = Vec::new();
+        for (rank, ((local, stats), _)) in out.iter().enumerate() {
+            assert!(
+                local.windows(2).all(|w| w[0] <= w[1]),
+                "rank {rank} not sorted"
+            );
+            assert_eq!(stats.iterations, 1);
+            match stats.outcome {
+                SortOutcome::Degraded {
+                    achieved_epsilon,
+                    iterations,
+                } => {
+                    assert!(achieved_epsilon > 0.0);
+                    assert!(achieved_epsilon.is_finite());
+                    assert_eq!(iterations, 1);
+                }
+                SortOutcome::Exact => panic!("rank {rank}: cap of 1 should degrade"),
+            }
+            got.extend_from_slice(local);
+        }
+        // Global order survives degradation; only the balance slips.
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn generous_iteration_cap_stays_exact() {
+        let cfg = SortConfig {
+            max_splitter_iterations: Some(200),
+            ..SortConfig::default()
+        };
+        let out = run(&ClusterConfig::small_cluster(4), move |comm| {
+            let mut local = keys_for(comm.rank(), 500, u64::MAX);
+            let stats = histogram_sort(comm, &mut local, &cfg);
+            assert_eq!(local.len(), 500, "perfect partition expected");
+            stats.outcome
+        });
+        assert!(out.iter().all(|(o, _)| *o == SortOutcome::Exact));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        for eps in [-0.5, f64::NAN, f64::INFINITY] {
+            let cfg = SortConfig {
+                epsilon: eps,
+                ..SortConfig::default()
+            };
+            assert!(
+                matches!(cfg.validate(), Err(InvalidSortConfig::BadEpsilon(_))),
+                "{eps}"
+            );
+        }
+        let cfg = SortConfig {
+            max_splitter_iterations: Some(0),
+            ..SortConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(InvalidSortConfig::ZeroIterationCap));
+        assert!(SortConfig::default().validate().is_ok());
+
+        // The sort entry point enforces it with a clear message.
+        let res = std::panic::catch_unwind(|| {
+            run(&ClusterConfig::small_cluster(2), |comm| {
+                let cfg = SortConfig {
+                    epsilon: f64::NAN,
+                    ..SortConfig::default()
+                };
+                let mut local = vec![1u64, 2];
+                histogram_sort(comm, &mut local, &cfg);
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
     fn balanced_partitioning_rebalances_skewed_input() {
         let p = 4;
         let cfg = SortConfig {
@@ -445,8 +679,11 @@ mod tests {
         };
         let out = run(&ClusterConfig::small_cluster(p), move |comm| {
             // Rank 0 holds everything.
-            let mut local =
-                if comm.rank() == 0 { keys_for(0, 1000, 1 << 30) } else { Vec::new() };
+            let mut local = if comm.rank() == 0 {
+                keys_for(0, 1000, 1 << 30)
+            } else {
+                Vec::new()
+            };
             histogram_sort(comm, &mut local, &cfg);
             local.len()
         });
@@ -458,12 +695,18 @@ mod tests {
     #[test]
     fn sparse_input_keeps_capacities() {
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
-            let mut local =
-                if comm.rank() == 2 { keys_for(2, 999, 1 << 16) } else { Vec::new() };
+            let mut local = if comm.rank() == 2 {
+                keys_for(2, 999, 1 << 16)
+            } else {
+                Vec::new()
+            };
             histogram_sort(comm, &mut local, &SortConfig::default());
             local.len()
         });
-        assert_eq!(out.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![0, 0, 999, 0]);
+        assert_eq!(
+            out.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![0, 0, 999, 0]
+        );
     }
 
     #[test]
@@ -540,12 +783,17 @@ mod tests {
     fn sort_by_key_balanced_targets() {
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
             let mut records: Vec<(u64, u8)> = if comm.rank() == 0 {
-                keys_for(0, 1000, 1 << 20).into_iter().map(|k| (k, 0xAB)).collect()
+                keys_for(0, 1000, 1 << 20)
+                    .into_iter()
+                    .map(|k| (k, 0xAB))
+                    .collect()
             } else {
                 Vec::new()
             };
-            let cfg =
-                SortConfig { partitioning: Partitioning::Balanced, ..SortConfig::default() };
+            let cfg = SortConfig {
+                partitioning: Partitioning::Balanced,
+                ..SortConfig::default()
+            };
             histogram_sort_by(comm, &mut records, |r| r.0, &cfg);
             records.len()
         });

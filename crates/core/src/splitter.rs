@@ -46,6 +46,11 @@ pub struct SplitterResult<K> {
     pub splitters: Vec<SplitterInfo<K>>,
     /// Histogramming iterations executed (each = one `ALLREDUCE`).
     pub iterations: u32,
+    /// `true` when an iteration cap stopped the search before every
+    /// splitter met its slack: the unsettled splitters were frozen at
+    /// their best-so-far probe, so realized boundaries may deviate from
+    /// their targets by more than `slack` (graceful degradation).
+    pub degraded: bool,
 }
 
 /// Validation outcome for one splitter probe (Algorithm 2).
@@ -69,27 +74,31 @@ enum Validation {
 /// that roughly halves the iteration count (a boundary between two
 /// keys is just as good as the key itself, and gaps are hit long
 /// before the exact key bits are resolved).
-fn validate_splitter(
-    lower: u64,
-    upper: u64,
-    target: u64,
-    slack: u64,
-    strict: bool,
-) -> Validation {
+fn validate_splitter(lower: u64, upper: u64, target: u64, slack: u64, strict: bool) -> Validation {
     let lo_ok = target.saturating_sub(slack);
     let hi_ok = target.saturating_add(slack);
     // Boundaries achievable at this probe: [lower, upper] relaxed,
     // (lower, upper] strict — except that target 0 can only ever be
     // realized as "nothing below", which the strict rule would make
     // unsatisfiable.
-    let achievable_lo = if strict && target > 0 { lower + 1 } else { lower };
+    let achievable_lo = if strict && target > 0 {
+        lower + 1
+    } else {
+        lower
+    };
     if achievable_lo.max(lo_ok) <= upper.min(hi_ok) {
-        return Validation::Accept { realized: target.clamp(achievable_lo, upper) };
+        return Validation::Accept {
+            realized: target.clamp(achievable_lo, upper),
+        };
     }
     // Rejected: steer towards the target's key. Strict mode must treat
     // a gap probe with `L == t` as too high — the t-th key itself lies
     // *below* such a probe.
-    let too_high = if strict { lower >= target } else { lower > hi_ok };
+    let too_high = if strict {
+        lower >= target
+    } else {
+        lower > hi_ok
+    };
     if too_high {
         Validation::TooHigh
     } else {
@@ -127,7 +136,13 @@ pub fn find_splitters<K: Key>(
     targets: &[u64],
     slack: u64,
 ) -> SplitterResult<K> {
-    find_splitters_opts(comm, sorted_local, targets, slack, InitialBounds::DataMinMax)
+    find_splitters_opts(
+        comm,
+        sorted_local,
+        targets,
+        slack,
+        InitialBounds::DataMinMax,
+    )
 }
 
 /// [`find_splitters`] with an explicit initial-interval strategy.
@@ -143,7 +158,10 @@ pub fn find_splitters_opts<K: Key>(
         sorted_local,
         targets,
         slack,
-        SplitterOptions { init, ..SplitterOptions::default() },
+        SplitterOptions {
+            init,
+            ..SplitterOptions::default()
+        },
     )
 }
 
@@ -158,11 +176,22 @@ pub struct SplitterOptions {
     /// for 64-bit keys). Off by default: gap boundaries are accepted
     /// too, roughly halving the iterations.
     pub strict_paper_rule: bool,
+    /// Hard cap on histogramming iterations. When hit, splitters still
+    /// active are frozen at their best-so-far probe (realized boundary
+    /// clamped into that probe's achievable `[L, U]`) and the result is
+    /// marked [`SplitterResult::degraded`] instead of asserting.
+    /// `None` (default) bounds the search only by the convergence
+    /// guarantee of the key width.
+    pub max_iterations: Option<u32>,
 }
 
 impl Default for SplitterOptions {
     fn default() -> Self {
-        Self { init: InitialBounds::DataMinMax, strict_paper_rule: false }
+        Self {
+            init: InitialBounds::DataMinMax,
+            strict_paper_rule: false,
+            max_iterations: None,
+        }
     }
 }
 
@@ -175,12 +204,22 @@ pub fn find_splitters_cfg<K: Key>(
     opts: SplitterOptions,
 ) -> SplitterResult<K> {
     let init = opts.init;
-    debug_assert!(sorted_local.windows(2).all(|w| w[0] <= w[1]), "local data must be sorted");
-    debug_assert!(targets.windows(2).all(|w| w[0] <= w[1]), "targets must be ascending");
+    debug_assert!(
+        sorted_local.windows(2).all(|w| w[0] <= w[1]),
+        "local data must be sorted"
+    );
+    debug_assert!(
+        targets.windows(2).all(|w| w[0] <= w[1]),
+        "targets must be ascending"
+    );
 
     if targets.is_empty() {
         // Single rank: no splitters to find, but stay collective-free.
-        return SplitterResult { splitters: Vec::new(), iterations: 0 };
+        return SplitterResult {
+            splitters: Vec::new(),
+            iterations: 0,
+            degraded: false,
+        };
     }
 
     // Global key range (one reduction, as in Algorithm 3 line 3).
@@ -205,7 +244,11 @@ pub fn find_splitters_cfg<K: Key>(
             targets.iter().all(|&t| t == 0),
             "non-zero target on globally empty input"
         );
-        return SplitterResult { splitters: Vec::new(), iterations: 0 };
+        return SplitterResult {
+            splitters: Vec::new(),
+            iterations: 0,
+            degraded: false,
+        };
     };
 
     struct State {
@@ -215,7 +258,11 @@ pub fn find_splitters_cfg<K: Key>(
     }
     let data_lo = min_key.to_bits();
     let data_hi = max_key.to_bits();
-    let domain_hi = if K::BITS >= 128 { u128::MAX } else { (1u128 << K::BITS) - 1 };
+    let domain_hi = if K::BITS >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << K::BITS) - 1
+    };
     let brackets: Vec<(u128, u128)> = match init {
         InitialBounds::DataMinMax => vec![(data_lo, data_hi); targets.len()],
         InitialBounds::FullDomain => vec![(0, domain_hi); targets.len()],
@@ -226,9 +273,8 @@ pub fn find_splitters_cfg<K: Key>(
             } else {
                 (0..per_rank.max(1))
                     .map(|i| {
-                        sorted_local
-                            [((i + 1) * sorted_local.len() / (per_rank.max(1) + 1))
-                                .min(sorted_local.len() - 1)]
+                        sorted_local[((i + 1) * sorted_local.len() / (per_rank.max(1) + 1))
+                            .min(sorted_local.len() - 1)]
                     })
                     .collect()
             };
@@ -257,28 +303,34 @@ pub fn find_splitters_cfg<K: Key>(
     };
     let mut states: Vec<State> = brackets
         .into_iter()
-        .map(|(lo_bits, hi_bits)| State { lo_bits, hi_bits, done: None })
+        .map(|(lo_bits, hi_bits)| State {
+            lo_bits,
+            hi_bits,
+            done: None,
+        })
         .collect();
 
     let n = sorted_local.len() as u64;
     let mut iterations = 0u32;
+    let mut degraded = false;
     // Sampled brackets can miss the splitter once and restart from the
     // data min/max; allow head-room for that.
-    let max_iterations = match init {
+    let convergence_guard = match init {
         InitialBounds::SampledQuantiles { .. } => 3 * (K::BITS + 2),
         _ => K::BITS + 2,
     };
 
     loop {
-        let active: Vec<usize> =
-            (0..states.len()).filter(|&i| states[i].done.is_none()).collect();
+        let active: Vec<usize> = (0..states.len())
+            .filter(|&i| states[i].done.is_none())
+            .collect();
         if active.is_empty() {
             break;
         }
         iterations += 1;
         assert!(
-            iterations <= max_iterations,
-            "splitter search failed to converge in {max_iterations} iterations"
+            iterations <= convergence_guard,
+            "splitter search failed to converge in {convergence_guard} iterations"
         );
 
         // Probe the bit-space midpoint of each active splitter and
@@ -291,7 +343,10 @@ pub fn find_splitters_cfg<K: Key>(
                 (mid_bits, K::from_bits(mid_bits))
             })
             .collect();
-        comm.charge(Work::BinarySearches { searches: 2 * active.len() as u64, n });
+        comm.charge(Work::BinarySearches {
+            searches: 2 * active.len() as u64,
+            n,
+        });
         let mut histogram: Vec<u64> = Vec::with_capacity(2 * active.len());
         for &(_, mid) in &mids {
             histogram.push(sorted_local.partition_point(|x| *x < mid) as u64);
@@ -331,6 +386,23 @@ pub fn find_splitters_cfg<K: Key>(
                 }
             }
         }
+
+        // Graceful degradation: out of iteration budget, freeze every
+        // unsettled splitter at this round's probe. The realized
+        // boundary is the closest achievable position to the target,
+        // which may overshoot the ε slack — the caller reports the
+        // achieved imbalance instead of failing the sort.
+        if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
+            for (j, &i) in active.iter().enumerate() {
+                let s = &mut states[i];
+                if s.done.is_none() {
+                    let (lower, upper) = (global[2 * j], global[2 * j + 1]);
+                    let (mid_bits, _) = mids[j];
+                    s.done = Some((mid_bits, targets[i].clamp(lower, upper), lower, upper));
+                    degraded = true;
+                }
+            }
+        }
     }
 
     let splitters = states
@@ -347,7 +419,11 @@ pub fn find_splitters_cfg<K: Key>(
             }
         })
         .collect();
-    SplitterResult { splitters, iterations }
+    SplitterResult {
+        splitters,
+        iterations,
+        degraded,
+    }
 }
 
 /// Global boundary targets for *perfect partitioning*: the prefix sums
@@ -470,8 +546,10 @@ mod tests {
         // u16 keys: at most 18 iterations regardless of P.
         for p in [2usize, 8, 16] {
             let out = run(&ClusterConfig::small_cluster(p), |comm| {
-                let local: Vec<u16> =
-                    keys_for(comm.rank(), 500, 1 << 16).iter().map(|&x| x as u16).collect();
+                let local: Vec<u16> = keys_for(comm.rank(), 500, 1 << 16)
+                    .iter()
+                    .map(|&x| x as u16)
+                    .collect();
                 let mut local = local;
                 local.sort_unstable();
                 let caps: Vec<usize> = comm.allgather(local.len());
@@ -487,7 +565,11 @@ mod tests {
     fn sparse_partitions_and_zero_targets() {
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
             // Ranks 0 and 1 contribute nothing.
-            let local = if comm.rank() >= 2 { keys_for(comm.rank(), 600, 1 << 30) } else { vec![] };
+            let local = if comm.rank() >= 2 {
+                keys_for(comm.rank(), 600, 1 << 30)
+            } else {
+                vec![]
+            };
             let caps: Vec<usize> = comm.allgather(local.len());
             let targets = perfect_targets(&caps); // [0, 0, 600]
             find_splitters(comm, &local, &targets, 0)
@@ -535,7 +617,10 @@ mod tests {
         assert_eq!(r_minmax, r_sampled);
         // Keys live in [0, 2^30): the full u64 domain start must waste
         // iterations locating the populated range.
-        assert!(it_domain > it_minmax, "domain {it_domain} vs minmax {it_minmax}");
+        assert!(
+            it_domain > it_minmax,
+            "domain {it_domain} vs minmax {it_minmax}"
+        );
         // Sampled brackets may win or occasionally fall back, but must
         // stay within the widened guard.
         assert!(it_sampled <= 3 * (64 + 2), "sampled {it_sampled}");

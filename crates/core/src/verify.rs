@@ -58,7 +58,10 @@ pub fn verify_sorted<K: Key>(
             // reductions below regardless.
             return violation_consensus(
                 comm,
-                Some(SortViolation::LocalOrder { rank: comm.rank(), index: i }),
+                Some(SortViolation::LocalOrder {
+                    rank: comm.rank(),
+                    index: i,
+                }),
                 local,
                 input_fingerprint,
                 input_count,
@@ -104,7 +107,10 @@ fn violation_consensus<K: Key>(
         }
     }
     if sums[0] != input_count {
-        return Some(SortViolation::CountMismatch { before: input_count, after: sums[0] });
+        return Some(SortViolation::CountMismatch {
+            before: input_count,
+            after: sums[0],
+        });
     }
     let (in_sum, in_mix) = input_fingerprint;
     if sums[1] != in_sum || mixes[0] != in_mix {
@@ -171,8 +177,11 @@ mod tests {
     fn detects_boundary_violation() {
         let out = run(&ClusterConfig::small_cluster(2), |comm| {
             // Sorted locally but ranges swapped between ranks.
-            let local: Vec<u64> =
-                if comm.rank() == 0 { vec![100, 200] } else { vec![1, 2] };
+            let local: Vec<u64> = if comm.rank() == 0 {
+                vec![100, 200]
+            } else {
+                vec![1, 2]
+            };
             let (fp, n) = global_fingerprint(comm, &local);
             verify_sorted(comm, &local, fp, n)
         });

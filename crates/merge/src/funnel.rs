@@ -39,17 +39,25 @@ enum Node<T> {
 impl<T: Ord + Copy> Node<T> {
     fn build(runs: Vec<Vec<T>>) -> Node<T> {
         match runs.len() {
-            0 => Node::Leaf { run: Vec::new(), pos: 0 },
+            0 => Node::Leaf {
+                run: Vec::new(),
+                pos: 0,
+            },
             1 => {
                 let mut it = runs.into_iter();
-                Node::Leaf { run: it.next().expect("one run"), pos: 0 }
+                Node::Leaf {
+                    run: it.next().expect("one run"),
+                    pos: 0,
+                }
             }
             k => {
                 // √k-ary split into contiguous groups.
                 let arity = (k as f64).sqrt().ceil() as usize;
                 let group = k.div_ceil(arity);
-                let children: Vec<Node<T>> =
-                    runs.chunks(group).map(|c| Node::build(c.to_vec())).collect();
+                let children: Vec<Node<T>> = runs
+                    .chunks(group)
+                    .map(|c| Node::build(c.to_vec()))
+                    .collect();
                 let fan_in = children.len();
                 Node::Inner {
                     children,
@@ -65,7 +73,9 @@ impl<T: Ord + Copy> Node<T> {
     fn peek(&mut self) -> Option<T> {
         match self {
             Node::Leaf { run, pos } => run.get(*pos).copied(),
-            Node::Inner { buffer, exhausted, .. } => {
+            Node::Inner {
+                buffer, exhausted, ..
+            } => {
                 if buffer.is_empty() && !*exhausted {
                     self.refill();
                 }
@@ -87,7 +97,9 @@ impl<T: Ord + Copy> Node<T> {
                 }
                 v
             }
-            Node::Inner { buffer, exhausted, .. } => {
+            Node::Inner {
+                buffer, exhausted, ..
+            } => {
                 if buffer.is_empty() && !*exhausted {
                     self.refill();
                 }
@@ -101,7 +113,13 @@ impl<T: Ord + Copy> Node<T> {
 
     /// Fill the buffer with one burst merged from the children.
     fn refill(&mut self) {
-        let Node::Inner { children, buffer, burst, exhausted } = self else {
+        let Node::Inner {
+            children,
+            buffer,
+            burst,
+            exhausted,
+        } = self
+        else {
             return;
         };
         let want = *burst;
@@ -110,7 +128,7 @@ impl<T: Ord + Copy> Node<T> {
             let mut best: Option<(usize, T)> = None;
             for (i, c) in children.iter_mut().enumerate() {
                 if let Some(v) = c.peek() {
-                    if best.map_or(true, |(_, b)| v < b) {
+                    if best.is_none_or(|(_, b)| v < b) {
                         best = Some((i, v));
                     }
                 }

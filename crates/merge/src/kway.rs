@@ -122,7 +122,10 @@ impl<'a, T: Ord + Copy> TournamentTree<'a, T> {
         if run == usize::MAX {
             return None;
         }
-        self.runs.get(run).and_then(|r| r.get(self.cursors[run])).copied()
+        self.runs
+            .get(run)
+            .and_then(|r| r.get(self.cursors[run]))
+            .copied()
     }
 
     /// Winner stored at a child position (internal node or leaf).
@@ -157,13 +160,18 @@ impl<'a, T: Ord + Copy> TournamentTree<'a, T> {
     /// Pop the global minimum, replaying the winner path of the run it
     /// came from.
     pub fn pop(&mut self) -> Option<T> {
-        let winner = if self.leaf_base == 1 { self.child_winner(1) } else { self.winners[1] };
+        let winner = if self.leaf_base == 1 {
+            self.child_winner(1)
+        } else {
+            self.winners[1]
+        };
         let val = self.key(winner)?;
         self.cursors[winner] += 1;
         // Replay from the winner's leaf to the root.
         let mut pos = (self.leaf_base + winner) / 2;
         while pos >= 1 {
-            self.winners[pos] = self.play(self.child_winner(2 * pos), self.child_winner(2 * pos + 1));
+            self.winners[pos] =
+                self.play(self.child_winner(2 * pos), self.child_winner(2 * pos + 1));
             if pos == 1 {
                 break;
             }

@@ -26,7 +26,11 @@ where
     extremum(comm, arr, |a, b| a > b)
 }
 
-fn extremum<T>(comm: &Comm, arr: &GlobalArray<T>, better: impl Fn(&T, &T) -> bool) -> Option<(usize, T)>
+fn extremum<T>(
+    comm: &Comm,
+    arr: &GlobalArray<T>,
+    better: impl Fn(&T, &T) -> bool,
+) -> Option<(usize, T)>
 where
     T: Ord + Copy + Send + Sync + 'static,
 {
@@ -35,7 +39,7 @@ where
         comm.charge(Work::Compares(l.len() as u64));
         let mut best: Option<(usize, T)> = None;
         for (i, &x) in l.iter().enumerate() {
-            if best.map_or(true, |(_, b)| better(&x, &b)) {
+            if best.is_none_or(|(_, b)| better(&x, &b)) {
                 best = Some((offset + i, x));
             }
         }
@@ -77,8 +81,8 @@ where
     F: Fn(&T) -> u64,
 {
     let local = arr.with_local(|l| {
-        comm.charge(Work::MoveBytes((l.len() * std::mem::size_of::<T>()) as u64));
-        l.iter().map(|x| f(x)).fold(0u64, u64::wrapping_add)
+        comm.charge(Work::MoveBytes(std::mem::size_of_val(l) as u64));
+        l.iter().map(&f).fold(0u64, u64::wrapping_add)
     });
     comm.allreduce_sum(vec![local])[0]
 }
@@ -167,7 +171,11 @@ mod tests {
     fn empty_array_has_no_extrema() {
         let out = run(&ClusterConfig::small_cluster(2), |comm| {
             let arr = make(comm, Vec::<u64>::new());
-            (min_element(comm, &arr), max_element(comm, &arr), count_if(comm, &arr, |_| true))
+            (
+                min_element(comm, &arr),
+                max_element(comm, &arr),
+                count_if(comm, &arr, |_| true),
+            )
         });
         for ((min, max, cnt), _) in out {
             assert_eq!(min, None);
@@ -180,18 +188,24 @@ mod tests {
     fn count_and_sum() {
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
             let arr = make(comm, vec![comm.rank() as u64; 10]);
-            (count_if(comm, &arr, |&x| x >= 2), sum_by(comm, &arr, |&x| x))
+            (
+                count_if(comm, &arr, |&x| x >= 2),
+                sum_by(comm, &arr, |&x| x),
+            )
         });
         for ((cnt, sum), _) in out {
             assert_eq!(cnt, 20); // ranks 2 and 3
-            assert_eq!(sum, 10 * (0 + 1 + 2 + 3));
+            assert_eq!(sum, 10 * (1 + 2 + 3));
         }
     }
 
     #[test]
     fn sortedness_detection() {
         let out = run(&ClusterConfig::small_cluster(3), |comm| {
-            let sorted = make(comm, vec![comm.rank() as u64 * 10, comm.rank() as u64 * 10 + 5]);
+            let sorted = make(
+                comm,
+                vec![comm.rank() as u64 * 10, comm.rank() as u64 * 10 + 5],
+            );
             let unsorted = make(comm, vec![100 - comm.rank() as u64, 200]);
             (is_sorted(comm, &sorted), is_sorted(comm, &unsorted))
         });

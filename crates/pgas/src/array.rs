@@ -248,7 +248,11 @@ mod tests {
     #[test]
     fn sparse_blocks_supported() {
         let out = run(&ClusterConfig::small_cluster(4), |comm| {
-            let local = if comm.rank() == 2 { vec![1u64, 2, 3] } else { Vec::new() };
+            let local = if comm.rank() == 2 {
+                vec![1u64, 2, 3]
+            } else {
+                Vec::new()
+            };
             let arr = GlobalArray::from_local(comm, local);
             arr.fence(comm);
             arr.get_range(comm, 0, arr.global_len())
@@ -275,7 +279,10 @@ mod tests {
             (t1 - t0, t2 - t1)
         });
         for ((local_ns, remote_ns), _) in out {
-            assert!(remote_ns > local_ns, "remote {remote_ns} <= local {local_ns}");
+            assert!(
+                remote_ns > local_ns,
+                "remote {remote_ns} <= local {local_ns}"
+            );
         }
     }
 

@@ -56,7 +56,11 @@ impl BlockPattern {
 
     /// `(rank, local_index)` owning global index `g`.
     pub fn locate(&self, g: usize) -> (usize, usize) {
-        assert!(g < self.total(), "global index {g} out of range {}", self.total());
+        assert!(
+            g < self.total(),
+            "global index {g} out of range {}",
+            self.total()
+        );
         // offsets is sorted; find the last offset <= g among rank starts.
         let rank = match self.offsets[..self.ranks()].binary_search(&g) {
             Ok(mut r) => {
@@ -73,7 +77,10 @@ impl BlockPattern {
 
     /// Global index of `(rank, local_index)`.
     pub fn global_of(&self, rank: usize, local: usize) -> usize {
-        assert!(local < self.sizes[rank], "local index {local} out of rank {rank}'s block");
+        assert!(
+            local < self.sizes[rank],
+            "local index {local} out of rank {rank}'s block"
+        );
         self.offsets[rank] + local
     }
 }

@@ -5,8 +5,8 @@
 //! the cost model (see [`crate::cost`]); point-to-point messages go
 //! through per-rank mailboxes.
 
-use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::mem;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -14,6 +14,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::cost::{CostModel, Work};
+use crate::fault::{unit_draw, RankAbort, RankError};
 use crate::state::{CommState, EndTimes, Message, World};
 use crate::stats::{RankLocal, RankReport};
 use crate::topology::Topology;
@@ -43,12 +44,43 @@ pub struct Comm {
     /// Number of collectives this rank has completed on this
     /// communicator (the cell generation it may enter next).
     gen: Cell<u64>,
+    /// Fault plan lookups cached per communicator handle (all `None`/1.0
+    /// on a healthy rank, so the hot-path checks are branch-predictable).
+    crash_at_ns: Option<u64>,
+    straggler_factor: f64,
+    /// Next per-`(dst, tag)` sequence number for outgoing messages.
+    send_seq: RefCell<HashMap<(usize, u64), u64>>,
 }
 
 impl Comm {
     pub(crate) fn new(state: Arc<CommState>, rank: usize) -> Self {
         assert!(rank < state.size());
-        Self { state, rank, gen: Cell::new(0) }
+        let me_global = state.global_ranks[rank];
+        let crash_at_ns = state.world.fault.crash_deadline(me_global);
+        let straggler_factor = state.world.fault.straggler_factor(me_global);
+        Self {
+            state,
+            rank,
+            gen: Cell::new(0),
+            crash_at_ns,
+            straggler_factor,
+            send_seq: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Kill this rank if its fault-plan crash deadline has passed. The
+    /// check runs at every runtime interaction, so a crash surfaces at
+    /// the first charge/send/recv/collective at or after the deadline —
+    /// a pure function of virtual time, hence fully deterministic.
+    fn check_crash(&self) {
+        if let Some(deadline) = self.crash_at_ns {
+            if self.local().now_ns() >= deadline {
+                std::panic::panic_any(RankAbort(RankError::Crashed {
+                    rank: self.state.global_ranks[self.rank],
+                    at_ns: deadline,
+                }));
+            }
+        }
     }
 
     /// This rank's id within the communicator.
@@ -89,22 +121,37 @@ impl Comm {
         self.local().now_ns()
     }
 
-    /// Charge local computation to this rank's virtual clock.
+    /// Charge local computation to this rank's virtual clock. A
+    /// straggling rank (see [`crate::fault::FaultPlan`]) pays its
+    /// slowdown factor on every charge.
     pub fn charge(&self, work: Work) {
-        let ns = self.state.world.cost.work_ns(work);
+        self.check_crash();
+        let mut ns = self.state.world.cost.work_ns(work);
+        if self.straggler_factor != 1.0 {
+            ns = (ns as f64 * self.straggler_factor).ceil() as u64;
+        }
         self.local().advance_ns(ns);
-        self.local().counters.compute_ns.fetch_add(ns, Ordering::Relaxed);
+        self.local()
+            .counters
+            .compute_ns
+            .fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Charge a one-sided transfer of `bytes` between this rank and
     /// communicator-local `peer`: time at the link's α–β rate plus
     /// traffic accounting. Used by the PGAS layer's get/put.
     pub fn charge_onesided(&self, peer: usize, bytes: u64) {
-        let link = self
-            .topology()
-            .link(self.state.global_ranks[self.rank], self.state.global_ranks[peer]);
-        let ns = self.state.world.cost.p2p_ns(link, bytes);
+        self.check_crash();
+        let link = self.topology().link(
+            self.state.global_ranks[self.rank],
+            self.state.global_ranks[peer],
+        );
         let me = self.local();
+        let world = self.world();
+        let ns = world
+            .fault
+            .cost_at(&world.cost, me.now_ns())
+            .p2p_ns(link, bytes);
         me.advance_ns(ns);
         me.counters.comm_ns.fetch_add(ns, Ordering::Relaxed);
         me.counters.add_bytes(link, bytes);
@@ -121,6 +168,7 @@ impl Comm {
         R: Send + Sync + 'static,
         F: FnOnce(Vec<T>, &crate::state::CollectiveCtx<'_>) -> (R, EndTimes),
     {
+        self.check_crash();
         let g = self.gen.get();
         self.gen.set(g + 1);
         self.state.collective(self.rank, g, input, combine)
@@ -134,7 +182,10 @@ impl Comm {
     pub fn barrier(&self) {
         let p = self.size();
         self.run_collective((), move |_, ctx| {
-            ((), EndTimes::Uniform(ctx.enter_max_ns + ctx.cost.barrier_ns(ctx.worst_link, p)))
+            (
+                (),
+                EndTimes::Uniform(ctx.enter_max_ns + ctx.cost.barrier_ns(ctx.worst_link, p)),
+            )
         });
     }
 
@@ -294,9 +345,13 @@ impl Comm {
         let p = self.size();
         let in_bytes = (xs.len() * mem::size_of::<T>()) as u64;
         let out = self.run_collective(xs, move |inputs, ctx| {
-            let total_bytes: u64 =
-                inputs.iter().map(|v| (v.len() * mem::size_of::<T>()) as u64).sum();
-            let gather = ctx.cost.allgather_ns(ctx.worst_link, p, total_bytes / p.max(1) as u64);
+            let total_bytes: u64 = inputs
+                .iter()
+                .map(|v| (v.len() * mem::size_of::<T>()) as u64)
+                .sum();
+            let gather = ctx
+                .cost
+                .allgather_ns(ctx.worst_link, p, total_bytes / p.max(1) as u64);
             let r = f(inputs);
             let bcast = ctx.cost.bcast_ns(ctx.worst_link, p, result_bytes(&r));
             (r, EndTimes::Uniform(ctx.enter_max_ns + gather + bcast))
@@ -350,7 +405,11 @@ impl Comm {
         T: Send + 'static,
     {
         let p = self.size();
-        assert_eq!(send.len(), p, "alltoallv needs one bucket per destination rank");
+        assert_eq!(
+            send.len(),
+            p,
+            "alltoallv needs one bucket per destination rank"
+        );
         // Account this rank's own outgoing traffic.
         {
             let topo = self.topology();
@@ -406,8 +465,7 @@ impl Comm {
                     // link, shipping ~half the personalized payload per
                     // round.
                     AllToAllAlgo::Bruck => {
-                        let total: u64 =
-                            (0..p).map(|d| inputs[r][d].len() as u64 * elem).sum();
+                        let total: u64 = (0..p).map(|d| inputs[r][d].len() as u64 * elem).sum();
                         ctx.cost.alltoallv_bruck_rank_ns(ctx.worst_link, p, total)
                     }
                     // Leader aggregation: stage inter-node bytes
@@ -437,7 +495,8 @@ impl Comm {
                             .enumerate()
                             .filter(|&(n, _)| n != my_node)
                             .map(|(_, &bytes)| {
-                                ctx.cost.p2p_ns(crate::topology::LinkClass::InterNode, bytes)
+                                ctx.cost
+                                    .p2p_ns(crate::topology::LinkClass::InterNode, bytes)
                             })
                             .sum();
                         intra + stage + leader
@@ -480,27 +539,85 @@ impl Comm {
     // ------------------------------------------------------------------
 
     /// Post a message to `dst` (non-blocking at the sender).
+    ///
+    /// Under an active [`crate::fault::LossSpec`], attempts may be
+    /// dropped by seeded draws: each lost attempt charges the sender a
+    /// retransmission timeout plus the posting overhead and bumps the
+    /// retry counter; the surviving attempt (guaranteed within
+    /// `max_retries`) is the one delivered. A further draw may inject a
+    /// stray duplicate, which the receiving mailbox discards by
+    /// sequence number.
     pub fn send<T>(&self, dst: usize, tag: u64, data: Vec<T>)
     where
         T: Send + 'static,
     {
+        self.check_crash();
         assert!(dst < self.size());
         let world = self.world();
-        let cost = &world.cost;
         let topo = &world.topology;
         let me = self.local();
-        let link = topo.link(self.state.global_ranks[self.rank], self.state.global_ranks[dst]);
+        let me_g = self.state.global_ranks[self.rank];
+        let dst_g = self.state.global_ranks[dst];
+        let link = topo.link(me_g, dst_g);
         let bytes = (data.len() * mem::size_of::<T>()) as u64;
-        me.advance_ns(cost.post_overhead_ns.ceil() as u64);
-        let arrival_ns = me.now_ns() + cost.p2p_ns(link, bytes);
+        let post_ns = world.cost.post_overhead_ns.ceil() as u64;
+        me.advance_ns(post_ns);
+
+        let seq = {
+            let mut seqs = self.send_seq.borrow_mut();
+            let slot = seqs.entry((dst, tag)).or_insert(0);
+            let seq = *slot;
+            *slot += 1;
+            seq
+        };
+
+        let mut duplicate = false;
+        if let Some(loss) = world.fault.loss {
+            let coords = |attempt: u64| [me_g as u64, dst_g as u64, tag, seq, attempt];
+            let mut retries = 0u64;
+            while retries < loss.max_retries as u64
+                && unit_draw(world.fault.seed, &coords(retries)) < loss.rate
+            {
+                retries += 1;
+            }
+            if retries > 0 {
+                let penalty = retries * (loss.timeout_ns + post_ns);
+                me.advance_ns(penalty);
+                me.counters.comm_ns.fetch_add(penalty, Ordering::Relaxed);
+                me.counters
+                    .p2p_retries
+                    .fetch_add(retries, Ordering::Relaxed);
+            }
+            // Attempt id u64::MAX salts the duplicate draw so it is
+            // independent of the loss draws.
+            duplicate = loss.duplicate_rate > 0.0
+                && unit_draw(world.fault.seed, &coords(u64::MAX)) < loss.duplicate_rate;
+        }
+
+        let cost_now = world.fault.cost_at(&world.cost, me.now_ns());
+        let arrival_ns = me.now_ns() + cost_now.p2p_ns(link, bytes);
         me.counters.p2p_messages.fetch_add(1, Ordering::Relaxed);
         me.counters.add_bytes(link, bytes);
         self.state.mailboxes[dst].push(Message {
             src: self.rank,
             tag,
+            seq,
             payload: Box::new(data),
             arrival_ns,
         });
+        if duplicate {
+            // A late retransmission of the same sequence number. Its
+            // payload is never read (the receiver dedups by `seq`), so
+            // it carries none; it only exercises the idempotence path.
+            me.counters.p2p_duplicates.fetch_add(1, Ordering::Relaxed);
+            self.state.mailboxes[dst].push(Message {
+                src: self.rank,
+                tag,
+                seq,
+                payload: Box::new(()),
+                arrival_ns,
+            });
+        }
     }
 
     /// Blocking receive of a message from `src` with `tag`.
@@ -508,13 +625,19 @@ impl Comm {
     where
         T: Send + 'static,
     {
+        self.check_crash();
         assert!(src < self.size());
-        let msg = self.state.mailboxes[self.rank].pop(self.world(), src, tag);
+        let me_g = self.state.global_ranks[self.rank];
+        let msg = self.state.mailboxes[self.rank].pop(self.world(), me_g, src, tag);
         let me = self.local();
         let before = me.now_ns();
         me.advance_to_ns(msg.arrival_ns);
-        me.counters.comm_ns.fetch_add(me.now_ns().saturating_sub(before), Ordering::Relaxed);
-        *msg.payload.downcast::<Vec<T>>().expect("matching payload type for (src, tag)")
+        me.counters
+            .comm_ns
+            .fetch_add(me.now_ns().saturating_sub(before), Ordering::Relaxed);
+        *msg.payload
+            .downcast::<Vec<T>>()
+            .expect("matching payload type for (src, tag)")
     }
 
     /// Symmetric pairwise exchange with `peer`: send `data`, receive the
@@ -552,29 +675,32 @@ impl Comm {
         let members = &out[&color];
         let mut sorted = members.clone();
         sorted.sort_unstable();
-        let global: Vec<usize> =
-            sorted.iter().map(|&(_, r)| self.state.global_ranks[r]).collect();
+        let global: Vec<usize> = sorted
+            .iter()
+            .map(|&(_, r)| self.state.global_ranks[r])
+            .collect();
         let new_rank = sorted
             .iter()
             .position(|&(_, r)| r == me)
             .expect("calling rank is a member of its color group");
         // Everyone in the group must agree on one CommState instance:
         // derive it through a second rendezvous keyed by color.
-        let state = self.run_collective(
-            (color, global.clone()),
-            move |xs, ctx| {
-                let mut states: BTreeMap<u64, Arc<CommState>> = BTreeMap::new();
-                for (c, g) in xs {
-                    states.entry(c).or_insert_with(|| CommState::new(world.clone(), g));
-                }
-                ((states), EndTimes::Uniform(ctx.enter_max_ns))
-            },
-        );
+        let state = self.run_collective((color, global.clone()), move |xs, ctx| {
+            let mut states: BTreeMap<u64, Arc<CommState>> = BTreeMap::new();
+            for (c, g) in xs {
+                states
+                    .entry(c)
+                    .or_insert_with(|| CommState::new(world.clone(), g));
+            }
+            ((states), EndTimes::Uniform(ctx.enter_max_ns))
+        });
         Comm::new(state[&color].clone(), new_rank)
     }
 
     fn account_collective_bytes(&self, bytes: u64) {
-        self.local().counters.add_bytes(self.state.worst_link, bytes);
+        self.local()
+            .counters
+            .add_bytes(self.state.worst_link, bytes);
     }
 }
 
@@ -593,14 +719,16 @@ mod tests {
             let v = if comm.rank() == 3 { 99u64 } else { 0 };
             comm.broadcast(3, v)
         });
-        assert!(vals.iter().all(|&(ref v, _)| *v == 99));
+        assert!(vals.iter().all(|(v, _)| *v == 99));
     }
 
     #[test]
     fn allreduce_sum_vectors() {
-        let vals = run(&cfg(4), |comm| comm.allreduce_sum(vec![comm.rank() as u64, 1]));
+        let vals = run(&cfg(4), |comm| {
+            comm.allreduce_sum(vec![comm.rank() as u64, 1])
+        });
         for (v, _) in vals {
-            assert_eq!(v, vec![0 + 1 + 2 + 3, 4]);
+            assert_eq!(v, vec![1 + 2 + 3, 4]);
         }
     }
 
@@ -614,7 +742,9 @@ mod tests {
 
     #[test]
     fn allgatherv_variable_lengths() {
-        let vals = run(&cfg(3), |comm| comm.allgatherv(vec![comm.rank(); comm.rank()]));
+        let vals = run(&cfg(3), |comm| {
+            comm.allgatherv(vec![comm.rank(); comm.rank()])
+        });
         for (v, _) in vals {
             assert_eq!(v, vec![vec![], vec![1], vec![2, 2]]);
         }
@@ -622,7 +752,9 @@ mod tests {
 
     #[test]
     fn exscan_prefix_sums() {
-        let vals = run(&cfg(6), |comm| comm.exscan(comm.rank() as u64 + 1, 0, |a, b| a + b));
+        let vals = run(&cfg(6), |comm| {
+            comm.exscan(comm.rank() as u64 + 1, 0, |a, b| a + b)
+        });
         let got: Vec<u64> = vals.into_iter().map(|(v, _)| v).collect();
         assert_eq!(got, vec![0, 1, 3, 6, 10, 15]);
     }
@@ -658,8 +790,7 @@ mod tests {
         let vals = run(&cfg(4), |comm| {
             let p = comm.size();
             let r = comm.rank();
-            let send: Vec<Vec<u64>> =
-                (0..p).map(|d| vec![(r * 100 + d) as u64; r + 1]).collect();
+            let send: Vec<Vec<u64>> = (0..p).map(|d| vec![(r * 100 + d) as u64; r + 1]).collect();
             comm.alltoallv(send)
         });
         for (dst, (recv, _)) in vals.into_iter().enumerate() {
@@ -672,9 +803,11 @@ mod tests {
 
     #[test]
     fn alltoallv_schedules_agree_on_data() {
-        for algo in
-            [AllToAllAlgo::OneFactor, AllToAllAlgo::Bruck, AllToAllAlgo::HierarchicalLeaders]
-        {
+        for algo in [
+            AllToAllAlgo::OneFactor,
+            AllToAllAlgo::Bruck,
+            AllToAllAlgo::HierarchicalLeaders,
+        ] {
             let vals = run(&ClusterConfig::supermuc_phase2(32), move |comm| {
                 let p = comm.size();
                 let r = comm.rank();
@@ -693,8 +826,7 @@ mod tests {
     fn bruck_beats_one_factor_on_tiny_messages_only() {
         let time = |algo: AllToAllAlgo, per_peer: usize| {
             let out = run(&ClusterConfig::supermuc_phase2(64), move |comm| {
-                let send: Vec<Vec<u64>> =
-                    (0..comm.size()).map(|_| vec![0u64; per_peer]).collect();
+                let send: Vec<Vec<u64>> = (0..comm.size()).map(|_| vec![0u64; per_peer]).collect();
                 let t0 = comm.now_ns();
                 let _ = comm.alltoallv_with(send, algo);
                 comm.now_ns() - t0
@@ -762,8 +894,7 @@ mod tests {
         for (rank, (v, _)) in vals.into_iter().enumerate() {
             let (sub_rank, sub_size, members) = v;
             assert_eq!(sub_size, 4);
-            let expect: Vec<usize> =
-                (0..8).filter(|r| r % 2 == rank % 2).collect();
+            let expect: Vec<usize> = (0..8).filter(|r| r % 2 == rank % 2).collect();
             assert_eq!(members, expect);
             assert_eq!(members[sub_rank], rank);
         }
@@ -799,15 +930,23 @@ mod tests {
     #[test]
     fn charge_work_advances_clock_deterministically() {
         let a = run(&cfg(2), |comm| {
-            comm.charge(Work::SortElems { n: 1000, elem_bytes: 8 });
+            comm.charge(Work::SortElems {
+                n: 1000,
+                elem_bytes: 8,
+            });
             comm.now_ns()
         });
         let b = run(&cfg(2), |comm| {
-            comm.charge(Work::SortElems { n: 1000, elem_bytes: 8 });
+            comm.charge(Work::SortElems {
+                n: 1000,
+                elem_bytes: 8,
+            });
             comm.now_ns()
         });
-        assert_eq!(a.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
-                   b.iter().map(|(v, _)| *v).collect::<Vec<_>>());
+        assert_eq!(
+            a.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            b.iter().map(|(v, _)| *v).collect::<Vec<_>>()
+        );
         assert!(a[0].0 > 0);
     }
 }

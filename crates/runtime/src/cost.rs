@@ -65,10 +65,22 @@ impl CostModel {
     /// cross-socket copies (~10 GB/s) and intra-NUMA copies (~20 GB/s).
     pub fn supermuc_phase2() -> Self {
         Self {
-            self_loop: LinkCost { alpha_ns: 0.0, beta_ns_per_byte: 0.03 },
-            intra_numa: LinkCost { alpha_ns: 300.0, beta_ns_per_byte: 0.05 },
-            intra_node: LinkCost { alpha_ns: 600.0, beta_ns_per_byte: 0.10 },
-            inter_node: LinkCost { alpha_ns: 1500.0, beta_ns_per_byte: 0.16 },
+            self_loop: LinkCost {
+                alpha_ns: 0.0,
+                beta_ns_per_byte: 0.03,
+            },
+            intra_numa: LinkCost {
+                alpha_ns: 300.0,
+                beta_ns_per_byte: 0.05,
+            },
+            intra_node: LinkCost {
+                alpha_ns: 600.0,
+                beta_ns_per_byte: 0.10,
+            },
+            inter_node: LinkCost {
+                alpha_ns: 1500.0,
+                beta_ns_per_byte: 0.16,
+            },
             intranode_fastpath: true,
             compare_ns: 1.0,
             move_byte_ns: 0.10,
@@ -184,12 +196,14 @@ impl CostModel {
                     0.0
                 } else {
                     let levels = (n as f64).log2();
-                    n as f64
-                        * levels
-                        * (self.compare_ns + elem_bytes as f64 * self.move_byte_ns)
+                    n as f64 * levels * (self.compare_ns + elem_bytes as f64 * self.move_byte_ns)
                 }
             }
-            Work::MergeElems { n, ways, elem_bytes } => {
+            Work::MergeElems {
+                n,
+                ways,
+                elem_bytes,
+            } => {
                 // k-way merge: each element crosses log₂(k) compare/move
                 // levels (binary tree) or one O(log k) heap operation
                 // (tournament tree) -- same leading term.
@@ -197,9 +211,7 @@ impl CostModel {
                     0.0
                 } else {
                     let levels = (ways as f64).log2().max(1.0);
-                    n as f64
-                        * levels
-                        * (self.compare_ns + elem_bytes as f64 * self.move_byte_ns)
+                    n as f64 * levels * (self.compare_ns + elem_bytes as f64 * self.move_byte_ns)
                 }
             }
             Work::BinarySearches { searches, n } => {
@@ -275,9 +287,7 @@ mod tests {
         let small = m.p2p_ns(LinkClass::InterNode, 64);
         let large = m.p2p_ns(LinkClass::InterNode, 1 << 20);
         assert!(large > small);
-        assert!(
-            m.p2p_ns(LinkClass::IntraNuma, 1 << 20) < m.p2p_ns(LinkClass::InterNode, 1 << 20)
-        );
+        assert!(m.p2p_ns(LinkClass::IntraNuma, 1 << 20) < m.p2p_ns(LinkClass::InterNode, 1 << 20));
     }
 
     #[test]
@@ -311,16 +321,35 @@ mod tests {
     #[test]
     fn sort_work_superlinear() {
         let m = CostModel::default();
-        let one = m.work_ns(Work::SortElems { n: 1 << 20, elem_bytes: 8 });
-        let two = m.work_ns(Work::SortElems { n: 1 << 21, elem_bytes: 8 });
+        let one = m.work_ns(Work::SortElems {
+            n: 1 << 20,
+            elem_bytes: 8,
+        });
+        let two = m.work_ns(Work::SortElems {
+            n: 1 << 21,
+            elem_bytes: 8,
+        });
         assert!(two > 2 * one);
     }
 
     #[test]
     fn trivial_work_is_zero() {
         let m = CostModel::default();
-        assert_eq!(m.work_ns(Work::SortElems { n: 1, elem_bytes: 8 }), 0);
-        assert_eq!(m.work_ns(Work::MergeElems { n: 0, ways: 8, elem_bytes: 8 }), 0);
+        assert_eq!(
+            m.work_ns(Work::SortElems {
+                n: 1,
+                elem_bytes: 8
+            }),
+            0
+        );
+        assert_eq!(
+            m.work_ns(Work::MergeElems {
+                n: 0,
+                ways: 8,
+                elem_bytes: 8
+            }),
+            0
+        );
         assert_eq!(m.work_ns(Work::Compares(0)), 0);
     }
 

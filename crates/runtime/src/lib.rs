@@ -25,6 +25,7 @@
 
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod runner;
 pub mod state;
 pub mod stats;
@@ -32,6 +33,7 @@ pub mod topology;
 
 pub use comm::{AllToAllAlgo, Comm};
 pub use cost::{log2_ceil, CostModel, LinkCost, Work};
-pub use runner::{run, run_summarized, ClusterConfig};
+pub use fault::{Crash, FaultPlan, LinkFault, LossSpec, RankError, Straggler};
+pub use runner::{run, run_summarized, try_run, ClusterConfig, RunError};
 pub use stats::{CounterSnapshot, RankReport, RunSummary};
 pub use topology::{LinkClass, Placement, Topology};

@@ -1,8 +1,10 @@
 //! Launch a simulated cluster: one OS thread per rank.
 
+use std::fmt;
 use std::thread;
 
 use crate::cost::CostModel;
+use crate::fault::{FaultPlan, RankAbort, RankError};
 use crate::state::{CommState, World};
 use crate::stats::{RankReport, RunSummary};
 use crate::topology::Topology;
@@ -13,6 +15,9 @@ use crate::Comm;
 pub struct ClusterConfig {
     pub topology: Topology,
     pub cost: CostModel,
+    /// Faults to inject during the run; [`FaultPlan::default`] is a
+    /// fault-free run with zero modelling overhead.
+    pub fault: FaultPlan,
     /// Stack size per rank-thread. Rank bodies are shallow; a small
     /// stack keeps thousands of simulated ranks cheap.
     pub stack_bytes: usize,
@@ -21,29 +26,44 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// A SuperMUC-Phase-2-like cluster (Table I) with `ranks` ranks at
     /// 16 ranks/node.
+    ///
+    /// # Panics
+    /// If `ranks` is zero — a cluster needs at least one rank.
     pub fn supermuc_phase2(ranks: usize) -> Self {
+        assert!(ranks > 0, "a cluster needs at least one rank, got 0");
         Self {
             topology: Topology::supermuc_phase2(ranks),
             cost: CostModel::supermuc_phase2(),
+            fault: FaultPlan::default(),
             stack_bytes: 1 << 20,
         }
     }
 
     /// A small test cluster: up to 16 ranks per node, 4 NUMA domains.
+    ///
+    /// # Panics
+    /// If `ranks` is zero — a cluster needs at least one rank.
     pub fn small_cluster(ranks: usize) -> Self {
+        assert!(ranks > 0, "a cluster needs at least one rank, got 0");
         Self {
-            topology: Topology::new(ranks, 16.min(ranks.max(1)), 4, 7),
+            topology: Topology::new(ranks, 16.min(ranks), 4, 7),
             cost: CostModel::supermuc_phase2(),
+            fault: FaultPlan::default(),
             stack_bytes: 1 << 20,
         }
     }
 
     /// One shared-memory node (Fig. 4): every rank on the same node,
     /// packed 7 per NUMA domain.
+    ///
+    /// # Panics
+    /// If `ranks` is zero — a cluster needs at least one rank.
     pub fn single_node(ranks: usize) -> Self {
+        assert!(ranks > 0, "a cluster needs at least one rank, got 0");
         Self {
             topology: Topology::single_node(ranks),
             cost: CostModel::supermuc_phase2(),
+            fault: FaultPlan::default(),
             stack_bytes: 1 << 20,
         }
     }
@@ -53,28 +73,74 @@ impl ClusterConfig {
         self
     }
 
+    /// Attach a fault plan to the run. The plan is validated against
+    /// the topology when the world is built.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
     pub fn ranks(&self) -> usize {
         self.topology.ranks()
     }
 }
 
+/// A failed simulated run: every rank that did not complete, plus the
+/// counter reports of those that did (or got far enough to snapshot).
+#[derive(Debug)]
+pub struct RunError {
+    /// One entry per failed rank, ordered by rank id. Root causes
+    /// (crashes, panics) and collateral [`RankError::PeerFailed`]
+    /// entries are both present; filter with [`RunError::root_causes`].
+    pub failed: Vec<RankError>,
+    /// Counter snapshots of the ranks that returned normally.
+    pub completed_reports: Vec<RankReport>,
+}
+
+impl RunError {
+    /// Ids of every rank that failed, in ascending order.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.failed.iter().map(|e| e.rank()).collect()
+    }
+
+    /// The failures that started the cascade (crashes and panics, not
+    /// peers merely caught blocking on a dead rank).
+    pub fn root_causes(&self) -> impl Iterator<Item = &RankError> {
+        self.failed.iter().filter(|e| e.is_root_cause())
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rank(s) failed:", self.failed.len())?;
+        for e in &self.failed {
+            write!(f, " [{e}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Run `f` once per rank on its own thread; returns each rank's result
-/// and counter report, ordered by rank.
+/// and counter report ordered by rank, or a [`RunError`] naming every
+/// rank that failed.
 ///
-/// # Panics
-/// If any rank panics, the run is poisoned (so no rank deadlocks inside
-/// a collective) and this function re-panics with the first rank error.
-pub fn run<R, F>(cfg: &ClusterConfig, f: F) -> Vec<(R, RankReport)>
+/// A failing rank (injected crash, panic in `f`) poisons the world so
+/// no surviving rank deadlocks inside a collective or a blocking
+/// receive; survivors that were blocked on the dead rank surface as
+/// [`RankError::PeerFailed`] collateral entries.
+pub fn try_run<R, F>(cfg: &ClusterConfig, f: F) -> Result<Vec<(R, RankReport)>, RunError>
 where
     R: Send,
     F: Fn(&Comm) -> R + Send + Sync,
 {
-    let world = World::new(cfg.topology.clone(), cfg.cost.clone());
+    let world = World::with_fault(cfg.topology.clone(), cfg.cost.clone(), cfg.fault.clone());
     let p = cfg.ranks();
     let root = CommState::new(world.clone(), (0..p).collect());
     let f = &f;
 
-    let results: Vec<thread::Result<(R, RankReport)>> = thread::scope(|s| {
+    let results: Vec<Result<(R, RankReport), RankError>> = thread::scope(|s| {
         let handles: Vec<_> = (0..p)
             .map(|rank| {
                 let world = world.clone();
@@ -84,9 +150,8 @@ where
                     .stack_size(cfg.stack_bytes)
                     .spawn_scoped(s, move || {
                         let comm = Comm::new(state, rank);
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(&comm)
-                        }));
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
                         match out {
                             Ok(v) => {
                                 let report = comm.report();
@@ -94,7 +159,7 @@ where
                             }
                             Err(e) => {
                                 world.poison_now();
-                                Err(e)
+                                Err(classify_panic(rank, e))
                             }
                         }
                     })
@@ -104,31 +169,61 @@ where
         handles
             .into_iter()
             .map(|h| h.join().expect("rank thread not killed externally"))
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|r| match r {
-                Ok(v) => Ok(v),
-                Err(e) => Err(e),
-            })
             .collect()
     });
 
-    let mut out = Vec::with_capacity(p);
-    let mut first_err = None;
+    let mut ok = Vec::with_capacity(p);
+    let mut failed = Vec::new();
+    let mut completed_reports = Vec::new();
     for r in results {
         match r {
-            Ok(v) => out.push(v),
-            Err(e) => {
-                if first_err.is_none() {
-                    first_err = Some(e);
-                }
+            Ok((v, report)) => {
+                completed_reports.push(report);
+                ok.push((v, report));
             }
+            Err(e) => failed.push(e),
         }
     }
-    if let Some(e) = first_err {
-        std::panic::resume_unwind(e);
+    if failed.is_empty() {
+        Ok(ok)
+    } else {
+        failed.sort_by_key(|e| e.rank());
+        Err(RunError {
+            failed,
+            completed_reports,
+        })
     }
-    out
+}
+
+/// Turn a rank thread's panic payload into a structured [`RankError`].
+fn classify_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> RankError {
+    match payload.downcast::<RankAbort>() {
+        Ok(abort) => abort.0,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            RankError::Panicked { rank, message }
+        }
+    }
+}
+
+/// Run `f` once per rank on its own thread; returns each rank's result
+/// and counter report, ordered by rank.
+///
+/// # Panics
+/// If any rank fails, with a message naming every failed rank. Use
+/// [`try_run`] to handle failures structurally.
+pub fn run<R, F>(cfg: &ClusterConfig, f: F) -> Vec<(R, RankReport)>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    try_run(cfg, f).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Convenience: run and fold the rank reports into a [`RunSummary`].
@@ -146,6 +241,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn runs_every_rank_in_order() {
@@ -178,6 +274,49 @@ mod tests {
     }
 
     #[test]
+    fn try_run_names_the_panicking_rank() {
+        let err = try_run(&ClusterConfig::small_cluster(4), |c| {
+            if c.rank() == 2 {
+                panic!("rank 2 exploded");
+            }
+            c.barrier();
+        })
+        .unwrap_err();
+        let roots: Vec<_> = err.root_causes().collect();
+        assert_eq!(roots.len(), 1);
+        assert!(
+            matches!(roots[0], RankError::Panicked { rank: 2, message } if message.contains("exploded"))
+        );
+        // Every failed rank is reported, root cause included.
+        assert!(err.failed_ranks().contains(&2));
+        for e in &err.failed {
+            if !e.is_root_cause() {
+                assert!(matches!(e, RankError::PeerFailed { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_reports_injected_crash() {
+        let cfg =
+            ClusterConfig::small_cluster(4).with_fault(FaultPlan::seeded(9).with_crash(1, 10));
+        let err = try_run(&cfg, |c| {
+            c.charge(crate::Work::Compares(1 << 20));
+            c.barrier();
+        })
+        .unwrap_err();
+        let roots: Vec<_> = err.root_causes().collect();
+        assert_eq!(roots.len(), 1);
+        assert!(matches!(roots[0], RankError::Crashed { rank: 1, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_rank_cluster_is_rejected() {
+        let _ = ClusterConfig::small_cluster(0);
+    }
+
+    #[test]
     fn single_rank_cluster_works() {
         let out = run(&ClusterConfig::small_cluster(1), |c| {
             c.barrier();
@@ -197,5 +336,35 @@ mod tests {
             s.makespan_ns
         };
         assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn deterministic_virtual_time_under_faults() {
+        let plan = FaultPlan::seeded(42)
+            .with_straggler(3, 2.5)
+            .with_loss(crate::LossSpec {
+                rate: 0.2,
+                timeout_ns: 50_000,
+                max_retries: 16,
+                duplicate_rate: 0.1,
+            });
+        let go = || {
+            let cfg = ClusterConfig::supermuc_phase2(32).with_fault(plan.clone());
+            let (_, s) = run_summarized(&cfg, |c| {
+                let xs = c.allgather(c.rank() as u64);
+                // p2p traffic so the loss model has messages to drop.
+                let peer = c.rank() ^ 1;
+                let got = c.exchange(peer, 3, vec![c.rank() as u64; 64]);
+                assert_eq!(got, vec![peer as u64; 64]);
+                c.allreduce_sum(xs)
+            });
+            (s.makespan_ns, s.p2p_retries, s.p2p_duplicates)
+        };
+        let a = go();
+        assert_eq!(a, go());
+        assert!(
+            a.1 > 0,
+            "loss rate 0.2 over many messages should force retries"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! type-erased so a single cell serves collectives of any element type.
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -14,6 +14,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::cost::CostModel;
+use crate::fault::{FaultPlan, RankAbort, RankError};
 use crate::stats::RankLocal;
 use crate::topology::Topology;
 
@@ -25,6 +26,8 @@ const POISON_POLL: Duration = Duration::from_millis(25);
 pub struct World {
     pub topology: Topology,
     pub cost: CostModel,
+    /// Fault-injection plan in effect (inert by default).
+    pub fault: FaultPlan,
     /// Set when any rank panics so the rest can abort instead of
     /// deadlocking inside a collective.
     pub poison: AtomicBool,
@@ -34,8 +37,21 @@ pub struct World {
 
 impl World {
     pub fn new(topology: Topology, cost: CostModel) -> Arc<Self> {
-        let locals = (0..topology.ranks()).map(|_| Arc::new(RankLocal::default())).collect();
-        Arc::new(Self { topology, cost, poison: AtomicBool::new(false), locals })
+        Self::with_fault(topology, cost, FaultPlan::default())
+    }
+
+    pub fn with_fault(topology: Topology, cost: CostModel, fault: FaultPlan) -> Arc<Self> {
+        fault.validate(topology.ranks());
+        let locals = (0..topology.ranks())
+            .map(|_| Arc::new(RankLocal::default()))
+            .collect();
+        Arc::new(Self {
+            topology,
+            cost,
+            fault,
+            poison: AtomicBool::new(false),
+            locals,
+        })
     }
 
     pub fn poisoned(&self) -> bool {
@@ -45,12 +61,22 @@ impl World {
     pub fn poison_now(&self) {
         self.poison.store(true, Ordering::Relaxed);
     }
+
+    /// Abort the calling rank because a peer failed: poison-propagation
+    /// panic with a typed payload that [`crate::runner::try_run`]
+    /// recognizes as collateral damage rather than a root cause.
+    pub(crate) fn abort_peer_failed(&self, me_global: usize) -> ! {
+        std::panic::panic_any(RankAbort(RankError::PeerFailed { rank: me_global }))
+    }
 }
 
 /// One in-flight point-to-point message.
 pub(crate) struct Message {
     pub src: usize,
     pub tag: u64,
+    /// Position in the sender's `(src, tag)` stream; the receiver uses
+    /// it to discard stray duplicates injected by the fault layer.
+    pub seq: u64,
     pub payload: Box<dyn Any + Send>,
     /// Virtual time at which the payload is fully available at the
     /// receiver.
@@ -58,29 +84,56 @@ pub(crate) struct Message {
 }
 
 #[derive(Default)]
+struct MailboxState {
+    queue: VecDeque<Message>,
+    /// Next expected sequence number per `(src, tag)` stream; messages
+    /// below it are duplicates of already-delivered payloads.
+    next_seq: HashMap<(usize, u64), u64>,
+}
+
+#[derive(Default)]
 pub(crate) struct Mailbox {
-    queue: Mutex<VecDeque<Message>>,
+    state: Mutex<MailboxState>,
     cv: Condvar,
 }
 
 impl Mailbox {
     pub fn push(&self, msg: Message) {
-        self.queue.lock().push_back(msg);
+        self.state.lock().queue.push_back(msg);
         self.cv.notify_all();
     }
 
-    /// Blocking receive of the first message matching `src` and `tag`.
-    /// Panics if the world is poisoned while waiting.
-    pub fn pop(&self, world: &World, src: usize, tag: u64) -> Message {
-        let mut q = self.queue.lock();
+    /// Blocking receive of the first live message matching `src` and
+    /// `tag`. Duplicate deliveries (same stream, already-consumed
+    /// sequence number) are discarded idempotently. Aborts with a
+    /// [`RankError::PeerFailed`] panic if the world is poisoned while
+    /// waiting; `me_global` attributes that abort to the caller.
+    pub fn pop(&self, world: &World, me_global: usize, src: usize, tag: u64) -> Message {
+        let mut st = self.state.lock();
         loop {
-            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
-                return q.remove(pos).expect("position just found");
+            let mut ix = 0;
+            while ix < st.queue.len() {
+                let m = &st.queue[ix];
+                if m.src != src || m.tag != tag {
+                    ix += 1;
+                    continue;
+                }
+                let expected = st.next_seq.get(&(src, tag)).copied().unwrap_or(0);
+                let seq = m.seq;
+                if seq < expected {
+                    // Stray duplicate of a message already delivered:
+                    // drop it without touching the virtual clock.
+                    st.queue.remove(ix);
+                    continue;
+                }
+                st.next_seq.insert((src, tag), seq + 1);
+                return st.queue.remove(ix).expect("index in bounds");
             }
             if world.poisoned() {
-                panic!("recv aborted: a peer rank panicked");
+                drop(st);
+                world.abort_peer_failed(me_global);
             }
-            self.cv.wait_for(&mut q, POISON_POLL);
+            self.cv.wait_for(&mut st, POISON_POLL);
         }
     }
 }
@@ -187,7 +240,8 @@ impl CommState {
         F: FnOnce(Vec<T>, &CollectiveCtx<'_>) -> (R, EndTimes),
     {
         let world = &self.world;
-        let me = &world.locals[self.global_ranks[rank]];
+        let me_global = self.global_ranks[rank];
+        let me = &world.locals[me_global];
         let enter_ns = me.now_ns();
         let size = self.size();
 
@@ -195,7 +249,8 @@ impl CommState {
         // Wait for the cell to be reset for our generation.
         while st.gen != my_gen {
             if world.poisoned() {
-                panic!("collective aborted: a peer rank panicked");
+                drop(st);
+                world.abort_peer_failed(me_global);
             }
             self.cv_wait(&mut st);
         }
@@ -218,8 +273,12 @@ impl CommState {
                 })
                 .collect();
             let enter_max_ns = st.clocks.iter().copied().max().unwrap_or(0);
+            // Link-degradation windows are sampled at the collective's
+            // start time, so a whole collective sees one (deterministic)
+            // cost model.
+            let cost_now = world.fault.cost_at(&world.cost, enter_max_ns);
             let ctx = CollectiveCtx {
-                cost: &world.cost,
+                cost: &cost_now,
                 topology: &world.topology,
                 global_ranks: &self.global_ranks,
                 enter_max_ns,
@@ -238,7 +297,8 @@ impl CommState {
         } else {
             while st.output.is_none() {
                 if world.poisoned() {
-                    panic!("collective aborted: a peer rank panicked");
+                    drop(st);
+                    world.abort_peer_failed(me_global);
                 }
                 self.cv_wait(&mut st);
             }
@@ -266,7 +326,9 @@ impl CommState {
         // Advance this rank's clock to the collective's end and account
         // the waiting + transfer as communication time.
         me.advance_to_ns(end);
-        me.counters.comm_ns.fetch_add(end.saturating_sub(enter_ns), Ordering::Relaxed);
+        me.counters
+            .comm_ns
+            .fetch_add(end.saturating_sub(enter_ns), Ordering::Relaxed);
         me.counters.collectives.fetch_add(1, Ordering::Relaxed);
         out
     }
@@ -310,7 +372,10 @@ mod tests {
                 let st = st.clone();
                 s.spawn(move || {
                     let out = st.collective(r, 0, r as u64, |xs, ctx| {
-                        (xs.iter().sum::<u64>(), EndTimes::Uniform(ctx.enter_max_ns + 100))
+                        (
+                            xs.iter().sum::<u64>(),
+                            EndTimes::Uniform(ctx.enter_max_ns + 100),
+                        )
                     });
                     assert_eq!(*out, 6);
                 });
@@ -344,27 +409,82 @@ mod tests {
     fn mailbox_matches_src_and_tag() {
         let w = world(2);
         let mb = Mailbox::default();
-        mb.push(Message { src: 1, tag: 7, payload: Box::new(1u8), arrival_ns: 0 });
-        mb.push(Message { src: 0, tag: 7, payload: Box::new(2u8), arrival_ns: 0 });
-        let m = mb.pop(&w, 0, 7);
+        mb.push(Message {
+            src: 1,
+            tag: 7,
+            seq: 0,
+            payload: Box::new(1u8),
+            arrival_ns: 0,
+        });
+        mb.push(Message {
+            src: 0,
+            tag: 7,
+            seq: 0,
+            payload: Box::new(2u8),
+            arrival_ns: 0,
+        });
+        let m = mb.pop(&w, 0, 0, 7);
         assert_eq!(*m.payload.downcast::<u8>().unwrap(), 2);
-        let m = mb.pop(&w, 1, 7);
+        let m = mb.pop(&w, 0, 1, 7);
         assert_eq!(*m.payload.downcast::<u8>().unwrap(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "peer rank panicked")]
-    fn poison_unblocks_receiver() {
+    fn mailbox_discards_duplicate_sequence_numbers() {
         let w = world(2);
         let mb = Mailbox::default();
-        std::thread::scope(|s| {
+        mb.push(Message {
+            src: 1,
+            tag: 3,
+            seq: 0,
+            payload: Box::new(10u8),
+            arrival_ns: 5,
+        });
+        // A stray duplicate of seq 0 and the real next message.
+        mb.push(Message {
+            src: 1,
+            tag: 3,
+            seq: 0,
+            payload: Box::new(()),
+            arrival_ns: 9,
+        });
+        mb.push(Message {
+            src: 1,
+            tag: 3,
+            seq: 1,
+            payload: Box::new(11u8),
+            arrival_ns: 12,
+        });
+        let m = mb.pop(&w, 0, 1, 3);
+        assert_eq!(*m.payload.downcast::<u8>().unwrap(), 10);
+        let m = mb.pop(&w, 0, 1, 3);
+        assert_eq!(
+            *m.payload.downcast::<u8>().unwrap(),
+            11,
+            "duplicate must be skipped"
+        );
+        assert_eq!(m.arrival_ns, 12);
+    }
+
+    #[test]
+    fn poison_unblocks_receiver_with_typed_abort() {
+        let w = world(2);
+        let mb = Mailbox::default();
+        let payload = std::thread::scope(|s| {
             let wref = &w;
             let mbref = &mb;
             s.spawn(move || {
                 std::thread::sleep(Duration::from_millis(10));
                 wref.poison_now();
             });
-            mbref.pop(wref, 1, 0);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                mbref.pop(wref, 0, 1, 0);
+            }))
+            .expect_err("poison must abort the blocked receiver")
         });
+        let abort = payload
+            .downcast::<RankAbort>()
+            .expect("typed abort payload");
+        assert_eq!(abort.0, RankError::PeerFailed { rank: 0 });
     }
 }

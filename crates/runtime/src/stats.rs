@@ -24,6 +24,10 @@ pub struct Counters {
     pub bytes_intra_node: AtomicU64,
     pub bytes_inter_node: AtomicU64,
     pub p2p_messages: AtomicU64,
+    /// Retransmissions forced by injected message loss.
+    pub p2p_retries: AtomicU64,
+    /// Stray duplicate deliveries injected by the fault plan.
+    pub p2p_duplicates: AtomicU64,
     pub collectives: AtomicU64,
     pub compute_ns: AtomicU64,
     pub comm_ns: AtomicU64,
@@ -55,6 +59,8 @@ impl Counters {
             bytes_intra_node: self.bytes_intra_node.load(Ordering::Relaxed),
             bytes_inter_node: self.bytes_inter_node.load(Ordering::Relaxed),
             p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
+            p2p_retries: self.p2p_retries.load(Ordering::Relaxed),
+            p2p_duplicates: self.p2p_duplicates.load(Ordering::Relaxed),
             collectives: self.collectives.load(Ordering::Relaxed),
             compute_ns: self.compute_ns.load(Ordering::Relaxed),
             comm_ns: self.comm_ns.load(Ordering::Relaxed),
@@ -80,7 +86,10 @@ impl RankLocal {
 
     /// Copy out a plain-value report.
     pub fn report(&self) -> RankReport {
-        RankReport { clock_ns: self.now_ns(), counters: self.counters.snapshot() }
+        RankReport {
+            clock_ns: self.now_ns(),
+            counters: self.counters.snapshot(),
+        }
     }
 }
 
@@ -92,6 +101,8 @@ pub struct CounterSnapshot {
     pub bytes_intra_node: u64,
     pub bytes_inter_node: u64,
     pub p2p_messages: u64,
+    pub p2p_retries: u64,
+    pub p2p_duplicates: u64,
     pub collectives: u64,
     pub compute_ns: u64,
     pub comm_ns: u64,
@@ -122,6 +133,10 @@ pub struct RunSummary {
     pub intra_node_bytes: u64,
     /// Total point-to-point messages.
     pub p2p_messages: u64,
+    /// Total loss-induced retransmissions (summed over ranks).
+    pub p2p_retries: u64,
+    /// Total injected duplicate deliveries (summed over ranks).
+    pub p2p_duplicates: u64,
     /// Total collective invocations (summed over ranks).
     pub collectives: u64,
     /// Total compute nanoseconds over all ranks.
@@ -139,6 +154,8 @@ impl RunSummary {
             s.intra_node_bytes +=
                 r.counters.bytes_self + r.counters.bytes_intra_numa + r.counters.bytes_intra_node;
             s.p2p_messages += r.counters.p2p_messages;
+            s.p2p_retries += r.counters.p2p_retries;
+            s.p2p_duplicates += r.counters.p2p_duplicates;
             s.collectives += r.counters.collectives;
             s.compute_ns += r.counters.compute_ns;
             s.comm_ns += r.counters.comm_ns;
@@ -178,11 +195,15 @@ mod tests {
 
     #[test]
     fn summary_takes_max_clock_and_sums_traffic() {
-        let mut a = RankReport::default();
-        a.clock_ns = 10;
+        let mut a = RankReport {
+            clock_ns: 10,
+            ..RankReport::default()
+        };
         a.counters.bytes_inter_node = 100;
-        let mut b = RankReport::default();
-        b.clock_ns = 30;
+        let mut b = RankReport {
+            clock_ns: 30,
+            ..RankReport::default()
+        };
         b.counters.bytes_intra_numa = 7;
         let s = RunSummary::from_reports(&[a, b]);
         assert_eq!(s.makespan_ns, 30);

@@ -66,7 +66,12 @@ impl Topology {
             "more ranks per node ({ranks_per_node}) than cores ({})",
             numa_per_node * cores_per_numa
         );
-        Self { ranks_per_node, numa_per_node, cores_per_numa, ranks }
+        Self {
+            ranks_per_node,
+            numa_per_node,
+            cores_per_numa,
+            ranks,
+        }
     }
 
     /// The SuperMUC Phase 2 node of Table I: 2x E5-2697v3 = 4 NUMA

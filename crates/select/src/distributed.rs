@@ -62,7 +62,10 @@ where
             // sequentially (identical on every rank).
             let gathered = comm.allgatherv(active);
             let mut rest: Vec<K> = gathered.into_iter().flatten().collect();
-            comm.charge(Work::SortElems { n: rest.len() as u64, elem_bytes: elem });
+            comm.charge(Work::SortElems {
+                n: rest.len() as u64,
+                elem_bytes: elem,
+            });
             let result = quickselect(&mut rest, k as usize);
             return (result, stats);
         }
@@ -84,7 +87,10 @@ where
         // integer partition sizes are an exact equivalent.
         let medians = comm.allgather(candidate);
         let mut weighted: Vec<(K, u64)> = medians.into_iter().flatten().collect();
-        debug_assert!(!weighted.is_empty(), "some rank must hold data while total > 0");
+        debug_assert!(
+            !weighted.is_empty(),
+            "some rank must hold data while total > 0"
+        );
         comm.charge(Work::Compares(2 * weighted.len() as u64));
         let pivot = weighted_median(&mut weighted);
 
@@ -142,8 +148,9 @@ mod tests {
                 dselect(comm, &local, k)
             });
             // Reference: sort everything.
-            let mut all: Vec<u64> =
-                (0..p).flat_map(|r| seeded_keys(r, n_per_rank, modulus)).collect();
+            let mut all: Vec<u64> = (0..p)
+                .flat_map(|r| seeded_keys(r, n_per_rank, modulus))
+                .collect();
             all.sort_unstable();
             for (v, _) in out {
                 assert_eq!(v, all[k as usize], "k={k}, p={p}");
@@ -154,7 +161,12 @@ mod tests {
     #[test]
     fn selects_extremes_and_middle() {
         let total = 4 * 5000;
-        check_kth(4, 5000, u64::MAX, &[0, 1, (total / 2) as u64, (total - 1) as u64]);
+        check_kth(
+            4,
+            5000,
+            u64::MAX,
+            &[0, 1, (total / 2) as u64, (total - 1) as u64],
+        );
     }
 
     #[test]
@@ -184,7 +196,7 @@ mod tests {
             let local = vec![comm.rank() as u64 * 10, comm.rank() as u64 * 10 + 5];
             dselect_with_stats(comm, &local, 3)
         });
-        let mut all = vec![0u64, 5, 10, 15, 20, 25];
+        let mut all = [0u64, 5, 10, 15, 20, 25];
         all.sort_unstable();
         for (result, _) in out {
             assert_eq!(result.0, all[3]);

@@ -10,7 +10,11 @@
 /// # Panics
 /// Panics if `data` is empty or `k >= data.len()`.
 pub fn floyd_rivest_select<T: Ord + Copy>(data: &mut [T], k: usize) -> T {
-    assert!(k < data.len(), "order statistic {k} out of range {}", data.len());
+    assert!(
+        k < data.len(),
+        "order statistic {k} out of range {}",
+        data.len()
+    );
     select_range(data, 0, data.len() - 1, k);
     data[k]
 }
@@ -99,7 +103,11 @@ mod tests {
             let data = noise(5000, seed, u64::MAX);
             for k in [0, 1, 2499, 2500, 4998, 4999] {
                 let mut scratch = data.clone();
-                assert_eq!(floyd_rivest_select(&mut scratch, k), reference(&data, k), "k={k}");
+                assert_eq!(
+                    floyd_rivest_select(&mut scratch, k),
+                    reference(&data, k),
+                    "k={k}"
+                );
             }
         }
     }
@@ -109,7 +117,11 @@ mod tests {
         let data = noise(100_000, 7, u64::MAX);
         for k in [0, 50_000, 99_999] {
             let mut scratch = data.clone();
-            assert_eq!(floyd_rivest_select(&mut scratch, k), reference(&data, k), "k={k}");
+            assert_eq!(
+                floyd_rivest_select(&mut scratch, k),
+                reference(&data, k),
+                "k={k}"
+            );
         }
     }
 

@@ -32,7 +32,11 @@ pub fn partition3<T: Ord + Copy>(data: &mut [T], pivot: T) -> (usize, usize) {
 /// # Panics
 /// Panics if `data` is empty or `k >= data.len()`.
 pub fn quickselect<T: Ord + Copy>(data: &mut [T], k: usize) -> T {
-    assert!(k < data.len(), "order statistic {k} out of range {}", data.len());
+    assert!(
+        k < data.len(),
+        "order statistic {k} out of range {}",
+        data.len()
+    );
     let mut rng = Xorshift64(0x9E3779B97F4A7C15 ^ data.len() as u64);
     let mut slice = data;
     let mut k = k;
@@ -58,7 +62,11 @@ pub fn quickselect<T: Ord + Copy>(data: &mut [T], k: usize) -> T {
 /// median-of-medians pivot selection (BFPRT, paper ref [21]).
 /// `data` is reordered.
 pub fn median_of_medians_select<T: Ord + Copy>(data: &mut [T], k: usize) -> T {
-    assert!(k < data.len(), "order statistic {k} out of range {}", data.len());
+    assert!(
+        k < data.len(),
+        "order statistic {k} out of range {}",
+        data.len()
+    );
     let mut slice = data;
     let mut k = k;
     loop {
@@ -184,7 +192,10 @@ mod tests {
             let data = pseudo_random(777, seed);
             for k in [0, 388, 776] {
                 let mut scratch = data.clone();
-                assert_eq!(median_of_medians_select(&mut scratch, k), reference(&data, k));
+                assert_eq!(
+                    median_of_medians_select(&mut scratch, k),
+                    reference(&data, k)
+                );
             }
         }
     }

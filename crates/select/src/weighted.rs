@@ -142,8 +142,7 @@ mod tests {
         };
         for trial in 0..500 {
             let n = (next() % 40 + 1) as usize;
-            let items: Vec<(u64, u64)> =
-                (0..n).map(|_| (next() % 20, next() % 100 + 1)).collect();
+            let items: Vec<(u64, u64)> = (0..n).map(|_| (next() % 20, next() % 100 + 1)).collect();
             let expect = weighted_median_by_sort(&items);
             let mut scratch = items.clone();
             let got = weighted_median(&mut scratch);
@@ -162,8 +161,9 @@ mod tests {
         };
         for _ in 0..200 {
             let n = (next() % 25 + 1) as usize;
-            let items: Vec<(i64, u64)> =
-                (0..n).map(|_| ((next() % 50) as i64 - 25, next() % 9 + 1)).collect();
+            let items: Vec<(i64, u64)> = (0..n)
+                .map(|_| ((next() % 50) as i64 - 25, next() % 9 + 1))
+                .collect();
             let mut scratch = items.clone();
             let m = weighted_median(&mut scratch);
             let total: u64 = items.iter().map(|&(_, w)| w).sum();

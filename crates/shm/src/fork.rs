@@ -57,11 +57,17 @@ where
             .into_iter()
             .map(|bucket| {
                 s.spawn(move || {
-                    bucket.into_iter().map(|(i, item)| (i, f(item))).collect::<Vec<_>>()
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     indexed.sort_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()

@@ -18,7 +18,11 @@ pub fn parallel_merge_into<T: Ord + Copy + Send + Sync>(
     out: &mut [T],
     threads: usize,
 ) {
-    assert_eq!(out.len(), a.len() + b.len(), "output window must fit both inputs exactly");
+    assert_eq!(
+        out.len(),
+        a.len() + b.len(),
+        "output window must fit both inputs exactly"
+    );
     if threads <= 1 || a.len() + b.len() <= MERGE_GRAIN {
         let mut tmp = Vec::new();
         merge_two_into(a, b, &mut tmp);
@@ -158,7 +162,11 @@ mod tests {
     fn tree_merge_matches_reference() {
         for k in [1usize, 2, 7, 16] {
             let runs = runs_fixture(k, 2000, k as u64);
-            assert_eq!(parallel_binary_tree_merge(&runs, 4), reference(&runs), "k={k}");
+            assert_eq!(
+                parallel_binary_tree_merge(&runs, 4),
+                reference(&runs),
+                "k={k}"
+            );
         }
     }
 

@@ -30,7 +30,7 @@ where
             histogram[((bits(x) >> shift) & 0xFF) as usize] += 1;
         }
         // Skip passes where every key shares the digit.
-        if histogram.iter().any(|&c| c == n) {
+        if histogram.contains(&n) {
             continue;
         }
         let mut offsets = [0usize; 256];
@@ -111,8 +111,7 @@ mod tests {
     #[test]
     fn stable_on_projected_ties() {
         // Sort pairs by the first component only; ties keep input order.
-        let mut v: Vec<(u8, u32)> =
-            (0..1000u32).map(|i| (((i * 7) % 4) as u8, i)).collect();
+        let mut v: Vec<(u8, u32)> = (0..1000u32).map(|i| (((i * 7) % 4) as u8, i)).collect();
         radix_sort_by_bits(&mut v, |&(k, _)| k as u128, 8);
         for w in v.windows(2) {
             assert!(w[0].0 <= w[1].0);
@@ -124,8 +123,7 @@ mod tests {
 
     #[test]
     fn signed_via_projection() {
-        let mut v: Vec<i64> =
-            noise(2000, 5).into_iter().map(|x| x as i64).collect();
+        let mut v: Vec<i64> = noise(2000, 5).into_iter().map(|x| x as i64).collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         radix_sort_by_bits(&mut v, |&x| (x as u64 ^ (1 << 63)) as u128, 64);

@@ -88,7 +88,11 @@ pub fn parallel_quicksort<T: Ord + Copy + Send + Sync>(data: &mut [T], threads: 
     let (l, u) = partition3(data, pivot);
     let (lo, rest) = data.split_at_mut(l);
     let (_, hi) = rest.split_at_mut(u - l);
-    join(threads, |t| parallel_quicksort(lo, t), |t| parallel_quicksort(hi, t));
+    join(
+        threads,
+        |t| parallel_quicksort(lo, t),
+        |t| parallel_quicksort(hi, t),
+    );
 }
 
 fn partition3<T: Ord + Copy>(data: &mut [T], pivot: T) -> (usize, usize) {
@@ -129,7 +133,14 @@ mod tests {
     }
 
     fn check_sorter(f: impl Fn(&mut [u64], usize)) {
-        for (n, t) in [(0usize, 4), (1, 4), (100, 4), (50_000, 1), (50_000, 4), (50_000, 7)] {
+        for (n, t) in [
+            (0usize, 4),
+            (1, 4),
+            (100, 4),
+            (50_000, 1),
+            (50_000, 4),
+            (50_000, 7),
+        ] {
             let mut v = noise(n, (n + t) as u64);
             let mut expect = v.clone();
             expect.sort_unstable();

@@ -35,12 +35,18 @@ pub enum Distribution {
 impl Distribution {
     /// The paper's scaling workload: uniform u64 in `[0, 1e9]`.
     pub fn paper_uniform() -> Self {
-        Distribution::Uniform { lo: 0, hi: 1_000_000_000 }
+        Distribution::Uniform {
+            lo: 0,
+            hi: 1_000_000_000,
+        }
     }
 
     /// The paper's shared-memory workload: standard normal.
     pub fn paper_normal() -> Self {
-        Distribution::Normal { mean: 0.0, std_dev: 1.0 }
+        Distribution::Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
     }
 
     /// Generate `n` keys as `u64`. Floating distributions are mapped
@@ -49,12 +55,11 @@ impl Distribution {
     pub fn generate_u64(&self, n: usize, seed: u64) -> Vec<u64> {
         let mut g = Mt19937_64::new(seed);
         match *self {
-            Distribution::Uniform { lo, hi } => {
-                (0..n).map(|_| g.range_inclusive(lo, hi)).collect()
-            }
-            Distribution::Normal { mean, std_dev } => {
-                normal_f64(&mut g, n, mean, std_dev).into_iter().map(f64_to_ordered_u64).collect()
-            }
+            Distribution::Uniform { lo, hi } => (0..n).map(|_| g.range_inclusive(lo, hi)).collect(),
+            Distribution::Normal { mean, std_dev } => normal_f64(&mut g, n, mean, std_dev)
+                .into_iter()
+                .map(f64_to_ordered_u64)
+                .collect(),
             Distribution::Exponential { lambda } => (0..n)
                 .map(|_| {
                     let u = 1.0 - g.next_f64();
@@ -97,7 +102,11 @@ impl Distribution {
                     -u.ln() / lambda
                 })
                 .collect(),
-            _ => self.generate_u64(n, seed).into_iter().map(|x| x as f64).collect(),
+            _ => self
+                .generate_u64(n, seed)
+                .into_iter()
+                .map(|x| x as f64)
+                .collect(),
         }
     }
 
@@ -194,7 +203,10 @@ mod tests {
 
     #[test]
     fn normal_has_plausible_moments() {
-        let d = Distribution::Normal { mean: 10.0, std_dev: 2.0 };
+        let d = Distribution::Normal {
+            mean: 10.0,
+            std_dev: 2.0,
+        };
         let v = d.generate_f64(20_000, 3);
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
@@ -216,11 +228,16 @@ mod tests {
 
     #[test]
     fn nearly_sorted_is_mostly_sorted() {
-        let d = Distribution::NearlySorted { perturb_permille: 10 };
+        let d = Distribution::NearlySorted {
+            perturb_permille: 10,
+        };
         let v = d.generate_u64(10_000, 5);
         let inversions = v.windows(2).filter(|w| w[0] > w[1]).count();
         assert!(inversions > 0, "some perturbation expected");
-        assert!(inversions < 500, "should stay nearly sorted, got {inversions} inversions");
+        assert!(
+            inversions < 500,
+            "should stay nearly sorted, got {inversions} inversions"
+        );
     }
 
     #[test]
@@ -234,7 +251,10 @@ mod tests {
 
     #[test]
     fn zipf_is_head_heavy() {
-        let d = Distribution::Zipf { items: 1000, s: 1.2 };
+        let d = Distribution::Zipf {
+            items: 1000,
+            s: 1.2,
+        };
         let v = d.generate_u64(10_000, 8);
         let head = v.iter().filter(|&&x| x <= 10).count();
         let tail = v.iter().filter(|&&x| x > 900).count();

@@ -80,8 +80,10 @@ pub fn proportional_split(n: usize, weights: &[f64]) -> Vec<usize> {
     assert!(!weights.is_empty());
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0);
-    let mut out: Vec<usize> =
-        weights.iter().map(|w| (n as f64 * w / total).floor() as usize).collect();
+    let mut out: Vec<usize> = weights
+        .iter()
+        .map(|w| (n as f64 * w / total).floor() as usize)
+        .collect();
     let mut assigned: usize = out.iter().sum();
     // Distribute the rounding remainder deterministically.
     let len = out.len();
@@ -127,7 +129,10 @@ mod tests {
 
     #[test]
     fn sparse_front_has_empty_ranks() {
-        let v = Layout::SparseFront { empty_permille: 500 }.sizes(100, 8);
+        let v = Layout::SparseFront {
+            empty_permille: 500,
+        }
+        .sizes(100, 8);
         assert_eq!(v.iter().sum::<usize>(), 100);
         assert_eq!(&v[..4], &[0, 0, 0, 0]);
         assert!(v[4..].iter().all(|&s| s > 0));

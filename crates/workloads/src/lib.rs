@@ -40,8 +40,9 @@ pub fn rank_local_keys(
         // rank's window of the global ramp, then perturb locally.
         Distribution::NearlySorted { perturb_permille } => {
             let offs = offsets(&sizes);
-            let mut v: Vec<u64> =
-                (offs[rank]..offs[rank] + n_local).map(|i| (i as u64) * 16).collect();
+            let mut v: Vec<u64> = (offs[rank]..offs[rank] + n_local)
+                .map(|i| (i as u64) * 16)
+                .collect();
             let mut g = Mt19937_64::new(rank_seed(seed, rank));
             let swaps = n_local * perturb_permille as usize / 1000;
             for _ in 0..swaps {
@@ -88,7 +89,9 @@ mod tests {
         let mut all = Vec::new();
         for r in 0..p {
             all.extend(rank_local_keys(
-                Distribution::NearlySorted { perturb_permille: 5 },
+                Distribution::NearlySorted {
+                    perturb_permille: 5,
+                },
                 Layout::Balanced,
                 n,
                 p,
@@ -97,14 +100,19 @@ mod tests {
             ));
         }
         let inversions = all.windows(2).filter(|w| w[0] > w[1]).count();
-        assert!(inversions < n / 20, "global stream should be nearly sorted: {inversions}");
+        assert!(
+            inversions < n / 20,
+            "global stream should be nearly sorted: {inversions}"
+        );
     }
 
     #[test]
     fn sparse_layout_leaves_ranks_empty() {
         let keys = rank_local_keys(
             Distribution::paper_uniform(),
-            Layout::SparseFront { empty_permille: 500 },
+            Layout::SparseFront {
+                empty_permille: 500,
+            },
             100,
             4,
             0,

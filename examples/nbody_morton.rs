@@ -76,7 +76,10 @@ fn main() {
 
         // Sort along the space-filling curve with globally balanced
         // output (boundaries at N·i/P, not at the input capacities).
-        let cfg = SortConfig { partitioning: Partitioning::Balanced, ..SortConfig::default() };
+        let cfg = SortConfig {
+            partitioning: Partitioning::Balanced,
+            ..SortConfig::default()
+        };
         let stats = histogram_sort(comm, &mut codes, &cfg);
 
         // Each rank's curve segment is spatially compact: report its
@@ -101,8 +104,16 @@ fn main() {
         );
     }
     let loads: Vec<usize> = results.iter().map(|((n, _, _), _)| *n).collect();
-    let (min, max) = (loads.iter().min().copied().unwrap_or(0), loads.iter().max().copied().unwrap_or(0));
-    println!("load balance: min {min}, max {max} (imbalance {:.2}%)",
-             (max as f64 / (particles_per_rank as f64) - 1.0) * 100.0);
-    assert!(max - min <= 1, "balanced partitioning must even out the load");
+    let (min, max) = (
+        loads.iter().min().copied().unwrap_or(0),
+        loads.iter().max().copied().unwrap_or(0),
+    );
+    println!(
+        "load balance: min {min}, max {max} (imbalance {:.2}%)",
+        (max as f64 / (particles_per_rank as f64) - 1.0) * 100.0
+    );
+    assert!(
+        max - min <= 1,
+        "balanced partitioning must even out the load"
+    );
 }

@@ -57,7 +57,16 @@ fn main() {
         histogram_sort(comm, &mut sorted, &SortConfig::default());
         let sort_ns = comm.now_ns() - t1;
 
-        (p50, p90, p99, p999, sel_stats.rounds, select_ns, sort_ns, sorted)
+        (
+            p50,
+            p90,
+            p99,
+            p999,
+            sel_stats.rounds,
+            select_ns,
+            sort_ns,
+            sorted,
+        )
     });
 
     let (p50, p90, p99, p999, rounds, select_ns, sort_ns, _) = results[0].0.clone();

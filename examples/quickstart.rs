@@ -14,7 +14,10 @@ fn main() {
     let keys_per_rank = 100_000;
     let cluster = ClusterConfig::small_cluster(ranks);
 
-    println!("sorting {} keys across {ranks} simulated ranks...", ranks * keys_per_rank);
+    println!(
+        "sorting {} keys across {ranks} simulated ranks...",
+        ranks * keys_per_rank
+    );
 
     let results = run(&cluster, |comm| {
         // Each rank owns a block of uniform u64 keys in [0, 1e9] — the

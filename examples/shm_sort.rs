@@ -47,11 +47,16 @@ fn main() {
 
     let (med, p10, ns) = results[0].0;
     println!("median = {med:.1}, 10th percentile = {p10:.1}");
-    println!("simulated sort time on {cores} cores: {:.2} ms", ns as f64 / 1e6);
+    println!(
+        "simulated sort time on {cores} cores: {:.2} ms",
+        ns as f64 / 1e6
+    );
 
     // Host-side comparison: the real multi-threaded merge sort from
     // dhs-shm (wall clock; meaningful only with real cores).
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut data = Distribution::paper_uniform().generate_u64(cores * n_per_rank, 1);
     let t0 = std::time::Instant::now();
     parallel_merge_sort(&mut data, host);

@@ -33,7 +33,9 @@ fn main() {
     let holders = ranks / 4; // only 4 of 16 ranks hold data initially
     let cluster = ClusterConfig::supermuc_phase2(ranks);
 
-    println!("# Sparse matrix rebalancing: {nnz_total} nonzeros initially on {holders}/{ranks} ranks");
+    println!(
+        "# Sparse matrix rebalancing: {nnz_total} nonzeros initially on {holders}/{ranks} ranks"
+    );
     let results = run(&cluster, |comm| {
         // Sparse input: most ranks contribute nothing.
         let mut nnz: Vec<u64> = if comm.rank() < holders {
@@ -42,8 +44,8 @@ fn main() {
                 .map(|_| {
                     // Banded structure: columns near the diagonal.
                     let row = g.below(n_rows as u64) as u32;
-                    let col = (row as i64 + g.below(2048) as i64 - 1024)
-                        .clamp(0, n_rows as i64 - 1) as u32;
+                    let col = (row as i64 + g.below(2048) as i64 - 1024).clamp(0, n_rows as i64 - 1)
+                        as u32;
                     coo_key(row, col)
                 })
                 .collect()
@@ -52,16 +54,21 @@ fn main() {
         };
         let before = nnz.len();
 
-        let cfg = SortConfig { partitioning: Partitioning::Balanced, ..SortConfig::default() };
+        let cfg = SortConfig {
+            partitioning: Partitioning::Balanced,
+            ..SortConfig::default()
+        };
         let stats = histogram_sort(comm, &mut nnz, &cfg);
 
         let rows = nnz.iter().map(|&k| coo_unkey(k).0);
-        let (row_lo, row_hi) =
-            rows.fold((u32::MAX, 0u32), |(lo, hi), r| (lo.min(r), hi.max(r)));
+        let (row_lo, row_hi) = rows.fold((u32::MAX, 0u32), |(lo, hi), r| (lo.min(r), hi.max(r)));
         (before, nnz.len(), row_lo, row_hi, stats.iterations)
     });
 
-    println!("{:>4}  {:>10}  {:>10}  {:>22}", "rank", "nnz-before", "nnz-after", "row-range-after");
+    println!(
+        "{:>4}  {:>10}  {:>10}  {:>22}",
+        "rank", "nnz-before", "nnz-after", "row-range-after"
+    );
     for (rank, ((before, after, lo, hi, _), _)) in results.iter().enumerate() {
         println!("{rank:>4}  {before:>10}  {after:>10}  [{lo:>9}, {hi:>9}]");
     }

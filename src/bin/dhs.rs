@@ -13,8 +13,8 @@ use dhs::baselines::{
     HyksortConfig, PsrsConfig, SampleSortConfig,
 };
 use dhs::core::{
-    global_fingerprint, histogram_sort, histogram_sort_two_level, verify_sorted,
-    ExchangeStrategy, LocalSort, MergeAlgo, Partitioning, SortConfig, SortStats,
+    global_fingerprint, histogram_sort, histogram_sort_two_level, verify_sorted, ExchangeStrategy,
+    LocalSort, MergeAlgo, Partitioning, SortConfig, SortOutcome, SortStats,
 };
 use dhs::runtime::{run, ClusterConfig, RankReport, RunSummary};
 use dhs::select::dselect;
@@ -23,12 +23,12 @@ use dhs_bench::Args;
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
-    let command = if argv.first().map_or(true, |a| a.starts_with("--")) {
+    let command = if argv.first().is_none_or(|a| a.starts_with("--")) {
         "help".to_string()
     } else {
         argv.remove(0)
     };
-    let args = Args::from_iter(argv);
+    let args = Args::from_args(argv);
 
     match command.as_str() {
         "sort" => cmd_sort(&args),
@@ -53,10 +53,18 @@ fn main() {
 fn dist_of(args: &Args) -> Distribution {
     match args.raw("dist").unwrap_or("uniform") {
         "uniform" => Distribution::paper_uniform(),
-        "uniform-full" => Distribution::Uniform { lo: 0, hi: u64::MAX },
+        "uniform-full" => Distribution::Uniform {
+            lo: 0,
+            hi: u64::MAX,
+        },
         "normal" => Distribution::paper_normal(),
-        "zipf" => Distribution::Zipf { items: 1 << 16, s: 1.2 },
-        "nearly-sorted" => Distribution::NearlySorted { perturb_permille: 10 },
+        "zipf" => Distribution::Zipf {
+            items: 1 << 16,
+            s: 1.2,
+        },
+        "nearly-sorted" => Distribution::NearlySorted {
+            perturb_permille: 10,
+        },
         "few-distinct" => Distribution::FewDistinct { k: 16 },
         "all-equal" => Distribution::AllEqual { value: 7 },
         other => panic!("unknown distribution {other}"),
@@ -66,7 +74,9 @@ fn dist_of(args: &Args) -> Distribution {
 fn layout_of(args: &Args) -> Layout {
     match args.raw("layout").unwrap_or("balanced") {
         "balanced" => Layout::Balanced,
-        "sparse" => Layout::SparseFront { empty_permille: 500 },
+        "sparse" => Layout::SparseFront {
+            empty_permille: 500,
+        },
         "ramp" => Layout::Ramp { ratio: 8 },
         other => panic!("unknown layout {other}"),
     }
@@ -89,7 +99,9 @@ fn sort_config(args: &Args) -> SortConfig {
             other => panic!("unknown merge engine {other}"),
         },
         exchange: if args.has("pairwise") {
-            ExchangeStrategy::PairwiseMerge { overlap: args.has("overlap") }
+            ExchangeStrategy::PairwiseMerge {
+                overlap: args.has("overlap"),
+            }
         } else {
             ExchangeStrategy::AllToAllv
         },
@@ -99,6 +111,10 @@ fn sort_config(args: &Args) -> SortConfig {
             other => panic!("unknown local sort {other}"),
         },
         unique_transform: args.has("unique"),
+        max_splitter_iterations: args.raw("max-iters").map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| panic!("--max-iters expects a positive integer"))
+        }),
     }
 }
 
@@ -121,8 +137,9 @@ fn cmd_sort(args: &Args) {
         layout.label()
     );
 
+    type RankOutcome = (Option<SortStats>, usize, bool);
     let algo2 = algo.clone();
-    let out: Vec<((Option<SortStats>, usize, bool), RankReport)> = run(&cluster, move |comm| {
+    let out: Vec<(RankOutcome, RankReport)> = run(&cluster, move |comm| {
         let mut local = rank_local_keys(dist, layout, n_total, ranks, comm.rank(), seed);
         let fp = verify.then(|| global_fingerprint(comm, &local));
         let stats = match algo2.as_str() {
@@ -165,7 +182,10 @@ fn cmd_sort(args: &Args) {
     let summary = RunSummary::from_reports(&reports);
     let max_keys = out.iter().map(|((_, n, _), _)| *n).max().unwrap_or(0);
     let min_keys = out.iter().map(|((_, n, _), _)| *n).min().unwrap_or(0);
-    println!("simulated makespan : {:.3} ms", summary.makespan_secs() * 1e3);
+    println!(
+        "simulated makespan : {:.3} ms",
+        summary.makespan_secs() * 1e3
+    );
     println!("inter-node traffic : {} bytes", summary.inter_node_bytes);
     println!("intra-node traffic : {} bytes", summary.intra_node_bytes);
     println!("output keys/rank   : {min_keys}..{max_keys}");
@@ -180,6 +200,16 @@ fn cmd_sort(args: &Args) {
             stats.merge_ns as f64 / 1e6,
             stats.prepare_ns as f64 / 1e6,
         );
+        match stats.outcome {
+            SortOutcome::Exact => println!("partitioning       : exact"),
+            SortOutcome::Degraded {
+                achieved_epsilon,
+                iterations,
+            } => println!(
+                "partitioning       : degraded (achieved eps {achieved_epsilon:.4} \
+                 after iteration cap at {iterations})"
+            ),
+        }
     }
     if verify {
         let ok = out.iter().all(|((_, _, ok), _)| *ok);
@@ -223,7 +253,10 @@ fn cmd_topology(args: &Args) {
     );
     for r in 0..ranks.min(64) {
         let p = t.placement(r);
-        println!("rank {r:>4}: node {:>3} numa {} core {}", p.node, p.numa, p.core);
+        println!(
+            "rank {r:>4}: node {:>3} numa {} core {}",
+            p.node, p.numa, p.core
+        );
     }
     if ranks > 64 {
         println!("... ({} more ranks)", ranks - 64);

@@ -34,9 +34,14 @@ fn agree_on_adversarial_distributions() {
     let p = 4;
     let n = 4 * 300;
     for dist in [
-        Distribution::Normal { mean: 0.0, std_dev: 1.0 },
+        Distribution::Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        },
         Distribution::Zipf { items: 32, s: 1.3 },
-        Distribution::NearlySorted { perturb_permille: 15 },
+        Distribution::NearlySorted {
+            perturb_permille: 15,
+        },
         Distribution::FewDistinct { k: 2 },
         Distribution::AllEqual { value: 9 },
     ] {
@@ -45,7 +50,11 @@ fn agree_on_adversarial_distributions() {
             if !algo.supports(p, true) {
                 continue;
             }
-            assert_eq!(global_output(algo, p, n, dist), reference, "{algo:?} on {dist:?}");
+            assert_eq!(
+                global_output(algo, p, n, dist),
+                reference,
+                "{algo:?} on {dist:?}"
+            );
         }
     }
 }

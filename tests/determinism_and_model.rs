@@ -28,7 +28,10 @@ fn virtual_time_is_reproducible() {
     let b = one_sort_summary(32, 32 * 1000, 9);
     assert_eq!(a, b, "same seed must give identical virtual results");
     let c = one_sort_summary(32, 32 * 1000, 10);
-    assert_ne!(a.makespan_ns, c.makespan_ns, "different data, different time");
+    assert_ne!(
+        a.makespan_ns, c.makespan_ns,
+        "different data, different time"
+    );
 }
 
 #[test]
@@ -41,7 +44,10 @@ fn strong_scaling_monotone_then_saturating() {
     let t64 = one_sort_summary(64, n_total, 4).makespan_ns;
     assert!(t64 < t16, "t64 {t64} should beat t16 {t16}");
     let speedup = t16 as f64 / t64 as f64;
-    assert!(speedup < 4.0, "speedup {speedup} cannot be ideal with collective overhead");
+    assert!(
+        speedup < 4.0,
+        "speedup {speedup} cannot be ideal with collective overhead"
+    );
     assert!(speedup > 1.3, "speedup {speedup} suspiciously poor");
 }
 

@@ -1,0 +1,272 @@
+//! The fault-injection contract: injected faults change *virtual time*
+//! (and, for crashes, liveness) but never the *data* a surviving
+//! computation produces; every fault is a pure function of the plan
+//! seed, so faulty runs replay bit-for-bit.
+
+use dhs::core::{histogram_sort, ExchangeStrategy, SortConfig, SortOutcome};
+use dhs::runtime::fault::RankError;
+use dhs::runtime::{
+    run, run_summarized, try_run, ClusterConfig, FaultPlan, LinkClass, LinkFault, LossSpec,
+};
+use dhs::workloads::{rank_local_keys, Distribution, Layout};
+use proptest::prelude::*;
+
+/// Run every collective once and return all data results, bit-for-bit
+/// comparable across fault plans.
+fn collective_suite(cfg: &ClusterConfig, seed: u64) -> Vec<CollectiveOutputs> {
+    let out = run(cfg, move |comm| {
+        let me = comm.rank() as u64;
+        let p = comm.size();
+        comm.barrier();
+        let bcast = comm.broadcast(0, seed.wrapping_mul(31));
+        let reduce = comm.allreduce_sum(vec![me + seed % 11, me * me]);
+        let gather = comm.allgather(me * 3 + seed % 5);
+        let send: Vec<Vec<u64>> = (0..p)
+            .map(|d| vec![me * 1000 + d as u64; (seed as usize + d) % 4])
+            .collect();
+        let a2a: Vec<Vec<u64>> = comm.alltoallv(send);
+        let scan = comm.exscan_sum_vec(vec![me + 1]);
+        let peer = (comm.rank() + 1) % p;
+        let from = (comm.rank() + p - 1) % p;
+        comm.send(peer, 9, vec![me; 8]);
+        let ring = comm.recv(from, 9);
+        CollectiveOutputs {
+            bcast,
+            reduce,
+            gather,
+            a2a,
+            scan,
+            ring,
+        }
+    });
+    out.into_iter().map(|(v, _)| v).collect()
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct CollectiveOutputs {
+    bcast: u64,
+    reduce: Vec<u64>,
+    gather: Vec<u64>,
+    a2a: Vec<Vec<u64>>,
+    scan: Vec<u64>,
+    ring: Vec<u64>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Stragglers, degraded links and lossy transports reshape virtual
+    /// time, but every collective must still return exactly the
+    /// fault-free data on every rank.
+    #[test]
+    fn collectives_agree_bitwise_under_faults(
+        p in 2usize..9,
+        seed in 0u64..100_000,
+        straggler_rank in 0usize..9,
+        factor_tenths in 11u64..80,
+        beta_tenths in 10u64..50,
+        loss_pct in 0u64..40,
+    ) {
+        let clean = ClusterConfig::small_cluster(p);
+        let plan = FaultPlan::seeded(seed ^ 0xFA_117)
+            .with_straggler(straggler_rank % p, factor_tenths as f64 / 10.0)
+            .with_link_fault(LinkFault {
+                class: Some(LinkClass::IntraNode),
+                extra_alpha_ns: 5_000.0,
+                beta_factor: beta_tenths as f64 / 10.0,
+                from_ns: 0,
+                until_ns: u64::MAX,
+            })
+            .with_loss(LossSpec {
+                rate: loss_pct as f64 / 100.0,
+                timeout_ns: 10_000,
+                max_retries: 16,
+                duplicate_rate: loss_pct as f64 / 200.0,
+            });
+        let faulty = clean.clone().with_fault(plan);
+        prop_assert_eq!(collective_suite(&clean, seed), collective_suite(&faulty, seed));
+    }
+
+    /// The full sort under a lossy, duplicating transport (pairwise
+    /// exchange = pure p2p) must produce exactly the fault-free output:
+    /// retried and duplicated chunks are deduplicated by sequence
+    /// number, so the merge consumes each chunk exactly once.
+    #[test]
+    fn lossy_pairwise_sort_matches_fault_free(
+        p in 2usize..7,
+        n_per in 50usize..300,
+        seed in 0u64..50_000,
+        loss_pct in 1u64..35,
+    ) {
+        let cfg = SortConfig {
+            exchange: ExchangeStrategy::PairwiseMerge { overlap: false },
+            ..SortConfig::default()
+        };
+        let sort_under = |cluster: &ClusterConfig| {
+            let cfg = cfg.clone();
+            let out = run(cluster, move |comm| {
+                let mut local = rank_local_keys(
+                    Distribution::paper_uniform(),
+                    Layout::Balanced,
+                    p * n_per,
+                    p,
+                    comm.rank(),
+                    seed,
+                );
+                histogram_sort(comm, &mut local, &cfg);
+                local
+            });
+            out.into_iter().map(|(v, _)| v).collect::<Vec<_>>()
+        };
+        let clean = ClusterConfig::small_cluster(p);
+        let faulty = clean.clone().with_fault(FaultPlan::seeded(seed).with_loss(LossSpec {
+            rate: loss_pct as f64 / 100.0,
+            timeout_ns: 20_000,
+            max_retries: 16,
+            duplicate_rate: loss_pct as f64 / 100.0,
+        }));
+        prop_assert_eq!(sort_under(&clean), sort_under(&faulty));
+    }
+}
+
+/// The acceptance scenario: rank k crashes mid-sort on a 32-rank
+/// cluster. The run must return (not deadlock), name rank k as the root
+/// cause, and replay identically — same failed set, same counters on
+/// the survivors.
+#[test]
+fn crash_during_sort_is_reported_and_deterministic() {
+    let p = 32;
+    let crashed_rank = 13;
+    let go = || {
+        // Crash deadline chosen inside the run: compute+histogram are
+        // well past 50us at this size, so the rank dies mid-pipeline.
+        let cluster = ClusterConfig::supermuc_phase2(p)
+            .with_fault(FaultPlan::seeded(7).with_crash(crashed_rank, 50_000));
+        try_run(&cluster, move |comm| {
+            let mut local = rank_local_keys(
+                Distribution::paper_uniform(),
+                Layout::Balanced,
+                p * 2000,
+                p,
+                comm.rank(),
+                3,
+            );
+            histogram_sort(comm, &mut local, &SortConfig::default());
+            local.len()
+        })
+    };
+    let err = go().expect_err("crashed rank must fail the run");
+    let roots: Vec<&RankError> = err.root_causes().collect();
+    assert_eq!(roots.len(), 1, "exactly one root cause");
+    match roots[0] {
+        RankError::Crashed { rank, at_ns } => {
+            assert_eq!(*rank, crashed_rank);
+            assert_eq!(*at_ns, 50_000);
+        }
+        other => panic!("expected Crashed, got {other:?}"),
+    }
+    // Peers blocked on the dead rank surface as collateral, never as
+    // spurious root causes.
+    assert!(err.failed_ranks().contains(&crashed_rank));
+    for e in &err.failed {
+        assert!(e.rank() < p);
+    }
+
+    // Deterministic replay: identical failure set and identical
+    // counter snapshots from the ranks that completed.
+    let err2 = go().expect_err("replay must fail identically");
+    assert_eq!(err.failed_ranks(), err2.failed_ranks());
+    assert_eq!(err.completed_reports, err2.completed_reports);
+}
+
+/// A crash inside a collective must not deadlock the survivors even
+/// when every rank is blocked in the same rendezvous.
+#[test]
+fn crash_mid_collective_releases_blocked_peers() {
+    let cluster = ClusterConfig::small_cluster(8).with_fault(FaultPlan::seeded(3).with_crash(5, 1));
+    let err = try_run(&cluster, |comm| {
+        // Rank 5's clock passes 1ns on its first charge; everyone else
+        // enters the barrier and must be released by the poison.
+        comm.charge(dhs::runtime::Work::Compares(1000));
+        comm.barrier();
+        comm.allreduce_sum(vec![comm.rank() as u64])
+    })
+    .expect_err("crash must fail the run");
+    assert!(matches!(
+        err.root_causes().next(),
+        Some(RankError::Crashed { rank: 5, .. })
+    ));
+}
+
+/// Faulty runs replay bit-for-bit: same seed, same makespan, same
+/// retry/duplicate counters — end-to-end through the sort.
+#[test]
+fn faulty_sort_run_is_reproducible() {
+    let p = 16;
+    let plan = FaultPlan::seeded(0xDEED)
+        .with_straggler(2, 4.0)
+        .with_loss(LossSpec {
+            rate: 0.15,
+            timeout_ns: 30_000,
+            max_retries: 16,
+            duplicate_rate: 0.05,
+        });
+    let go = || {
+        let cluster = ClusterConfig::supermuc_phase2(p).with_fault(plan.clone());
+        let cfg = SortConfig {
+            exchange: ExchangeStrategy::PairwiseMerge { overlap: false },
+            ..SortConfig::default()
+        };
+        run_summarized(&cluster, move |comm| {
+            let mut local = rank_local_keys(
+                Distribution::paper_uniform(),
+                Layout::Balanced,
+                p * 1000,
+                p,
+                comm.rank(),
+                11,
+            );
+            histogram_sort(comm, &mut local, &cfg);
+        })
+        .1
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a, b, "same plan seed must replay identically");
+    assert!(
+        a.p2p_retries > 0,
+        "15% loss across pairwise rounds must retry"
+    );
+}
+
+/// An inert (default) fault plan is byte-identical to no plan at all —
+/// the zero-cost guarantee.
+#[test]
+fn default_fault_plan_is_inert() {
+    let p = 16;
+    let go = |fault: Option<FaultPlan>| {
+        let mut cluster = ClusterConfig::supermuc_phase2(p);
+        if let Some(f) = fault {
+            cluster = cluster.with_fault(f);
+        }
+        run_summarized(&cluster, move |comm| {
+            let mut local = rank_local_keys(
+                Distribution::paper_uniform(),
+                Layout::Balanced,
+                p * 2000,
+                p,
+                comm.rank(),
+                5,
+            );
+            let stats = histogram_sort(comm, &mut local, &SortConfig::default());
+            assert_eq!(stats.outcome, SortOutcome::Exact);
+            local
+        })
+    };
+    let (data_a, sum_a) = go(None);
+    let (data_b, sum_b) = go(Some(FaultPlan::default()));
+    assert_eq!(sum_a, sum_b, "default plan must not perturb virtual time");
+    assert_eq!(data_a, data_b);
+    assert_eq!(sum_a.p2p_retries, 0);
+    assert_eq!(sum_a.p2p_duplicates, 0);
+}

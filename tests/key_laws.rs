@@ -18,7 +18,10 @@ fn check_pair<K: Key + std::fmt::Debug>(a: K, b: K) {
     // Midpoint stays inside the interval.
     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
     let m = K::mid_key(lo, hi);
-    assert!(lo <= m && m <= hi, "midpoint {m:?} outside [{lo:?}, {hi:?}]");
+    assert!(
+        lo <= m && m <= hi,
+        "midpoint {m:?} outside [{lo:?}, {hi:?}]"
+    );
 }
 
 proptest! {

@@ -14,8 +14,14 @@ fn sorted_array_readable_one_sided() {
     let p = 8;
     let n = 8 * 250;
     let out = run(&ClusterConfig::small_cluster(p), move |comm| {
-        let local =
-            rank_local_keys(Distribution::paper_uniform(), Layout::Balanced, n, p, comm.rank(), 3);
+        let local = rank_local_keys(
+            Distribution::paper_uniform(),
+            Layout::Balanced,
+            n,
+            p,
+            comm.rank(),
+            3,
+        );
         let arr = GlobalArray::from_local(comm, local);
         sort(comm, &arr);
         // Every rank independently verifies the global order through

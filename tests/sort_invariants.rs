@@ -40,7 +40,10 @@ fn sort_and_verify(
             *out_counts.entry(k).or_default() += 1;
         }
     }
-    assert_eq!(in_counts, out_counts, "output must be a permutation of the input");
+    assert_eq!(
+        in_counts, out_counts,
+        "output must be a permutation of the input"
+    );
 
     // (b) + (c) local sortedness and global rank ordering.
     let mut prev: Option<u64> = None;
@@ -58,7 +61,10 @@ fn sort_and_verify(
     match cfg.partitioning {
         Partitioning::Perfect if cfg.epsilon == 0.0 => {
             let expect = layout.sizes(n_total, p);
-            assert_eq!(sizes, expect, "perfect partitioning must restore capacities");
+            assert_eq!(
+                sizes, expect,
+                "perfect partitioning must restore capacities"
+            );
         }
         Partitioning::Balanced if cfg.epsilon == 0.0 => {
             let max = sizes.iter().max().copied().unwrap_or(0);
@@ -69,8 +75,7 @@ fn sort_and_verify(
             // Each boundary may drift by at most the Definition 1 slack
             // from the capacity prefix, so each rank's size stays
             // within its own capacity ± 2·slack.
-            let slack =
-                ((n_total as f64) * cfg.epsilon / (2.0 * p as f64)).floor() as usize;
+            let slack = ((n_total as f64) * cfg.epsilon / (2.0 * p as f64)).floor() as usize;
             let caps = layout.sizes(n_total, p);
             for (rank, (&got, &cap)) in sizes.iter().zip(&caps).enumerate() {
                 assert!(
@@ -81,7 +86,10 @@ fn sort_and_verify(
         }
         Partitioning::Balanced => {
             let cap = ((n_total as f64) * (1.0 + cfg.epsilon) / p as f64).ceil() as usize + 1;
-            assert!(sizes.iter().all(|&s| s <= cap), "epsilon bound violated: {sizes:?}");
+            assert!(
+                sizes.iter().all(|&s| s <= cap),
+                "epsilon bound violated: {sizes:?}"
+            );
         }
     }
     sizes
@@ -90,10 +98,18 @@ fn sort_and_verify(
 fn arb_distribution() -> impl Strategy<Value = Distribution> {
     prop_oneof![
         Just(Distribution::paper_uniform()),
-        Just(Distribution::Uniform { lo: 0, hi: u64::MAX }),
-        Just(Distribution::Normal { mean: 0.0, std_dev: 1.0 }),
+        Just(Distribution::Uniform {
+            lo: 0,
+            hi: u64::MAX
+        }),
+        Just(Distribution::Normal {
+            mean: 0.0,
+            std_dev: 1.0
+        }),
         Just(Distribution::Zipf { items: 64, s: 1.2 }),
-        Just(Distribution::NearlySorted { perturb_permille: 20 }),
+        Just(Distribution::NearlySorted {
+            perturb_permille: 20
+        }),
         Just(Distribution::FewDistinct { k: 3 }),
         Just(Distribution::AllEqual { value: 42 }),
     ]
@@ -102,7 +118,9 @@ fn arb_distribution() -> impl Strategy<Value = Distribution> {
 fn arb_layout() -> impl Strategy<Value = Layout> {
     prop_oneof![
         Just(Layout::Balanced),
-        Just(Layout::SparseFront { empty_permille: 400 }),
+        Just(Layout::SparseFront {
+            empty_permille: 400
+        }),
         Just(Layout::Ramp { ratio: 6 }),
         (0usize..4).prop_map(|h| Layout::SingleRank { holder: h }),
     ]
@@ -229,8 +247,18 @@ proptest! {
 #[test]
 fn all_merge_engines_integrate() {
     for merge in MergeAlgo::ALL {
-        let cfg = SortConfig { merge, ..SortConfig::default() };
-        sort_and_verify(6, 3000, Distribution::paper_uniform(), Layout::Balanced, &cfg, 5);
+        let cfg = SortConfig {
+            merge,
+            ..SortConfig::default()
+        };
+        sort_and_verify(
+            6,
+            3000,
+            Distribution::paper_uniform(),
+            Layout::Balanced,
+            &cfg,
+            5,
+        );
     }
 }
 
@@ -241,8 +269,13 @@ fn large_rank_count_smoke() {
     sort_and_verify(
         64,
         64 * 500,
-        Distribution::Zipf { items: 1000, s: 1.1 },
-        Layout::SparseFront { empty_permille: 250 },
+        Distribution::Zipf {
+            items: 1000,
+            s: 1.1,
+        },
+        Layout::SparseFront {
+            empty_permille: 250,
+        },
         &cfg,
         11,
     );

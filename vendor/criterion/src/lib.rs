@@ -1,0 +1,170 @@
+//! Minimal in-tree stand-in for the `criterion` crate: enough to
+//! compile and run the workspace's `harness = false` benches without
+//! registry access. Each `bench_function` runs its routine
+//! `sample_size` times and prints min/median wall times — no HTML
+//! reports, no statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are amortized. The shim runs one routine call
+/// per setup call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<N, F>(&mut self, name: N, mut routine: F) -> &mut Self
+    where
+        N: Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), self.sample_size, &mut routine);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<N, F>(&mut self, name: N, mut routine: F) -> &mut Self
+    where
+        N: Display,
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&name.to_string(), samples, &mut routine);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, routine: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+        per_call: samples,
+    };
+    routine(&mut bencher);
+    let mut times = bencher.samples;
+    if times.is_empty() {
+        println!("  {name}: no samples");
+        return;
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    println!(
+        "  {name}: min {min:?}, median {median:?} ({} samples)",
+        times.len()
+    );
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_call: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.per_call {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.per_call {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![3, 1, 2],
+                |mut v| v.sort_unstable(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(7u64).pow(2)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_main_macros_run() {
+        benches();
+    }
+}

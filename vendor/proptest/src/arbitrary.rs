@@ -1,0 +1,68 @@
+//! `any::<T>()` for the primitive types the tests draw without an
+//! explicit strategy. Integers and floats come from raw SplitMix64
+//! bits, so `any::<f64>()` can produce NaNs and infinities — tests
+//! that need comparable floats filter with `prop_assume!`.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+pub trait Arbitrary {
+    fn arbitrary_from(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_from(rng)
+    }
+}
+
+macro_rules! arbitrary_from_bits {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_from(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_from_bits!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary_from(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary_from(rng: &mut TestRng) -> i128 {
+        u128::arbitrary_from(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_from(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_from(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_from(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}

@@ -1,0 +1,239 @@
+//! Minimal in-tree stand-in for the `proptest` crate. The container
+//! building this workspace has no registry access, so the subset of
+//! the proptest API the test suite uses is re-implemented here:
+//! `proptest!` with `pat in strategy` and `name: Type` parameters,
+//! ranges / `any` / `Just` / `prop_map` / `prop_oneof!` strategies,
+//! float class strategies, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from real proptest, on purpose:
+//! - no shrinking: a failing case reports its index and seed, then
+//!   re-panics with the original assertion message;
+//! - generation is a fixed-seed SplitMix64 stream per test name, so
+//!   every run explores the identical case sequence (fully
+//!   deterministic CI);
+//! - regression-persistence files (`*.proptest-regressions`) are
+//!   ignored.
+
+pub mod arbitrary;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Deterministic pseudo-random stream (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// (The shim simply returns from the case closure; rejected cases
+/// still count against `ProptestConfig::cases`.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($extra:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The `proptest!` block macro: expands each contained function into a
+/// `#[test]`-able function that samples its parameter strategies for
+/// `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { ($cfg) $name [] [$($params)*] $body }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters munched: run the cases.
+    (($cfg:expr) $name:ident [$(($pat:pat, $strat:expr))*] [] $body:block) => {{
+        let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+        let __strategy = ($($strat,)*);
+        $crate::test_runner::run_cases(
+            &__cfg,
+            stringify!($name),
+            __strategy,
+            move |($($pat,)*)| $body,
+        );
+    }};
+    // `name: Type` parameter — sugar for `name in any::<Type>()`.
+    (($cfg:expr) $name:ident [$($acc:tt)*] [$id:ident : $ty:ty, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case! {
+            ($cfg) $name [$($acc)* ($id, $crate::arbitrary::any::<$ty>())] [$($rest)*] $body
+        }
+    };
+    (($cfg:expr) $name:ident [$($acc:tt)*] [$id:ident : $ty:ty] $body:block) => {
+        $crate::__proptest_case! {
+            ($cfg) $name [$($acc)* ($id, $crate::arbitrary::any::<$ty>())] [] $body
+        }
+    };
+    // `pat in strategy` parameter.
+    (($cfg:expr) $name:ident [$($acc:tt)*] [$pat:pat in $strat:expr, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case! { ($cfg) $name [$($acc)* ($pat, $strat)] [$($rest)*] $body }
+    };
+    (($cfg:expr) $name:ident [$($acc:tt)*] [$pat:pat in $strat:expr] $body:block) => {
+        $crate::__proptest_case! { ($cfg) $name [$($acc)* ($pat, $strat)] [] $body }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(usize),
+    }
+
+    fn arb_shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![Just(Shape::Dot), (1usize..5).prop_map(Shape::Line),]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3usize..17,
+            b in -5i64..5,
+            f in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn any_and_type_sugar(x: u32, flag: bool) {
+            let widened = x as u64;
+            prop_assert_eq!(widened as u32, x);
+            if flag {
+                prop_assert!(flag);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_cover_variants(s in arb_shape()) {
+            match s {
+                Shape::Dot => {}
+                Shape::Line(n) => prop_assert!((1..5).contains(&n)),
+            }
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn float_classes_generate_their_class(
+            a in crate::num::f64::NORMAL | crate::num::f64::ZERO,
+            b in crate::num::f32::SUBNORMAL | crate::num::f32::INFINITE,
+        ) {
+            prop_assert!(a.is_normal() || a == 0.0);
+            prop_assert!(b.is_subnormal() || b.is_infinite());
+        }
+    }
+
+    #[test]
+    fn same_name_same_sequence() {
+        use crate::strategy::Strategy;
+        let cfg = ProptestConfig {
+            cases: 20,
+            ..ProptestConfig::default()
+        };
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        crate::test_runner::run_cases(&cfg, "determinism", (0u64..1000,), |(v,)| first.push(v));
+        crate::test_runner::run_cases(&cfg, "determinism", (0u64..1000,), |(v,)| second.push(v));
+        assert_eq!(first, second);
+        let _ = (0u64..10).prop_map(|x| x + 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Float class strategies (`proptest::num::f64::NORMAL | ZERO | ...`).
+//! Each constant is a one-bit class set; `|` unions them and sampling
+//! first picks a class uniformly among those present, then draws a
+//! member of that class by assembling sign/exponent/mantissa bits.
+
+macro_rules! float_classes {
+    ($mod:ident, $float:ty, $bits:ty, $mant_bits:expr, $exp_bits:expr) => {
+        pub mod $mod {
+            use crate::strategy::Strategy;
+            use crate::TestRng;
+
+            const MANT_BITS: u32 = $mant_bits;
+            const EXP_BITS: u32 = $exp_bits;
+            const MANT_MASK: $bits = (1 << MANT_BITS) - 1;
+            const EXP_MAX: $bits = (1 << EXP_BITS) - 1;
+            const SIGN_SHIFT: u32 = MANT_BITS + EXP_BITS;
+
+            /// A set of IEEE-754 value classes, usable as a strategy.
+            #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+            pub struct FloatClasses(u8);
+
+            pub const NORMAL: FloatClasses = FloatClasses(1 << 0);
+            pub const ZERO: FloatClasses = FloatClasses(1 << 1);
+            pub const SUBNORMAL: FloatClasses = FloatClasses(1 << 2);
+            pub const INFINITE: FloatClasses = FloatClasses(1 << 3);
+
+            impl std::ops::BitOr for FloatClasses {
+                type Output = FloatClasses;
+                fn bitor(self, rhs: FloatClasses) -> FloatClasses {
+                    FloatClasses(self.0 | rhs.0)
+                }
+            }
+
+            impl Strategy for FloatClasses {
+                type Value = $float;
+                fn sample(&self, rng: &mut TestRng) -> $float {
+                    let classes: Vec<u8> = (0..4).filter(|b| self.0 & (1 << b) != 0).collect();
+                    assert!(!classes.is_empty(), "empty float class set");
+                    let class = classes[rng.below(classes.len())];
+                    let sign = ((rng.next_u64() & 1) as $bits) << SIGN_SHIFT;
+                    let bits: $bits = match class {
+                        // NORMAL: exponent in [1, EXP_MAX - 1].
+                        0 => {
+                            let exp = 1 + (rng.next_u64() as $bits) % (EXP_MAX - 1);
+                            let mant = (rng.next_u64() as $bits) & MANT_MASK;
+                            sign | (exp << MANT_BITS) | mant
+                        }
+                        // ZERO: +0.0 or -0.0.
+                        1 => sign,
+                        // SUBNORMAL: zero exponent, non-zero mantissa.
+                        2 => {
+                            let mant = 1 + (rng.next_u64() as $bits) % MANT_MASK;
+                            sign | mant
+                        }
+                        // INFINITE: max exponent, zero mantissa.
+                        _ => sign | (EXP_MAX << MANT_BITS),
+                    };
+                    <$float>::from_bits(bits)
+                }
+            }
+        }
+    };
+}
+
+float_classes!(f64, f64, u64, 52, 11);
+float_classes!(f32, f32, u32, 23, 8);
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    #[test]
+    fn classes_produce_members() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..500 {
+            let n = super::f64::NORMAL.sample(&mut rng);
+            assert!(n.is_normal(), "{n} not normal");
+            let z = super::f64::ZERO.sample(&mut rng);
+            assert_eq!(z, 0.0);
+            let s = super::f64::SUBNORMAL.sample(&mut rng);
+            assert!(
+                s != 0.0 && !s.is_normal() && s.is_finite(),
+                "{s} not subnormal"
+            );
+            let i = super::f64::INFINITE.sample(&mut rng);
+            assert!(i.is_infinite());
+            let f = (super::f32::NORMAL | super::f32::ZERO).sample(&mut rng);
+            assert!(f.is_normal() || f == 0.0);
+        }
+    }
+}

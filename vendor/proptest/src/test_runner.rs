@@ -1,0 +1,59 @@
+//! Case driver for the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Subset of proptest's run configuration. Only `cases` is honored;
+/// construction sites use `ProptestConfig { cases: N, ..default() }`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility with real proptest; the shim
+    /// does not shrink, so this is never read.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed so each test
+/// explores its own — but across runs identical — case sequence.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Draw `cfg.cases` values from `strategy` and run `case` on each.
+/// On panic, report the failing case index and seed, then re-raise the
+/// original panic so the assertion message reaches the harness.
+pub fn run_cases<S, F>(cfg: &ProptestConfig, name: &str, strategy: S, mut case: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value),
+{
+    let seed = seed_for(name);
+    let mut rng = TestRng::new(seed);
+    for ix in 0..cfg.cases {
+        let value = strategy.sample(&mut rng);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(value)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest `{name}`: case {ix}/{} failed (seed {seed:#x}; \
+                 fixed-seed shim, rerun reproduces this case)",
+                cfg.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
