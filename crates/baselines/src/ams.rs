@@ -50,13 +50,13 @@ pub fn ams_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &AmsConfig) -> Alg
     };
     let elem = std::mem::size_of::<K>() as u64;
 
-    let t0 = comm.now_ns();
+    let sp_t0 = comm.span("sort_merge");
     local.sort_unstable();
     comm.charge(Work::SortElems {
         n: local.len() as u64,
         elem_bytes: elem,
     });
-    stats.sort_merge_ns += comm.now_ns() - t0;
+    stats.sort_merge_ns += sp_t0.finish();
 
     let mut owned: Option<Comm> = None;
     let mut level_seed = cfg.seed;
@@ -102,7 +102,7 @@ fn ams_level<K: Key>(
     };
 
     // 1. Sampled splitters for a·k buckets.
-    let t0 = cur.now_ns();
+    let sp_t0 = cur.span("splitting");
     let mut rng = SplitMix64(seed ^ (rank as u64).wrapping_mul(0x2545F4914F6CDD1D));
     let sample: Vec<K> = if local.is_empty() {
         Vec::new()
@@ -155,10 +155,10 @@ fn ams_level<K: Key>(
         group_of_bucket[b] = g;
         acc += sz;
     }
-    stats.splitter_ns += cur.now_ns() - t0;
+    stats.splitter_ns += sp_t0.finish();
 
     // 4. Exchange: bucket b goes to a peer in its group.
-    let t1 = cur.now_ns();
+    let sp_t1 = cur.span("exchange");
     let mut send: Vec<Vec<K>> = (0..p).map(|_| Vec::new()).collect();
     cur.charge(Work::MoveBytes(local.len() as u64 * elem));
     for (b, &grp) in group_of_bucket.iter().enumerate() {
@@ -170,12 +170,12 @@ fn ams_level<K: Key>(
         send[peer].extend_from_slice(&local[cuts[b]..cuts[b + 1]]);
     }
     let received = cur.alltoallv(send);
-    stats.exchange_ns += cur.now_ns() - t1;
+    stats.exchange_ns += sp_t1.finish();
 
     // 5. Merge received runs. Each source's payload may concatenate
     //    several buckets, which stay internally sorted only per bucket;
     //    re-sort is the safe merge here.
-    let t2 = cur.now_ns();
+    let sp_t2 = cur.span("sort_merge");
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     cur.charge(Work::SortElems {
         n: n_recv,
@@ -184,7 +184,7 @@ fn ams_level<K: Key>(
     let mut merged: Vec<K> = received.into_iter().flatten().collect();
     merged.sort_unstable();
     *local = merged;
-    stats.sort_merge_ns += cur.now_ns() - t2;
+    stats.sort_merge_ns += sp_t2.finish();
 
     Some(cur.split(group_of(rank) as u64, rank as u64))
 }

@@ -37,13 +37,13 @@ pub fn bitonic_sort<K: Key>(comm: &Comm, local: &mut Vec<K>) -> AlgoStats {
     let elem = std::mem::size_of::<K>() as u64;
     let n = local.len();
 
-    let t0 = comm.now_ns();
+    let sp_t0 = comm.span("sort_merge");
     local.sort_unstable();
     comm.charge(Work::SortElems {
         n: n as u64,
         elem_bytes: elem,
     });
-    stats.sort_merge_ns += comm.now_ns() - t0;
+    stats.sort_merge_ns += sp_t0.finish();
 
     if p == 1 {
         stats.n_out = n;
@@ -60,12 +60,12 @@ pub fn bitonic_sort<K: Key>(comm: &Comm, local: &mut Vec<K>) -> AlgoStats {
             stats.rounds += 1;
 
             // Full-volume compare-split with the partner.
-            let t1 = comm.now_ns();
+            let sp_t1 = comm.span("exchange");
             tag += 1;
             let theirs = comm.exchange(partner, tag, local.clone());
-            stats.exchange_ns += comm.now_ns() - t1;
+            stats.exchange_ns += sp_t1.finish();
 
-            let t2 = comm.now_ns();
+            let sp_t2 = comm.span("sort_merge");
             comm.charge(Work::MergeElems {
                 n: 2 * n as u64,
                 ways: 2,
@@ -78,7 +78,7 @@ pub fn bitonic_sort<K: Key>(comm: &Comm, local: &mut Vec<K>) -> AlgoStats {
             } else {
                 merged[n..].to_vec()
             };
-            stats.sort_merge_ns += comm.now_ns() - t2;
+            stats.sort_merge_ns += sp_t2.finish();
         }
     }
     stats.n_out = local.len();

@@ -72,13 +72,13 @@ pub fn hss_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &HssConfig) -> Alg
     let elem = std::mem::size_of::<K>() as u64;
 
     // Local sort.
-    let t0 = comm.now_ns();
+    let sp_t0 = comm.span("sort_merge");
     local.sort_unstable();
     comm.charge(Work::SortElems {
         n: local.len() as u64,
         elem_bytes: elem,
     });
-    let sort_in_ns = comm.now_ns() - t0;
+    let sort_in_ns = sp_t0.finish();
 
     let caps: Vec<usize> = comm.allgather(local.len());
     let n_total: u64 = caps.iter().map(|&c| c as u64).sum();
@@ -91,18 +91,18 @@ pub fn hss_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &HssConfig) -> Alg
     let slack = dhs_core::slack_for(n_total, p, cfg.epsilon);
 
     // Splitter phase.
-    let t1 = comm.now_ns();
+    let sp_t1 = comm.span("splitting");
     let result = hss_find_splitters(comm, local, &targets, slack, cfg, &mut stats);
-    stats.splitter_ns = comm.now_ns() - t1;
+    stats.splitter_ns = sp_t1.finish();
 
     // Exchange + merge reuse the core machinery (Algorithm 4 handles
     // the equal-key boundary refinement for both algorithms).
-    let t2 = comm.now_ns();
+    let sp_t2 = comm.span("exchange");
     let plan = exchange::plan_exchange(comm, local, &result);
     let received = exchange::exchange_data(comm, local, &plan);
-    stats.exchange_ns = comm.now_ns() - t2;
+    stats.exchange_ns = sp_t2.finish();
 
-    let t3 = comm.now_ns();
+    let sp_t3 = comm.span("sort_merge");
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
@@ -117,7 +117,7 @@ pub fn hss_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &HssConfig) -> Alg
         }),
     }
     *local = kway_merge(cfg.merge, &received);
-    stats.sort_merge_ns = sort_in_ns + (comm.now_ns() - t3);
+    stats.sort_merge_ns = sort_in_ns + (sp_t3.finish());
     stats.n_out = local.len();
     stats
 }

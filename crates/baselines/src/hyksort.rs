@@ -43,13 +43,13 @@ pub fn hyksort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &HyksortConfig) -> 
     let elem = std::mem::size_of::<K>() as u64;
 
     // Initial local sort.
-    let t0 = comm.now_ns();
+    let sp_t0 = comm.span("sort_merge");
     local.sort_unstable();
     comm.charge(Work::SortElems {
         n: local.len() as u64,
         elem_bytes: elem,
     });
-    stats.sort_merge_ns += comm.now_ns() - t0;
+    stats.sort_merge_ns += sp_t0.finish();
 
     // Recursion: `level` borrows either the root comm or an owned
     // sub-communicator.
@@ -100,7 +100,7 @@ fn hyksort_level<K: Key>(
     // k-1 splitters at the group capacity boundaries; capacity of group
     // g = sum of its members' input sizes (keeps per-rank loads close
     // to their inputs).
-    let t0 = cur.now_ns();
+    let sp_t0 = cur.span("splitting");
     let caps: Vec<usize> = cur.allgather(local.len());
     let mut targets = Vec::with_capacity(k - 1);
     let mut acc = 0u64;
@@ -113,11 +113,11 @@ fn hyksort_level<K: Key>(
         targets.push(acc);
     }
     let found = find_splitters(cur, local, &targets, 0);
-    stats.splitter_ns += cur.now_ns() - t0;
+    stats.splitter_ns += sp_t0.finish();
 
     // Cut positions with exact equal-key refinement (rank-order
     // contingents, as in Algorithm 4).
-    let t1 = cur.now_ns();
+    let sp_t1 = cur.span("exchange");
     let mut bounds: Vec<u64> = Vec::with_capacity(2 * (k - 1));
     cur.charge(Work::BinarySearches {
         searches: 2 * (k as u64 - 1),
@@ -156,10 +156,10 @@ fn hyksort_level<K: Key>(
         send[peer] = local[cuts[g]..cuts[g + 1]].to_vec();
     }
     let received = cur.alltoallv(send);
-    stats.exchange_ns += cur.now_ns() - t1;
+    stats.exchange_ns += sp_t1.finish();
 
     // Merge what arrived.
-    let t2 = cur.now_ns();
+    let sp_t2 = cur.span("sort_merge");
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
     cur.charge(Work::MergeElems {
@@ -168,7 +168,7 @@ fn hyksort_level<K: Key>(
         elem_bytes: elem,
     });
     *local = kway_merge(cfg.merge, &received);
-    stats.sort_merge_ns += cur.now_ns() - t2;
+    stats.sort_merge_ns += sp_t2.finish();
 
     // The communicator split the paper calls out as a blocking,
     // linear-cost collective at every level.

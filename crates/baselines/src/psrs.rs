@@ -35,18 +35,18 @@ pub fn psrs<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &PsrsConfig) -> AlgoSt
     let elem = std::mem::size_of::<K>() as u64;
 
     // Step 1: local sort.
-    let t0 = comm.now_ns();
+    let sp_t0 = comm.span("sort_merge");
     local.sort_unstable();
     comm.charge(Work::SortElems {
         n: local.len() as u64,
         elem_bytes: elem,
     });
-    let sort_in_ns = comm.now_ns() - t0;
+    let sort_in_ns = sp_t0.finish();
 
     // Step 2: regular sampling — P-1 probes at positions (i+1)·n/P of
     // the sorted local data; gather everywhere; take the P-1 regular
     // splitters of the sorted sample.
-    let t1 = comm.now_ns();
+    let sp_t1 = comm.span("splitting");
     let probes: Vec<K> = if local.is_empty() {
         Vec::new()
     } else {
@@ -69,11 +69,11 @@ pub fn psrs<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &PsrsConfig) -> AlgoSt
         },
         |r: &Vec<K>| (r.len() * elem as usize) as u64,
     );
-    stats.splitter_ns = comm.now_ns() - t1;
+    stats.splitter_ns = sp_t1.finish();
 
     // Step 3: partition (binary search, data already sorted) and
     // exchange.
-    let t2 = comm.now_ns();
+    let sp_t2 = comm.span("exchange");
     comm.charge(Work::BinarySearches {
         searches: splitters.len() as u64,
         n: local.len() as u64,
@@ -91,10 +91,10 @@ pub fn psrs<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &PsrsConfig) -> AlgoSt
     }
     comm.charge(Work::MoveBytes(local.len() as u64 * elem));
     let received = comm.alltoallv(buckets);
-    stats.exchange_ns = comm.now_ns() - t2;
+    stats.exchange_ns = sp_t2.finish();
 
     // Step 4: k-way merge of sorted runs.
-    let t3 = comm.now_ns();
+    let sp_t3 = comm.span("sort_merge");
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
@@ -109,7 +109,7 @@ pub fn psrs<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &PsrsConfig) -> AlgoSt
         }),
     }
     *local = kway_merge(cfg.merge, &received);
-    stats.sort_merge_ns = sort_in_ns + (comm.now_ns() - t3);
+    stats.sort_merge_ns = sort_in_ns + (sp_t3.finish());
     stats.n_out = local.len();
     stats
 }

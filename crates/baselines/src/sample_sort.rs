@@ -45,7 +45,7 @@ pub fn sample_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SampleSortConf
     let elem = std::mem::size_of::<K>() as u64;
 
     // Superstep 1: random sampling on the *unsorted* input.
-    let t0 = comm.now_ns();
+    let sp_t0 = comm.span("splitting");
     let mut rng = SplitMix64(cfg.seed ^ (comm.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let s = cfg.oversampling.max(1);
     let sample: Vec<K> = if local.is_empty() {
@@ -75,18 +75,18 @@ pub fn sample_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SampleSortConf
         },
         |r: &Vec<K>| (r.len() * elem as usize) as u64,
     );
-    stats.splitter_ns = comm.now_ns() - t0;
+    stats.splitter_ns = sp_t0.finish();
 
     // Superstep 3: partition and exchange.
-    let t1 = comm.now_ns();
+    let sp_t1 = comm.span("sort_merge");
     local.sort_unstable();
     comm.charge(Work::SortElems {
         n: local.len() as u64,
         elem_bytes: elem,
     });
-    let sort_in_ns = comm.now_ns() - t1;
+    let sort_in_ns = sp_t1.finish();
 
-    let t2 = comm.now_ns();
+    let sp_t2 = comm.span("exchange");
     let mut buckets: Vec<Vec<K>> = Vec::with_capacity(p);
     let mut start = 0usize;
     comm.charge(Work::BinarySearches {
@@ -104,10 +104,10 @@ pub fn sample_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SampleSortConf
     }
     comm.charge(Work::MoveBytes(local.len() as u64 * elem));
     let received = comm.alltoallv(buckets);
-    stats.exchange_ns = comm.now_ns() - t2;
+    stats.exchange_ns = sp_t2.finish();
 
     // Final local merge of sorted runs.
-    let t3 = comm.now_ns();
+    let sp_t3 = comm.span("sort_merge");
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
@@ -122,7 +122,7 @@ pub fn sample_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SampleSortConf
         }),
     }
     *local = kway_merge(cfg.merge, &received);
-    stats.sort_merge_ns = sort_in_ns + (comm.now_ns() - t3);
+    stats.sort_merge_ns = sort_in_ns + (sp_t3.finish());
     stats.n_out = local.len();
     stats
 }

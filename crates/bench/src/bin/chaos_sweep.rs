@@ -5,7 +5,11 @@
 //! reproducible.
 //!
 //! Prints a table per fault family and writes the full grid as JSON to
-//! `results/chaos_sweep.json`.
+//! `results/chaos_sweep.json`. A per-fault-family phase breakdown
+//! (derived from the span-based phase attribution of each run) is
+//! printed after the main table and written next to the grid as
+//! `<out>_phases.json`; the main grid's bytes are independent of phase
+//! attribution so existing consumers are unaffected.
 //!
 //! Flags: `--p <ranks>` (default 32), `--nper <keys/rank>` (default
 //! 2^12), `--out <path>`, `--quick`.
@@ -140,10 +144,12 @@ fn main() {
         ("dash-histogram", SortAlgo::Histogram(SortConfig::default())),
         (
             "dash-histogram-pairwise",
-            SortAlgo::Histogram(SortConfig {
-                exchange: ExchangeStrategy::PairwiseMerge { overlap: false },
-                ..SortConfig::default()
-            }),
+            SortAlgo::Histogram(
+                SortConfig::builder()
+                    .exchange(ExchangeStrategy::PairwiseMerge { overlap: false })
+                    .build()
+                    .expect("valid config"),
+            ),
         ),
         ("charm-hss", SortAlgo::Hss(HssConfig::default())),
         (
@@ -170,6 +176,9 @@ fn main() {
         "retries",
         "conv",
     ]);
+    // (family, scenario, algorithm, phases) for the breakdown report.
+    type PhaseRow = (String, String, String, Vec<(&'static str, f64)>);
+    let mut phase_rows: Vec<PhaseRow> = Vec::new();
     let mut baselines: Vec<f64> = Vec::new();
     for (si, sc) in scens.iter().enumerate() {
         let cluster = ClusterConfig::supermuc_phase2(p).with_fault(sc.plan.clone());
@@ -195,6 +204,12 @@ fn main() {
                 run.p2p_retries.to_string(),
                 if run.converged { "yes" } else { "NO" }.to_string(),
             ]);
+            phase_rows.push((
+                sc.family.to_string(),
+                sc.name.to_string(),
+                label.to_string(),
+                run.phases.clone(),
+            ));
             let _ = write!(
                 cells,
                 "        {{\"algorithm\": \"{}\", \"result\": {}}}{}",
@@ -229,4 +244,63 @@ fn main() {
     }
     std::fs::write(&out_path, &json).expect("write chaos sweep JSON");
     println!("\nwrote {out_path}");
+
+    // Phase breakdown per fault family: where does each fault family
+    // put the extra time? (Max over ranks per phase, so shares can sum
+    // past 100% when the critical rank differs by phase.)
+    let mut families: Vec<String> = Vec::new();
+    for (family, ..) in &phase_rows {
+        if !families.contains(family) {
+            families.push(family.clone());
+        }
+    }
+    for family in &families {
+        println!("\n## phase breakdown: {family}");
+        let mut t = Table::new(["scenario", "algorithm", "phases (max over ranks)"]);
+        for (fam, scen, algo, phases) in &phase_rows {
+            if fam != family {
+                continue;
+            }
+            let total: f64 = phases.iter().map(|(_, s)| s).sum();
+            let breakdown = phases
+                .iter()
+                .map(|(name, secs)| {
+                    format!(
+                        "{name} {} ({:.0}%)",
+                        fmt_secs(*secs),
+                        100.0 * secs / total.max(f64::MIN_POSITIVE)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" | ");
+            t.row([scen.clone(), algo.clone(), breakdown]);
+        }
+        t.print();
+    }
+
+    let phases_path = out_path
+        .strip_suffix(".json")
+        .map(|stem| format!("{stem}_phases.json"))
+        .unwrap_or_else(|| format!("{out_path}_phases.json"));
+    let mut pj = String::new();
+    let _ = writeln!(pj, "[");
+    for (i, (family, scen, algo, phases)) in phase_rows.iter().enumerate() {
+        let body = phases
+            .iter()
+            .map(|(name, secs)| format!("\"{}\": {:.9}", json_escape(name), secs))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            pj,
+            "  {{\"scenario\": \"{}\", \"family\": \"{}\", \"algorithm\": \"{}\", \"phases\": {{{}}}}}{}",
+            json_escape(scen),
+            json_escape(family),
+            json_escape(algo),
+            body,
+            if i + 1 < phase_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(pj, "]");
+    std::fs::write(&phases_path, &pj).expect("write chaos phase JSON");
+    println!("wrote {phases_path}");
 }

@@ -31,11 +31,13 @@ pub fn sim_tbb_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
     let p = comm.size();
 
     // Leaf sort of the thread's own chunk.
+    let sp = comm.span("leaf_sort");
     comm.charge(Work::SortElems {
         n: n_local,
         elem_bytes: elem,
     });
     comm.barrier();
+    sp.finish();
 
     // Merge levels: at level l, regions of 2^(l+1) threads merge. All
     // threads cooperate in every level's merges (work stealing +
@@ -43,6 +45,7 @@ pub fn sim_tbb_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
     // of moving the thread's share across the region's link span.
     let levels = dhs_runtime::log2_ceil(p);
     for l in 0..levels {
+        let sp = comm.span(format!("merge_level_{l}"));
         let region = 2usize << l;
         let link = region_link(comm, region);
         comm.charge(Work::MergeElems {
@@ -52,6 +55,7 @@ pub fn sim_tbb_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
         });
         charge_traffic(comm, link, n_local * elem);
         comm.barrier();
+        sp.finish();
     }
 }
 
@@ -63,14 +67,17 @@ pub fn sim_openmp_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
     let n_local = local.len() as u64;
     let p = comm.size();
 
+    let sp = comm.span("leaf_sort");
     comm.charge(Work::SortElems {
         n: n_local,
         elem_bytes: elem,
     });
     comm.barrier();
+    sp.finish();
 
     let levels = dhs_runtime::log2_ceil(p);
     for l in 0..levels {
+        let sp = comm.span(format!("merge_level_{l}"));
         let region = 2usize << l;
         let link = region_link(comm, region);
         if comm.rank().is_multiple_of(region) {
@@ -84,6 +91,7 @@ pub fn sim_openmp_merge_sort<K: Key>(comm: &Comm, local: &[K]) {
         }
         // The join point of the task tree.
         comm.barrier();
+        sp.finish();
     }
 }
 

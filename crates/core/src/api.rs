@@ -4,12 +4,36 @@
 //! selection implementation as a building block in other DASH
 //! algorithms, e.g. dash::nth_element").
 
+use std::fmt;
+
 use dhs_pgas::GlobalArray;
 use dhs_runtime::Comm;
 use dhs_select::dselect;
 
 use crate::key::Key;
-use crate::sort::{histogram_sort, Partitioning, SortConfig, SortStats};
+use crate::sort::{histogram_sort, histogram_sort_by, Partitioning, SortConfig, SortStats};
+
+/// `nth_element` was asked for an order statistic the array does not
+/// have: `k` is not in `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderOutOfRange {
+    /// The requested 0-based order statistic.
+    pub k: u64,
+    /// The global number of elements.
+    pub n: u64,
+}
+
+impl fmt::Display for OrderOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "order statistic {} out of range for {} global elements",
+            self.k, self.n
+        )
+    }
+}
+
+impl std::error::Error for OrderOutOfRange {}
 
 /// Sort a [`GlobalArray`] in place. The array's distribution pattern is
 /// immutable, so the sort always runs with *perfect partitioning*
@@ -31,18 +55,68 @@ pub fn sort<K: Key>(comm: &Comm, array: &GlobalArray<K>) -> SortStats {
     sort_array(comm, array, &SortConfig::default())
 }
 
-/// The `k`-th smallest element (0-based) of a global array, without
-/// sorting it: `dash::nth_element` on top of Algorithm 1's distributed
-/// selection. Collective.
-pub fn nth_element<K: Key>(comm: &Comm, array: &GlobalArray<K>, k: u64) -> K {
-    array.with_local(|local| dselect(comm, local, k))
+/// Sort records by an extracted key, with defaults: `dash::sort` over
+/// arbitrary `T` via the paper's key-exchange path. Collective; the
+/// records end up globally ordered by `key_fn` with perfect
+/// partitioning (every rank keeps its input count).
+pub fn sort_by_key<T, K, F>(comm: &Comm, local: &mut Vec<T>, key_fn: F) -> SortStats
+where
+    T: Clone + Send + Sync + 'static,
+    K: Key,
+    F: Fn(&T) -> K,
+{
+    histogram_sort_by(comm, local, key_fn, &SortConfig::default())
 }
 
-/// The global median of a global array (lower median for even sizes).
-pub fn median<K: Key>(comm: &Comm, array: &GlobalArray<K>) -> K {
+/// Is the global array sorted (each rank's block sorted, and block
+/// boundaries non-decreasing in rank order)? Collective; every rank
+/// returns the same answer. Empty blocks are skipped, mirroring the
+/// sparse-input tolerance of the sort itself.
+pub fn is_sorted<K: Key>(comm: &Comm, array: &GlobalArray<K>) -> bool {
+    let (locally, ends) = array.with_local(|local| {
+        let locally = local.windows(2).all(|w| w[0] <= w[1]);
+        (locally, local.first().copied().zip(local.last().copied()))
+    });
+    let gathered = comm.allgather((locally, ends));
+    let mut prev_last: Option<K> = None;
+    for (ok, ends) in gathered {
+        if !ok {
+            return false;
+        }
+        if let Some((first, last)) = ends {
+            if prev_last.is_some_and(|p| p > first) {
+                return false;
+            }
+            prev_last = Some(last);
+        }
+    }
+    true
+}
+
+/// The `k`-th smallest element (0-based) of a global array, without
+/// sorting it: `dash::nth_element` on top of Algorithm 1's distributed
+/// selection. Collective. Rejects `k >= n` (including the empty array)
+/// instead of panicking deep inside the selection loop.
+pub fn nth_element<K: Key>(
+    comm: &Comm,
+    array: &GlobalArray<K>,
+    k: u64,
+) -> Result<K, OrderOutOfRange> {
     let n = array.global_len() as u64;
-    assert!(n > 0, "median of empty array");
-    nth_element(comm, array, (n - 1) / 2)
+    if k >= n {
+        return Err(OrderOutOfRange { k, n });
+    }
+    Ok(array.with_local(|local| dselect(comm, local, k)))
+}
+
+/// The global median of a global array (lower median for even sizes),
+/// or `None` when the array is globally empty.
+pub fn median<K: Key>(comm: &Comm, array: &GlobalArray<K>) -> Option<K> {
+    let n = array.global_len() as u64;
+    if n == 0 {
+        return None;
+    }
+    nth_element(comm, array, (n - 1) / 2).ok()
 }
 
 #[cfg(test)]
@@ -103,11 +177,49 @@ mod tests {
             let expect = all[k as usize];
             let out = run(&ClusterConfig::small_cluster(p), move |comm| {
                 let arr = GlobalArray::from_local(comm, keys_for(comm.rank(), n));
-                nth_element(comm, &arr, k)
+                nth_element(comm, &arr, k).expect("k within range")
             });
             for (v, _) in out {
                 assert_eq!(v, expect, "k={k}");
             }
+        }
+    }
+
+    #[test]
+    fn sort_by_key_orders_records() {
+        let p = 3;
+        let n = 200;
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            let mut records: Vec<(u64, usize)> = keys_for(comm.rank(), n)
+                .into_iter()
+                .map(|k| (k, comm.rank()))
+                .collect();
+            sort_by_key(comm, &mut records, |r| r.0);
+            (
+                records.first().copied(),
+                records.last().copied(),
+                records.len(),
+            )
+        });
+        assert!(out.iter().all(|((_, _, len), _)| *len == n));
+        for w in out.windows(2) {
+            let (last, first) = (w[0].0 .1, w[1].0 .0);
+            assert!(last.zip(first).is_none_or(|(a, b)| a.0 <= b.0));
+        }
+    }
+
+    #[test]
+    fn is_sorted_detects_order_and_disorder() {
+        let out = run(&ClusterConfig::small_cluster(3), |comm| {
+            let arr = GlobalArray::from_local(comm, keys_for(comm.rank(), 50));
+            let before = is_sorted(comm, &arr);
+            sort(comm, &arr);
+            let after = is_sorted(comm, &arr);
+            (before, after)
+        });
+        for ((before, after), _) in out {
+            assert!(!before, "pseudo-random input should not be sorted");
+            assert!(after, "sorted array must report sorted");
         }
     }
 
@@ -123,7 +235,22 @@ mod tests {
             median(comm, &arr)
         });
         for (v, _) in out {
-            assert_eq!(v, expect);
+            assert_eq!(v, Some(expect));
+        }
+    }
+
+    #[test]
+    fn out_of_range_order_statistics_are_rejected() {
+        let out = run(&ClusterConfig::small_cluster(2), |comm| {
+            let arr = GlobalArray::from_local(comm, keys_for(comm.rank(), 10));
+            let too_big = nth_element(comm, &arr, 20);
+            let empty = GlobalArray::from_local(comm, Vec::<u64>::new());
+            (too_big, nth_element(comm, &empty, 0), median(comm, &empty))
+        });
+        for ((too_big, on_empty, med), _) in out {
+            assert_eq!(too_big, Err(OrderOutOfRange { k: 20, n: 20 }));
+            assert_eq!(on_empty, Err(OrderOutOfRange { k: 0, n: 0 }));
+            assert_eq!(med, None);
         }
     }
 }

@@ -1,0 +1,166 @@
+//! Builder for [`SortConfig`].
+//!
+//! The builder is the single sanctioned construction path: `build()`
+//! runs [`SortConfig::validate`], so an unexecutable configuration
+//! (negative ε, zero iteration cap) is rejected at construction time
+//! instead of deep inside a sort. `SortConfig::default()` remains for
+//! the paper's evaluation setup, and this module is the only place a
+//! `SortConfig` struct literal is written.
+
+use dhs_merge::MergeAlgo;
+
+use crate::sort::{ExchangeStrategy, InvalidSortConfig, LocalSort, Partitioning, SortConfig};
+
+/// Typed, chainable constructor for [`SortConfig`].
+///
+/// ```
+/// use dhs_core::{Partitioning, SortConfig};
+///
+/// let cfg = SortConfig::builder()
+///     .epsilon(0.03)
+///     .partitioning(Partitioning::Balanced)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.epsilon, 0.03);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SortConfigBuilder {
+    cfg: SortConfig,
+}
+
+impl SortConfigBuilder {
+    /// Start from the paper's evaluation defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load-balance threshold `ε ≥ 0`; `0` demands exact boundaries.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.cfg.epsilon = epsilon;
+        self
+    }
+
+    /// Boundary placement policy.
+    pub fn partitioning(mut self, partitioning: Partitioning) -> Self {
+        self.cfg.partitioning = partitioning;
+        self
+    }
+
+    /// Engine for the local merge of received runs.
+    pub fn merge(mut self, merge: MergeAlgo) -> Self {
+        self.cfg.merge = merge;
+        self
+    }
+
+    /// Data-exchange schedule.
+    pub fn exchange(mut self, exchange: ExchangeStrategy) -> Self {
+        self.cfg.exchange = exchange;
+        self
+    }
+
+    /// Node-local sorting engine.
+    pub fn local_sort(mut self, local_sort: LocalSort) -> Self {
+        self.cfg.local_sort = local_sort;
+        self
+    }
+
+    /// Apply the §V-A uniqueness transform during splitter
+    /// determination and exchange.
+    pub fn unique_transform(mut self, on: bool) -> Self {
+        self.cfg.unique_transform = on;
+        self
+    }
+
+    /// Cap splitter refinement at `iterations` rounds (degrading
+    /// gracefully when the cap bites). `build()` rejects a cap of 0.
+    pub fn max_splitter_iterations(mut self, iterations: u32) -> Self {
+        self.cfg.max_splitter_iterations = Some(iterations);
+        self
+    }
+
+    /// Remove the iteration cap (the default): the splitter search
+    /// runs to its key-width convergence bound.
+    pub fn no_splitter_iteration_cap(mut self) -> Self {
+        self.cfg.max_splitter_iterations = None;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SortConfig, InvalidSortConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+impl SortConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> SortConfigBuilder {
+        SortConfigBuilder::new()
+    }
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        // The paper's evaluation setup: perfect partitioning, ε = 0,
+        // re-sort as the merge step, monolithic all-to-allv.
+        Self {
+            epsilon: 0.0,
+            partitioning: Partitioning::Perfect,
+            merge: MergeAlgo::Resort,
+            exchange: ExchangeStrategy::AllToAllv,
+            local_sort: LocalSort::Comparison,
+            unique_transform: false,
+            max_splitter_iterations: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = SortConfig::builder().build().expect("defaults are valid");
+        let def = SortConfig::default();
+        assert_eq!(built.epsilon, def.epsilon);
+        assert_eq!(built.partitioning, def.partitioning);
+        assert_eq!(built.merge, def.merge);
+        assert_eq!(built.exchange, def.exchange);
+        assert_eq!(built.local_sort, def.local_sort);
+        assert_eq!(built.unique_transform, def.unique_transform);
+        assert_eq!(built.max_splitter_iterations, def.max_splitter_iterations);
+    }
+
+    #[test]
+    fn builder_rejects_bad_epsilon() {
+        for eps in [-0.5, f64::NAN, f64::INFINITY] {
+            let err = SortConfig::builder().epsilon(eps).build();
+            assert!(
+                matches!(err, Err(InvalidSortConfig::BadEpsilon(_))),
+                "epsilon {eps} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_iteration_cap() {
+        let err = SortConfig::builder().max_splitter_iterations(0).build();
+        assert!(matches!(err, Err(InvalidSortConfig::ZeroIterationCap)));
+    }
+
+    #[test]
+    fn builder_cap_roundtrip() {
+        let cfg = SortConfig::builder()
+            .max_splitter_iterations(3)
+            .build()
+            .expect("cap of 3 is valid");
+        assert_eq!(cfg.max_splitter_iterations, Some(3));
+        let cfg = SortConfigBuilder::new()
+            .max_splitter_iterations(3)
+            .no_splitter_iteration_cap()
+            .build()
+            .expect("uncapped is valid");
+        assert_eq!(cfg.max_splitter_iterations, None);
+    }
+}

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod api;
+pub mod builder;
 pub mod exchange;
 pub mod key;
 pub mod multilevel;
@@ -39,7 +40,8 @@ pub mod sort;
 pub mod splitter;
 pub mod verify;
 
-pub use api::{median, nth_element, sort, sort_array};
+pub use api::{is_sorted, median, nth_element, sort, sort_array, sort_by_key, OrderOutOfRange};
+pub use builder::SortConfigBuilder;
 pub use key::{make_unique, strip_unique, Key, OrderedF32, OrderedF64, UniqueKey};
 pub use multilevel::histogram_sort_two_level;
 pub use overlap::{exchange_and_merge, one_factor_partner, one_factor_rounds, OverlapStats};

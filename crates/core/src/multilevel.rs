@@ -43,6 +43,7 @@ pub fn histogram_sort_two_level<K: Key>(
         return histogram_sort(comm, local, cfg);
     }
 
+    let t_begin = comm.now_ns();
     let mut stats = SortStats {
         n_in: local.len(),
         ..SortStats::default()
@@ -50,20 +51,24 @@ pub fn histogram_sort_two_level<K: Key>(
     let elem = std::mem::size_of::<K>() as u64;
 
     // Shared local sort.
-    let t0 = comm.now_ns();
+    let sp = comm.span("local_sort");
     local.sort_unstable();
     comm.charge(Work::SortElems {
         n: local.len() as u64,
         elem_bytes: elem,
     });
-    stats.local_sort_ns = comm.now_ns() - t0;
+    stats.local_sort_ns = sp.finish();
 
+    let sp = comm.span("prepare");
     let caps: Vec<usize> = comm.allgather(local.len());
     let n_total: u64 = caps.iter().map(|&c| c as u64).sum();
     if n_total == 0 {
+        stats.prepare_ns += sp.finish();
         stats.n_out = local.len();
+        debug_assert_eq!(stats.total_ns(), comm.now_ns() - t_begin);
         return stats;
     }
+    stats.prepare_ns += sp.finish();
 
     // Level 1: g-1 group splitters at the group capacity boundaries.
     let group_start = |grp: usize| grp * p / g;
@@ -72,7 +77,7 @@ pub fn histogram_sort_two_level<K: Key>(
             .find(|&grp| group_start(grp) <= r && r < group_start(grp + 1))
             .expect("every rank lies in a group")
     };
-    let t1 = comm.now_ns();
+    let sp = comm.span("histogram");
     let mut targets = Vec::with_capacity(g - 1);
     let mut acc = 0u64;
     for grp in 0..g - 1 {
@@ -85,15 +90,15 @@ pub fn histogram_sort_two_level<K: Key>(
     let slack = crate::splitter::slack_for(n_total, p, cfg.epsilon);
     let l1 = find_splitters(comm, local, &targets, slack);
     stats.iterations += l1.iterations;
-    stats.histogram_ns += comm.now_ns() - t1;
+    stats.histogram_ns += sp.finish();
 
     // Level-1 exchange: the g-way plan, but routed so each bucket goes
     // to one member of its group (spread by sender rank).
-    let t2 = comm.now_ns();
+    let sp = comm.span("prepare");
     let plan = plan_group_exchange(comm, local, &l1, g, &group_start);
-    stats.prepare_ns += comm.now_ns() - t2;
+    stats.prepare_ns += sp.finish();
 
-    let t3 = comm.now_ns();
+    let sp = comm.span("exchange");
     let received = exchange_group_data(comm, local, &plan);
     comm.charge(Work::SortElems {
         n: received.len() as u64,
@@ -102,13 +107,17 @@ pub fn histogram_sort_two_level<K: Key>(
     let mut mine = received;
     mine.sort_unstable();
     *local = mine;
-    stats.exchange_ns += comm.now_ns() - t3;
+    stats.exchange_ns += sp.finish();
 
     // Level 2: histogramming inside the group, targeting the ORIGINAL
     // capacities of the group's members (perfect partitioning must
     // restore each rank's input size, not the transient level-1
     // distribution). The split is the blocking, linear-cost collective
     // the paper warns about.
+    // The communicator split and the group-emptiness allreduce are
+    // exchange *preparation*: without a span here their virtual time
+    // would be attributed to no phase at all.
+    let sp = comm.span("prepare");
     let my_group = group_of(comm.rank());
     let sub = comm.split(my_group as u64, comm.rank() as u64);
     let member_caps: &[usize] = &caps[group_start(my_group)..group_start(my_group + 1)];
@@ -123,24 +132,27 @@ pub fn histogram_sort_two_level<K: Key>(
     // nothing left to do.
     let group_total: u64 = sub.allreduce_sum(vec![local.len() as u64])[0];
     if group_total == 0 {
+        stats.prepare_ns += sp.finish();
         stats.n_out = local.len();
+        debug_assert_eq!(stats.total_ns(), comm.now_ns() - t_begin);
         return stats;
     }
+    stats.prepare_ns += sp.finish();
 
-    let t4 = comm.now_ns();
+    let sp = comm.span("histogram");
     let l2 = find_splitters(&sub, local, &l2_targets, slack);
     stats.iterations += l2.iterations;
-    stats.histogram_ns += comm.now_ns() - t4;
+    stats.histogram_ns += sp.finish();
 
-    let t5 = comm.now_ns();
+    let sp = comm.span("prepare");
     let plan2 = crate::exchange::plan_exchange(&sub, local, &l2);
-    stats.prepare_ns += comm.now_ns() - t5;
+    stats.prepare_ns += sp.finish();
 
-    let t6 = comm.now_ns();
+    let sp = comm.span("exchange");
     let received = crate::exchange::exchange_data(&sub, local, &plan2);
-    stats.exchange_ns += comm.now_ns() - t6;
+    stats.exchange_ns += sp.finish();
 
-    let t7 = comm.now_ns();
+    let sp = comm.span("merge");
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
@@ -155,8 +167,13 @@ pub fn histogram_sort_two_level<K: Key>(
         }),
     }
     *local = dhs_merge::kway_merge(cfg.merge, &received);
-    stats.merge_ns += comm.now_ns() - t7;
+    stats.merge_ns += sp.finish();
     stats.n_out = local.len();
+    debug_assert_eq!(
+        stats.total_ns(),
+        comm.now_ns() - t_begin,
+        "span-derived phase totals must cover the sort's virtual time"
+    );
     stats
 }
 

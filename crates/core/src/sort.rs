@@ -116,22 +116,6 @@ impl SortConfig {
     }
 }
 
-impl Default for SortConfig {
-    fn default() -> Self {
-        // The paper's evaluation setup: perfect partitioning, ε = 0,
-        // re-sort as the merge step, monolithic all-to-allv.
-        Self {
-            epsilon: 0.0,
-            partitioning: Partitioning::Perfect,
-            merge: MergeAlgo::Resort,
-            exchange: ExchangeStrategy::AllToAllv,
-            local_sort: LocalSort::Comparison,
-            unique_transform: false,
-            max_splitter_iterations: None,
-        }
-    }
-}
-
 /// Run the configured local sort and charge its modelled cost.
 fn local_sort_exec<K: Key>(comm: &Comm, data: &mut [K], engine: LocalSort) {
     let n = data.len() as u64;
@@ -218,17 +202,20 @@ pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig)
     if let Err(e) = cfg.validate() {
         panic!("invalid SortConfig: {e}");
     }
+    let t_begin = comm.now_ns();
     let mut stats = SortStats {
         n_in: local.len(),
         ..SortStats::default()
     };
 
     // Phase 1: local sort.
-    let t0 = comm.now_ns();
+    let sp = comm.span("local_sort");
     local_sort_exec(comm, local, cfg.local_sort);
-    stats.local_sort_ns = comm.now_ns() - t0;
+    stats.local_sort_ns = sp.finish();
 
-    // Global shape.
+    // Global shape ("Other" in the paper's breakdown: everything that
+    // is neither histogramming nor the exchange proper).
+    let sp = comm.span("prepare");
     let caps: Vec<usize> = comm.allgather(local.len());
     let n_total: u64 = caps.iter().map(|&c| c as u64).sum();
     let p = comm.size();
@@ -239,7 +226,9 @@ pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig)
     let slack = slack_for(n_total, p, cfg.epsilon);
 
     if n_total == 0 || p == 1 {
+        stats.prepare_ns += sp.finish();
         stats.n_out = local.len();
+        debug_assert_eq!(stats.total_ns(), comm.now_ns() - t_begin);
         return stats;
     }
 
@@ -247,13 +236,20 @@ pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig)
         let wrapped = make_unique(local, comm.rank());
         // The transform ships (rank, index) alongside each key.
         comm.charge(Work::MoveBytes(local.len() as u64 * 8));
+        stats.prepare_ns += sp.finish();
         let mut sorted = wrapped;
         run_pipeline(comm, &mut sorted, &targets, slack, n_total, cfg, &mut stats);
         *local = strip_unique(sorted);
     } else {
+        stats.prepare_ns += sp.finish();
         run_pipeline(comm, local, &targets, slack, n_total, cfg, &mut stats);
     }
     stats.n_out = local.len();
+    debug_assert_eq!(
+        stats.total_ns(),
+        comm.now_ns() - t_begin,
+        "span-derived phase totals must cover the sort's virtual time"
+    );
     stats
 }
 
@@ -295,6 +291,7 @@ where
     if let Err(e) = cfg.validate() {
         panic!("invalid SortConfig: {e}");
     }
+    let t_begin = comm.now_ns();
     let mut stats = SortStats {
         n_in: local.len(),
         ..SortStats::default()
@@ -302,19 +299,22 @@ where
     let elem = std::mem::size_of::<T>() as u64;
 
     // Phase 1: local sort by key.
-    let t0 = comm.now_ns();
+    let sp = comm.span("local_sort");
     local.sort_by_key(|x| key_fn(x));
     comm.charge(Work::SortElems {
         n: local.len() as u64,
         elem_bytes: elem,
     });
-    stats.local_sort_ns = comm.now_ns() - t0;
+    stats.local_sort_ns = sp.finish();
 
+    let sp = comm.span("prepare");
     let caps: Vec<usize> = comm.allgather(local.len());
     let n_total: u64 = caps.iter().map(|&c| c as u64).sum();
     let p = comm.size();
     if n_total == 0 || p == 1 {
+        stats.prepare_ns += sp.finish();
         stats.n_out = local.len();
+        debug_assert_eq!(stats.total_ns(), comm.now_ns() - t_begin);
         return stats;
     }
     let targets = match cfg.partitioning {
@@ -323,14 +323,17 @@ where
     };
     let slack = slack_for(n_total, p, cfg.epsilon);
 
-    // Phase 2: splitters over the extracted key view. The uniqueness
-    // transform falls out naturally: records are positionally unique
-    // via the Algorithm 4 refinement, so only the key view is needed.
+    // Extract the key view. The uniqueness transform falls out
+    // naturally: records are positionally unique via the Algorithm 4
+    // refinement, so only the key view is needed.
     let keys: Vec<K> = local.iter().map(&key_fn).collect();
     comm.charge(Work::MoveBytes(
         keys.len() as u64 * std::mem::size_of::<K>() as u64,
     ));
-    let t1 = comm.now_ns();
+    stats.prepare_ns += sp.finish();
+
+    // Phase 2: splitters over the key view.
+    let sp = comm.span("histogram");
     let opts = SplitterOptions {
         max_iterations: cfg.max_splitter_iterations,
         ..SplitterOptions::default()
@@ -338,23 +341,23 @@ where
     let splitters = find_splitters_cfg(comm, &keys, &targets, slack, opts);
     stats.iterations = splitters.iterations;
     stats.outcome = outcome_of(&splitters, n_total, p);
-    stats.histogram_ns = comm.now_ns() - t1;
+    stats.histogram_ns = sp.finish();
 
     // Phase 3: plan on the key view, exchange the records.
-    let t2 = comm.now_ns();
+    let sp = comm.span("prepare");
     let plan = crate::exchange::plan_exchange(comm, &keys, &splitters);
-    stats.prepare_ns = comm.now_ns() - t2;
+    stats.prepare_ns += sp.finish();
 
-    let t3 = comm.now_ns();
+    let sp = comm.span("exchange");
     comm.charge(Work::MoveBytes(local.len() as u64 * elem));
     let buckets: Vec<Vec<T>> = (0..p)
         .map(|d| local[plan.cuts[d]..plan.cuts[d + 1]].to_vec())
         .collect();
     let received = comm.alltoallv(buckets);
-    stats.exchange_ns = comm.now_ns() - t3;
+    stats.exchange_ns = sp.finish();
 
     // Phase 4: re-sort the received records by key.
-    let t4 = comm.now_ns();
+    let sp = comm.span("merge");
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     comm.charge(Work::SortElems {
         n: n_recv,
@@ -362,8 +365,13 @@ where
     });
     *local = received.into_iter().flatten().collect();
     local.sort_by_key(|x| key_fn(x));
-    stats.merge_ns = comm.now_ns() - t4;
+    stats.merge_ns = sp.finish();
     stats.n_out = local.len();
+    debug_assert_eq!(
+        stats.total_ns(),
+        comm.now_ns() - t_begin,
+        "span-derived phase totals must cover the sort's virtual time"
+    );
     stats
 }
 
@@ -380,7 +388,7 @@ fn run_pipeline<K: Key>(
     let elem = std::mem::size_of::<K>() as u64;
 
     // Phase 2: splitter determination by iterative histogramming.
-    let t1 = comm.now_ns();
+    let sp = comm.span("histogram");
     let opts = SplitterOptions {
         max_iterations: cfg.max_splitter_iterations,
         ..SplitterOptions::default()
@@ -388,22 +396,22 @@ fn run_pipeline<K: Key>(
     let splitters = find_splitters_cfg(comm, sorted_local, targets, slack, opts);
     stats.iterations = splitters.iterations;
     stats.outcome = outcome_of(&splitters, n_total, comm.size());
-    stats.histogram_ns = comm.now_ns() - t1;
+    stats.histogram_ns = sp.finish();
 
     // Phase 3a: exchange preparation (Algorithm 4).
-    let t2 = comm.now_ns();
+    let sp = comm.span("prepare");
     let plan = plan_exchange(comm, sorted_local, &splitters);
-    stats.prepare_ns = comm.now_ns() - t2;
+    stats.prepare_ns += sp.finish();
 
     match cfg.exchange {
         ExchangeStrategy::AllToAllv => {
             // Phase 3b: ALL-TO-ALLV.
-            let t3 = comm.now_ns();
+            let sp = comm.span("exchange");
             let received = exchange_data(comm, sorted_local, &plan);
-            stats.exchange_ns = comm.now_ns() - t3;
+            stats.exchange_ns = sp.finish();
 
             // Phase 4: local merge of the received sorted runs.
-            let t4 = comm.now_ns();
+            let sp = comm.span("merge");
             let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
             let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
             match cfg.merge {
@@ -421,15 +429,15 @@ fn run_pipeline<K: Key>(
                     *sorted_local = kway_merge(cfg.merge, &received);
                 }
             }
-            stats.merge_ns = comm.now_ns() - t4;
+            stats.merge_ns = sp.finish();
         }
         ExchangeStrategy::PairwiseMerge { overlap } => {
             // Phases 3b+4 fused: pairwise rounds, merging eagerly.
-            let t3 = comm.now_ns();
+            let sp = comm.span("exchange");
             let (merged, _) =
                 crate::overlap::exchange_and_merge(comm, sorted_local, &plan, overlap);
             *sorted_local = merged;
-            stats.exchange_ns = comm.now_ns() - t3;
+            stats.exchange_ns = sp.finish();
         }
     }
 }
@@ -500,10 +508,10 @@ mod tests {
 
     #[test]
     fn radix_local_sort_gives_same_result() {
-        let cfg = SortConfig {
-            local_sort: LocalSort::Radix,
-            ..SortConfig::default()
-        };
+        let cfg = SortConfig::builder()
+            .local_sort(LocalSort::Radix)
+            .build()
+            .expect("valid config");
         check_sorted_output(4, 700, u64::MAX, &cfg, true);
         check_sorted_output(5, 300, 9, &cfg, true);
     }
@@ -511,10 +519,10 @@ mod tests {
     #[test]
     fn radix_is_cheaper_than_comparison_in_model() {
         let time = |ls: LocalSort| {
-            let cfg = SortConfig {
-                local_sort: ls,
-                ..SortConfig::default()
-            };
+            let cfg = SortConfig::builder()
+                .local_sort(ls)
+                .build()
+                .expect("valid config");
             let out = run(&ClusterConfig::small_cluster(4), move |comm| {
                 let mut local = keys_for(comm.rank(), 100_000, u64::MAX);
                 histogram_sort(comm, &mut local, &cfg).local_sort_ns
@@ -527,10 +535,10 @@ mod tests {
     #[test]
     fn pairwise_exchange_strategies_give_same_result() {
         for overlap in [false, true] {
-            let cfg = SortConfig {
-                exchange: ExchangeStrategy::PairwiseMerge { overlap },
-                ..SortConfig::default()
-            };
+            let cfg = SortConfig::builder()
+                .exchange(ExchangeStrategy::PairwiseMerge { overlap })
+                .build()
+                .expect("valid config");
             check_sorted_output(5, 400, 1 << 18, &cfg, true);
             check_sorted_output(4, 300, 7, &cfg, true);
         }
@@ -539,20 +547,20 @@ mod tests {
     #[test]
     fn all_merge_engines_give_same_result() {
         for merge in MergeAlgo::ALL {
-            let cfg = SortConfig {
-                merge,
-                ..SortConfig::default()
-            };
+            let cfg = SortConfig::builder()
+                .merge(merge)
+                .build()
+                .expect("valid config");
             check_sorted_output(4, 300, 1 << 20, &cfg, true);
         }
     }
 
     #[test]
     fn unique_transform_roundtrip() {
-        let cfg = SortConfig {
-            unique_transform: true,
-            ..SortConfig::default()
-        };
+        let cfg = SortConfig::builder()
+            .unique_transform(true)
+            .build()
+            .expect("valid config");
         check_sorted_output(4, 500, 3, &cfg, true);
         check_sorted_output(5, 500, u64::MAX, &cfg, true);
     }
@@ -562,10 +570,10 @@ mod tests {
         let p = 4;
         let n = 2000;
         let eps = 0.1;
-        let cfg = SortConfig {
-            epsilon: eps,
-            ..SortConfig::default()
-        };
+        let cfg = SortConfig::builder()
+            .epsilon(eps)
+            .build()
+            .expect("valid config");
         let out = run(&ClusterConfig::small_cluster(p), move |comm| {
             let mut local = keys_for(comm.rank(), n, u64::MAX);
             histogram_sort(comm, &mut local, &cfg);
@@ -588,10 +596,10 @@ mod tests {
         let p = 4;
         let n = 2000;
         // One iteration can never settle ε=0 splitters on wide keys.
-        let cfg = SortConfig {
-            max_splitter_iterations: Some(1),
-            ..SortConfig::default()
-        };
+        let cfg = SortConfig::builder()
+            .max_splitter_iterations(1)
+            .build()
+            .expect("valid config");
         let out = run(&ClusterConfig::small_cluster(p), move |comm| {
             let mut local = keys_for(comm.rank(), n, u64::MAX);
             let stats = histogram_sort(comm, &mut local, &cfg);
@@ -624,10 +632,10 @@ mod tests {
 
     #[test]
     fn generous_iteration_cap_stays_exact() {
-        let cfg = SortConfig {
-            max_splitter_iterations: Some(200),
-            ..SortConfig::default()
-        };
+        let cfg = SortConfig::builder()
+            .max_splitter_iterations(200)
+            .build()
+            .expect("valid config");
         let out = run(&ClusterConfig::small_cluster(4), move |comm| {
             let mut local = keys_for(comm.rank(), 500, u64::MAX);
             let stats = histogram_sort(comm, &mut local, &cfg);
@@ -640,29 +648,29 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         for eps in [-0.5, f64::NAN, f64::INFINITY] {
-            let cfg = SortConfig {
-                epsilon: eps,
-                ..SortConfig::default()
-            };
             assert!(
-                matches!(cfg.validate(), Err(InvalidSortConfig::BadEpsilon(_))),
+                matches!(
+                    SortConfig::builder().epsilon(eps).build(),
+                    Err(InvalidSortConfig::BadEpsilon(_))
+                ),
                 "{eps}"
             );
         }
-        let cfg = SortConfig {
-            max_splitter_iterations: Some(0),
-            ..SortConfig::default()
-        };
-        assert_eq!(cfg.validate(), Err(InvalidSortConfig::ZeroIterationCap));
+        assert!(matches!(
+            SortConfig::builder().max_splitter_iterations(0).build(),
+            Err(InvalidSortConfig::ZeroIterationCap)
+        ));
         assert!(SortConfig::default().validate().is_ok());
 
-        // The sort entry point enforces it with a clear message.
+        // The sort entry point re-validates even if a config is
+        // corrupted after construction (fields are public). Field
+        // mutation on purpose: a struct literal would bypass the
+        // builder, which is the only sanctioned literal site.
+        #[allow(clippy::field_reassign_with_default)]
         let res = std::panic::catch_unwind(|| {
             run(&ClusterConfig::small_cluster(2), |comm| {
-                let cfg = SortConfig {
-                    epsilon: f64::NAN,
-                    ..SortConfig::default()
-                };
+                let mut cfg = SortConfig::default();
+                cfg.epsilon = f64::NAN;
                 let mut local = vec![1u64, 2];
                 histogram_sort(comm, &mut local, &cfg);
             })
@@ -673,10 +681,10 @@ mod tests {
     #[test]
     fn balanced_partitioning_rebalances_skewed_input() {
         let p = 4;
-        let cfg = SortConfig {
-            partitioning: Partitioning::Balanced,
-            ..SortConfig::default()
-        };
+        let cfg = SortConfig::builder()
+            .partitioning(Partitioning::Balanced)
+            .build()
+            .expect("valid config");
         let out = run(&ClusterConfig::small_cluster(p), move |comm| {
             // Rank 0 holds everything.
             let mut local = if comm.rank() == 0 {
@@ -790,10 +798,10 @@ mod tests {
             } else {
                 Vec::new()
             };
-            let cfg = SortConfig {
-                partitioning: Partitioning::Balanced,
-                ..SortConfig::default()
-            };
+            let cfg = SortConfig::builder()
+                .partitioning(Partitioning::Balanced)
+                .build()
+                .expect("valid config");
             histogram_sort_by(comm, &mut records, |r| r.0, &cfg);
             records.len()
         });

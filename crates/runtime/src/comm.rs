@@ -5,6 +5,7 @@
 //! the cost model (see [`crate::cost`]); point-to-point messages go
 //! through per-rank mailboxes.
 
+use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::mem;
@@ -18,6 +19,7 @@ use crate::fault::{unit_draw, RankAbort, RankError};
 use crate::state::{CommState, EndTimes, Message, World};
 use crate::stats::{RankLocal, RankReport};
 use crate::topology::Topology;
+use crate::trace::{SpanGuard, TraceSink};
 
 /// Schedule used for the personalized all-to-all exchange (§VI-E1 of
 /// the paper discusses picking per message size).
@@ -75,6 +77,9 @@ impl Comm {
     fn check_crash(&self) {
         if let Some(deadline) = self.crash_at_ns {
             if self.local().now_ns() >= deadline {
+                if let Some(sink) = self.sink() {
+                    sink.event("crash", self.local().now_ns(), None, 0, deadline);
+                }
                 std::panic::panic_any(RankAbort(RankError::Crashed {
                     rank: self.state.global_ranks[self.rank],
                     at_ns: deadline,
@@ -116,6 +121,27 @@ impl Comm {
         &self.state.world.locals[self.state.global_ranks[self.rank]]
     }
 
+    /// This rank's trace sink, when tracing is on.
+    fn sink(&self) -> Option<&TraceSink> {
+        self.state
+            .world
+            .traces
+            .as_ref()
+            .map(|t| &t[self.state.global_ranks[self.rank]])
+    }
+
+    /// Open a named span over this rank's virtual clock. The returned
+    /// RAII guard closes the span when dropped; [`SpanGuard::finish`]
+    /// additionally hands back the elapsed virtual nanoseconds, which
+    /// is how phase statistics are derived. Spans nest (LIFO).
+    ///
+    /// The guard measures time in both trace modes; with
+    /// [`crate::TraceConfig::Off`] nothing is recorded and the call is
+    /// a clock read plus one `Option` check.
+    pub fn span(&self, name: impl Into<Cow<'static, str>>) -> SpanGuard<'_> {
+        SpanGuard::new(self.local(), self.sink(), name.into())
+    }
+
     /// Current virtual time of this rank, in nanoseconds.
     pub fn now_ns(&self) -> u64 {
         self.local().now_ns()
@@ -155,14 +181,28 @@ impl Comm {
         me.advance_ns(ns);
         me.counters.comm_ns.fetch_add(ns, Ordering::Relaxed);
         me.counters.add_bytes(link, bytes);
+        if let Some(sink) = self.sink() {
+            sink.event(
+                "onesided",
+                me.now_ns(),
+                Some(link),
+                bytes,
+                self.state.global_ranks[peer] as u64,
+            );
+        }
     }
 
-    /// Snapshot this rank's counters and clock.
+    /// Snapshot this rank's counters and clock. When tracing is on the
+    /// report also carries the span-derived phase breakdown.
     pub fn report(&self) -> RankReport {
-        self.local().report()
+        let mut report = self.local().report();
+        if let Some(sink) = self.sink() {
+            report.phases = sink.phase_totals();
+        }
+        report
     }
 
-    fn run_collective<T, R, F>(&self, input: T, combine: F) -> Arc<R>
+    fn run_collective<T, R, F>(&self, name: &'static str, input: T, combine: F) -> Arc<R>
     where
         T: Send + 'static,
         R: Send + Sync + 'static,
@@ -171,7 +211,18 @@ impl Comm {
         self.check_crash();
         let g = self.gen.get();
         self.gen.set(g + 1);
-        self.state.collective(self.rank, g, input, combine)
+        let enter_ns = self.local().now_ns();
+        let out = self.state.collective(self.rank, g, input, combine);
+        if let Some(sink) = self.sink() {
+            sink.complete(
+                Cow::Borrowed(name),
+                "collective",
+                enter_ns,
+                self.local().now_ns(),
+                0,
+            );
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -181,7 +232,7 @@ impl Comm {
     /// Block until all ranks arrive.
     pub fn barrier(&self) {
         let p = self.size();
-        self.run_collective((), move |_, ctx| {
+        self.run_collective("barrier", (), move |_, ctx| {
             (
                 (),
                 EndTimes::Uniform(ctx.enter_max_ns + ctx.cost.barrier_ns(ctx.worst_link, p)),
@@ -197,7 +248,7 @@ impl Comm {
     {
         let p = self.size();
         let bytes = mem::size_of::<T>() as u64;
-        let out = self.run_collective(value, move |mut xs, ctx| {
+        let out = self.run_collective("broadcast", value, move |mut xs, ctx| {
             let v = xs.swap_remove(root);
             let end = ctx.enter_max_ns + ctx.cost.bcast_ns(ctx.worst_link, p, bytes);
             (v, EndTimes::Uniform(end))
@@ -213,7 +264,7 @@ impl Comm {
         T: Clone + Send + Sync + 'static,
     {
         let p = self.size();
-        let out = self.run_collective(value, move |mut xs, ctx| {
+        let out = self.run_collective("broadcast_vec", value, move |mut xs, ctx| {
             let v = xs.swap_remove(root);
             let bytes = (v.len() * mem::size_of::<T>()) as u64;
             let end = ctx.enter_max_ns + ctx.cost.bcast_ns(ctx.worst_link, p, bytes);
@@ -230,7 +281,7 @@ impl Comm {
         F: Fn(&T, &T) -> T,
     {
         let p = self.size();
-        let out = self.run_collective(xs, move |inputs, ctx| {
+        let out = self.run_collective("allreduce", xs, move |inputs, ctx| {
             let width = inputs.first().map_or(0, Vec::len);
             for x in &inputs {
                 assert_eq!(x.len(), width, "allreduce inputs must have equal length");
@@ -274,7 +325,7 @@ impl Comm {
     {
         let p = self.size();
         let bytes = mem::size_of::<T>() as u64;
-        let out = self.run_collective(x, move |xs, ctx| {
+        let out = self.run_collective("allgather", x, move |xs, ctx| {
             let end = ctx.enter_max_ns + ctx.cost.allgather_ns(ctx.worst_link, p, bytes);
             (xs, EndTimes::Uniform(end))
         });
@@ -289,7 +340,7 @@ impl Comm {
     {
         let p = self.size();
         let my_bytes = (xs.len() * mem::size_of::<T>()) as u64;
-        let out = self.run_collective(xs, move |inputs, ctx| {
+        let out = self.run_collective("allgatherv", xs, move |inputs, ctx| {
             let max_bytes = inputs
                 .iter()
                 .map(|v| (v.len() * mem::size_of::<T>()) as u64)
@@ -309,7 +360,7 @@ impl Comm {
     pub fn exscan_sum_vec(&self, xs: Vec<u64>) -> Vec<u64> {
         let p = self.size();
         let me = self.rank;
-        let out = self.run_collective(xs, move |inputs, ctx| {
+        let out = self.run_collective("exscan", xs, move |inputs, ctx| {
             let width = inputs.first().map_or(0, Vec::len);
             let mut pre: Vec<Vec<u64>> = Vec::with_capacity(p);
             let mut acc = vec![0u64; width];
@@ -344,7 +395,7 @@ impl Comm {
     {
         let p = self.size();
         let in_bytes = (xs.len() * mem::size_of::<T>()) as u64;
-        let out = self.run_collective(xs, move |inputs, ctx| {
+        let out = self.run_collective("gather_reduce", xs, move |inputs, ctx| {
             let total_bytes: u64 = inputs
                 .iter()
                 .map(|v| (v.len() * mem::size_of::<T>()) as u64)
@@ -368,7 +419,7 @@ impl Comm {
     {
         let p = self.size();
         let bytes = mem::size_of::<T>() as u64;
-        let out = self.run_collective(x, move |xs, ctx| {
+        let out = self.run_collective("exscan", x, move |xs, ctx| {
             let mut pre = Vec::with_capacity(xs.len());
             let mut acc = identity;
             for x in &xs {
@@ -411,17 +462,20 @@ impl Comm {
             "alltoallv needs one bucket per destination rank"
         );
         // Account this rank's own outgoing traffic.
+        let mut sent_bytes = 0u64;
         {
             let topo = self.topology();
             let counters = &self.local().counters;
             let me_g = self.state.global_ranks[self.rank];
             for (dst, bucket) in send.iter().enumerate() {
                 let link = topo.link(me_g, self.state.global_ranks[dst]);
-                counters.add_bytes(link, (bucket.len() * mem::size_of::<T>()) as u64);
+                let bytes = (bucket.len() * mem::size_of::<T>()) as u64;
+                counters.add_bytes(link, bytes);
+                sent_bytes += bytes;
             }
         }
         let me = self.rank;
-        let out = self.run_collective(send, move |mut inputs, ctx| {
+        let out = self.run_collective("alltoallv", send, move |mut inputs, ctx| {
             let elem = mem::size_of::<T>() as u64;
             // Precomputed once for the leader schedule: node of every
             // rank and the aggregated node-to-node byte matrix.
@@ -516,6 +570,9 @@ impl Comm {
             }
             (recv, EndTimes::PerRank(ends))
         });
+        if let Some(sink) = self.sink() {
+            sink.attribute_bytes(sent_bytes);
+        }
         out[me]
             .iter()
             .map(|slot| slot.lock().take().expect("each slot taken exactly once"))
@@ -587,6 +644,9 @@ impl Comm {
                 me.counters
                     .p2p_retries
                     .fetch_add(retries, Ordering::Relaxed);
+                if let Some(sink) = self.sink() {
+                    sink.event("retry", me.now_ns(), Some(link), bytes, retries);
+                }
             }
             // Attempt id u64::MAX salts the duplicate draw so it is
             // independent of the loss draws.
@@ -598,6 +658,9 @@ impl Comm {
         let arrival_ns = me.now_ns() + cost_now.p2p_ns(link, bytes);
         me.counters.p2p_messages.fetch_add(1, Ordering::Relaxed);
         me.counters.add_bytes(link, bytes);
+        if let Some(sink) = self.sink() {
+            sink.event("send", me.now_ns(), Some(link), bytes, dst_g as u64);
+        }
         self.state.mailboxes[dst].push(Message {
             src: self.rank,
             tag,
@@ -610,6 +673,9 @@ impl Comm {
             // payload is never read (the receiver dedups by `seq`), so
             // it carries none; it only exercises the idempotence path.
             me.counters.p2p_duplicates.fetch_add(1, Ordering::Relaxed);
+            if let Some(sink) = self.sink() {
+                sink.event("duplicate", me.now_ns(), Some(link), 0, dst_g as u64);
+            }
             self.state.mailboxes[dst].push(Message {
                 src: self.rank,
                 tag,
@@ -635,9 +701,20 @@ impl Comm {
         me.counters
             .comm_ns
             .fetch_add(me.now_ns().saturating_sub(before), Ordering::Relaxed);
-        *msg.payload
+        let payload = *msg
+            .payload
             .downcast::<Vec<T>>()
-            .expect("matching payload type for (src, tag)")
+            .expect("matching payload type for (src, tag)");
+        if let Some(sink) = self.sink() {
+            sink.complete(
+                Cow::Borrowed("recv"),
+                "p2p",
+                before,
+                me.now_ns(),
+                (payload.len() * mem::size_of::<T>()) as u64,
+            );
+        }
+        payload
     }
 
     /// Symmetric pairwise exchange with `peer`: send `data`, receive the
@@ -663,7 +740,7 @@ impl Comm {
     pub fn split(&self, color: u64, key: u64) -> Comm {
         let p = self.size();
         let me = self.rank;
-        let out = self.run_collective((color, key), move |xs, ctx| {
+        let out = self.run_collective("split", (color, key), move |xs, ctx| {
             let mut groups: BTreeMap<u64, Vec<(u64, usize)>> = BTreeMap::new();
             for (rank, &(c, k)) in xs.iter().enumerate() {
                 groups.entry(c).or_default().push((k, rank));
@@ -685,7 +762,7 @@ impl Comm {
             .expect("calling rank is a member of its color group");
         // Everyone in the group must agree on one CommState instance:
         // derive it through a second rendezvous keyed by color.
-        let state = self.run_collective((color, global.clone()), move |xs, ctx| {
+        let state = self.run_collective("split", (color, global.clone()), move |xs, ctx| {
             let mut states: BTreeMap<u64, Arc<CommState>> = BTreeMap::new();
             for (c, g) in xs {
                 states
@@ -697,10 +774,16 @@ impl Comm {
         Comm::new(state[&color].clone(), new_rank)
     }
 
+    /// Account `bytes` of collective traffic at the communicator's
+    /// worst link class, and attribute them to the just-recorded
+    /// collective span when tracing is on.
     fn account_collective_bytes(&self, bytes: u64) {
         self.local()
             .counters
             .add_bytes(self.state.worst_link, bytes);
+        if let Some(sink) = self.sink() {
+            sink.attribute_bytes(bytes);
+        }
     }
 }
 

@@ -30,10 +30,17 @@ pub mod runner;
 pub mod state;
 pub mod stats;
 pub mod topology;
+pub mod trace;
 
 pub use comm::{AllToAllAlgo, Comm};
 pub use cost::{log2_ceil, CostModel, LinkCost, Work};
 pub use fault::{Crash, FaultPlan, LinkFault, LossSpec, RankError, Straggler};
-pub use runner::{run, run_summarized, try_run, ClusterConfig, RunError};
+pub use runner::{
+    run, run_summarized, run_traced, try_run, try_run_traced, ClusterConfig, RunError, TracedRun,
+};
 pub use stats::{CounterSnapshot, RankReport, RunSummary};
 pub use topology::{LinkClass, Placement, Topology};
+pub use trace::{
+    validate_chrome_trace, ChromeTraceCheck, EventRecord, PhaseStat, PhaseSummary, RankTrace,
+    RunTrace, SpanGuard, SpanRecord, TraceConfig, TraceSink,
+};

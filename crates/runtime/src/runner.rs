@@ -8,6 +8,7 @@ use crate::fault::{FaultPlan, RankAbort, RankError};
 use crate::state::{CommState, World};
 use crate::stats::{RankReport, RunSummary};
 use crate::topology::Topology;
+use crate::trace::{RunTrace, TraceConfig};
 use crate::Comm;
 
 /// Configuration of one simulated run.
@@ -21,6 +22,9 @@ pub struct ClusterConfig {
     /// Stack size per rank-thread. Rank bodies are shallow; a small
     /// stack keeps thousands of simulated ranks cheap.
     pub stack_bytes: usize,
+    /// Span/event recording; [`TraceConfig::Off`] (the default) records
+    /// nothing and never perturbs virtual time.
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -36,6 +40,7 @@ impl ClusterConfig {
             cost: CostModel::supermuc_phase2(),
             fault: FaultPlan::default(),
             stack_bytes: 1 << 20,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -50,6 +55,7 @@ impl ClusterConfig {
             cost: CostModel::supermuc_phase2(),
             fault: FaultPlan::default(),
             stack_bytes: 1 << 20,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -65,6 +71,7 @@ impl ClusterConfig {
             cost: CostModel::supermuc_phase2(),
             fault: FaultPlan::default(),
             stack_bytes: 1 << 20,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -77,6 +84,12 @@ impl ClusterConfig {
     /// the topology when the world is built.
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Turn span/event recording on or off for the run.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -122,6 +135,15 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// A completed traced run: every rank's result and report, plus the
+/// aggregated [`RunTrace`] (empty when the config had tracing off).
+#[derive(Debug)]
+pub struct TracedRun<R> {
+    /// One `(value, report)` pair per rank, ordered by rank.
+    pub ranks: Vec<(R, RankReport)>,
+    pub trace: RunTrace,
+}
+
 /// Run `f` once per rank on its own thread; returns each rank's result
 /// and counter report ordered by rank, or a [`RunError`] naming every
 /// rank that failed.
@@ -135,7 +157,24 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Send + Sync,
 {
-    let world = World::with_fault(cfg.topology.clone(), cfg.cost.clone(), cfg.fault.clone());
+    try_run_traced(cfg, f).map(|t| t.ranks)
+}
+
+/// [`try_run`] plus the aggregated per-rank trace. With
+/// [`TraceConfig::Off`] the trace is empty and the run is bit-identical
+/// to [`try_run`]; with [`TraceConfig::On`] every rank's spans and
+/// events are collected into a [`RunTrace`] ready for export.
+pub fn try_run_traced<R, F>(cfg: &ClusterConfig, f: F) -> Result<TracedRun<R>, RunError>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    let world = World::with_config(
+        cfg.topology.clone(),
+        cfg.cost.clone(),
+        cfg.fault.clone(),
+        cfg.trace,
+    );
     let p = cfg.ranks();
     let root = CommState::new(world.clone(), (0..p).collect());
     let f = &f;
@@ -178,14 +217,17 @@ where
     for r in results {
         match r {
             Ok((v, report)) => {
-                completed_reports.push(report);
+                completed_reports.push(report.clone());
                 ok.push((v, report));
             }
             Err(e) => failed.push(e),
         }
     }
     if failed.is_empty() {
-        Ok(ok)
+        Ok(TracedRun {
+            ranks: ok,
+            trace: RunTrace::collect(&world),
+        })
     } else {
         failed.sort_by_key(|e| e.rank());
         Err(RunError {
@@ -226,6 +268,15 @@ where
     try_run(cfg, f).unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// [`run`] plus the aggregated trace; panics on rank failure.
+pub fn run_traced<R, F>(cfg: &ClusterConfig, f: F) -> TracedRun<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    try_run_traced(cfg, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Convenience: run and fold the rank reports into a [`RunSummary`].
 pub fn run_summarized<R, F>(cfg: &ClusterConfig, f: F) -> (Vec<R>, RunSummary)
 where
@@ -233,7 +284,7 @@ where
     F: Fn(&Comm) -> R + Send + Sync,
 {
     let pairs = run(cfg, f);
-    let reports: Vec<RankReport> = pairs.iter().map(|(_, r)| *r).collect();
+    let reports: Vec<RankReport> = pairs.iter().map(|(_, r)| r.clone()).collect();
     let values = pairs.into_iter().map(|(v, _)| v).collect();
     (values, RunSummary::from_reports(&reports))
 }

@@ -17,6 +17,7 @@ use crate::cost::CostModel;
 use crate::fault::{FaultPlan, RankAbort, RankError};
 use crate::stats::RankLocal;
 use crate::topology::Topology;
+use crate::trace::{TraceConfig, TraceSink};
 
 /// How long a blocked rank sleeps between poison checks. Purely a
 /// liveness bound for error propagation; correctness never depends on it.
@@ -33,6 +34,9 @@ pub struct World {
     pub poison: AtomicBool,
     /// Per-global-rank clock and counters.
     pub locals: Vec<Arc<RankLocal>>,
+    /// Per-global-rank trace sinks; `None` when tracing is off, so the
+    /// record paths reduce to one `Option` check.
+    pub traces: Option<Vec<TraceSink>>,
 }
 
 impl World {
@@ -41,16 +45,31 @@ impl World {
     }
 
     pub fn with_fault(topology: Topology, cost: CostModel, fault: FaultPlan) -> Arc<Self> {
+        Self::with_config(topology, cost, fault, TraceConfig::Off)
+    }
+
+    pub fn with_config(
+        topology: Topology,
+        cost: CostModel,
+        fault: FaultPlan,
+        trace: TraceConfig,
+    ) -> Arc<Self> {
         fault.validate(topology.ranks());
         let locals = (0..topology.ranks())
             .map(|_| Arc::new(RankLocal::default()))
             .collect();
+        let traces = trace.is_on().then(|| {
+            (0..topology.ranks())
+                .map(|_| TraceSink::default())
+                .collect()
+        });
         Arc::new(Self {
             topology,
             cost,
             fault,
             poison: AtomicBool::new(false),
             locals,
+            traces,
         })
     }
 

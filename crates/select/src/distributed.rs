@@ -45,6 +45,9 @@ pub fn dselect_with_stats<K>(comm: &Comm, local: &[K], k: u64) -> (K, SelectStat
 where
     K: Ord + Copy + Send + Sync + 'static,
 {
+    // One span covers the whole selection; the RAII guard closes it on
+    // every return path (including the gather fast path).
+    let _sp = comm.span("dselect");
     let elem = std::mem::size_of::<K>() as u64;
     let mut active: Vec<K> = local.to_vec();
     comm.charge(Work::MoveBytes(active.len() as u64 * elem));

@@ -32,8 +32,8 @@ fn main() {
         arr.fence(comm);
 
         // nth_element / median work without sorting...
-        let med_before = median(comm, &arr);
-        let p10 = nth_element(comm, &arr, (arr.global_len() as u64) / 10);
+        let med_before = median(comm, &arr).expect("array is non-empty");
+        let p10 = nth_element(comm, &arr, (arr.global_len() as u64) / 10).expect("k within range");
 
         // ...and the array can be sorted in place, std::sort-style.
         let stats = sort(comm, &arr);

@@ -12,13 +12,8 @@ use dhs::baselines::{
     ams_sort, bitonic_sort, hss_sort, hyksort, psrs, sample_sort, AmsConfig, HssConfig,
     HyksortConfig, PsrsConfig, SampleSortConfig,
 };
-use dhs::core::{
-    global_fingerprint, histogram_sort, histogram_sort_two_level, verify_sorted, ExchangeStrategy,
-    LocalSort, MergeAlgo, Partitioning, SortConfig, SortOutcome, SortStats,
-};
-use dhs::runtime::{run, ClusterConfig, RankReport, RunSummary};
-use dhs::select::dselect;
-use dhs::workloads::{rank_local_keys, Distribution, Layout};
+use dhs::core::global_fingerprint;
+use dhs::prelude::*;
 use dhs_bench::Args;
 
 fn main() {
@@ -43,6 +38,7 @@ fn main() {
                  \x20        few-distinct|all-equal --layout balanced|sparse|ramp\n\
                  \x20        --eps F --merge resort|tournament|binary|heap|funnel\n\
                  \x20        --local-sort comparison|radix --groups N --seed N --verify\n\
+                 \x20        --trace out.json --trace-format chrome|summary\n\
                  select   --ranks N --nper N --k N --dist ... --seed N\n\
                  topology --ranks N"
             );
@@ -83,39 +79,43 @@ fn layout_of(args: &Args) -> Layout {
 }
 
 fn sort_config(args: &Args) -> SortConfig {
-    SortConfig {
-        epsilon: args.get("eps", 0.0),
-        partitioning: match args.raw("partitioning").unwrap_or("perfect") {
+    let mut builder = SortConfig::builder()
+        .epsilon(args.get("eps", 0.0))
+        .partitioning(match args.raw("partitioning").unwrap_or("perfect") {
             "perfect" => Partitioning::Perfect,
             "balanced" => Partitioning::Balanced,
             other => panic!("unknown partitioning {other}"),
-        },
-        merge: match args.raw("merge").unwrap_or("resort") {
+        })
+        .merge(match args.raw("merge").unwrap_or("resort") {
             "resort" => MergeAlgo::Resort,
             "tournament" => MergeAlgo::TournamentTree,
             "binary" => MergeAlgo::BinaryTree,
             "heap" => MergeAlgo::Heap,
             "funnel" => MergeAlgo::Funnel,
             other => panic!("unknown merge engine {other}"),
-        },
-        exchange: if args.has("pairwise") {
+        })
+        .exchange(if args.has("pairwise") {
             ExchangeStrategy::PairwiseMerge {
                 overlap: args.has("overlap"),
             }
         } else {
             ExchangeStrategy::AllToAllv
-        },
-        local_sort: match args.raw("local-sort").unwrap_or("comparison") {
+        })
+        .local_sort(match args.raw("local-sort").unwrap_or("comparison") {
             "comparison" => LocalSort::Comparison,
             "radix" => LocalSort::Radix,
             other => panic!("unknown local sort {other}"),
-        },
-        unique_transform: args.has("unique"),
-        max_splitter_iterations: args.raw("max-iters").map(|s| {
-            s.parse()
-                .unwrap_or_else(|_| panic!("--max-iters expects a positive integer"))
-        }),
+        })
+        .unique_transform(args.has("unique"));
+    if let Some(iters) = args.raw("max-iters") {
+        let iters: u32 = iters
+            .parse()
+            .unwrap_or_else(|_| panic!("--max-iters expects a positive integer"));
+        builder = builder.max_splitter_iterations(iters);
     }
+    builder
+        .build()
+        .unwrap_or_else(|e| panic!("invalid sort configuration: {e}"))
 }
 
 fn cmd_sort(args: &Args) {
@@ -125,10 +125,14 @@ fn cmd_sort(args: &Args) {
     let algo = args.raw("algo").unwrap_or("histogram").to_string();
     let groups: usize = args.get("groups", 0);
     let verify = args.has("verify");
+    let trace_path = args.raw("trace").map(str::to_string);
     let dist = dist_of(args);
     let layout = layout_of(args);
     let cfg = sort_config(args);
-    let cluster = ClusterConfig::supermuc_phase2(ranks);
+    let mut cluster = ClusterConfig::supermuc_phase2(ranks);
+    if trace_path.is_some() {
+        cluster = cluster.with_trace(TraceConfig::On);
+    }
     let n_total = ranks * nper;
 
     println!(
@@ -139,9 +143,14 @@ fn cmd_sort(args: &Args) {
 
     type RankOutcome = (Option<SortStats>, usize, bool);
     let algo2 = algo.clone();
-    let out: Vec<(RankOutcome, RankReport)> = run(&cluster, move |comm| {
+    let traced = run_traced(&cluster, move |comm| {
         let mut local = rank_local_keys(dist, layout, n_total, ranks, comm.rank(), seed);
-        let fp = verify.then(|| global_fingerprint(comm, &local));
+        let fp = verify.then(|| {
+            let sp = comm.span("fingerprint");
+            let fp = global_fingerprint(comm, &local);
+            sp.finish();
+            fp
+        });
         let stats = match algo2.as_str() {
             "histogram" => Some(histogram_sort(comm, &mut local, &cfg)),
             "two-level" => Some(histogram_sort_two_level(comm, &mut local, &cfg, groups)),
@@ -172,13 +181,19 @@ fn cmd_sort(args: &Args) {
             other => panic!("unknown algorithm {other}"),
         };
         let ok = match fp {
-            Some((fp, n)) => verify_sorted(comm, &local, fp, n).is_none(),
+            Some((fp, n)) => {
+                let sp = comm.span("verify");
+                let ok = verify_sorted(comm, &local, fp, n).is_none();
+                sp.finish();
+                ok
+            }
             None => true,
         };
         (stats, local.len(), ok)
     });
+    let out: Vec<(RankOutcome, RankReport)> = traced.ranks;
 
-    let reports: Vec<RankReport> = out.iter().map(|(_, r)| *r).collect();
+    let reports: Vec<RankReport> = out.iter().map(|(_, r)| r.clone()).collect();
     let summary = RunSummary::from_reports(&reports);
     let max_keys = out.iter().map(|((_, n, _), _)| *n).max().unwrap_or(0);
     let min_keys = out.iter().map(|((_, n, _), _)| *n).min().unwrap_or(0);
@@ -210,6 +225,15 @@ fn cmd_sort(args: &Args) {
                  after iteration cap at {iterations})"
             ),
         }
+    }
+    if let Some(path) = &trace_path {
+        let json = match args.raw("trace-format").unwrap_or("chrome") {
+            "chrome" => traced.trace.to_chrome_json(),
+            "summary" => traced.trace.to_summary_json(),
+            other => panic!("unknown trace format {other} (expected chrome|summary)"),
+        };
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+        println!("trace              : {path}");
     }
     if verify {
         let ok = out.iter().all(|((_, _, ok), _)| *ok);

@@ -1,0 +1,42 @@
+//! `trace_check` — validate a Chrome trace-event JSON file produced by
+//! `dhs sort --trace`.
+//!
+//! ```sh
+//! dhs sort --ranks 4 --trace /tmp/trace.json
+//! trace_check /tmp/trace.json
+//! ```
+//!
+//! Exits 0 when the file parses as a trace-event JSON object and every
+//! rank's same-depth spans are monotone and non-overlapping; exits 1
+//! with a diagnostic otherwise. Used by CI as the trace smoke check.
+
+use dhs::runtime::validate_chrome_trace;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_check <trace.json>");
+            std::process::exit(2);
+        }
+    };
+    let input = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_chrome_trace(&input) {
+        Ok(check) => {
+            println!(
+                "{path}: OK ({} ranks, {} spans, {} events)",
+                check.ranks, check.complete_events, check.instant_events
+            );
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: INVALID: {e}");
+            std::process::exit(1);
+        }
+    }
+}

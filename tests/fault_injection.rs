@@ -98,10 +98,10 @@ proptest! {
         seed in 0u64..50_000,
         loss_pct in 1u64..35,
     ) {
-        let cfg = SortConfig {
-            exchange: ExchangeStrategy::PairwiseMerge { overlap: false },
-            ..SortConfig::default()
-        };
+        let cfg = SortConfig::builder()
+            .exchange(ExchangeStrategy::PairwiseMerge { overlap: false })
+            .build()
+            .expect("valid config");
         let sort_under = |cluster: &ClusterConfig| {
             let cfg = cfg.clone();
             let out = run(cluster, move |comm| {
@@ -213,10 +213,10 @@ fn faulty_sort_run_is_reproducible() {
         });
     let go = || {
         let cluster = ClusterConfig::supermuc_phase2(p).with_fault(plan.clone());
-        let cfg = SortConfig {
-            exchange: ExchangeStrategy::PairwiseMerge { overlap: false },
-            ..SortConfig::default()
-        };
+        let cfg = SortConfig::builder()
+            .exchange(ExchangeStrategy::PairwiseMerge { overlap: false })
+            .build()
+            .expect("valid config");
         run_summarized(&cluster, move |comm| {
             let mut local = rank_local_keys(
                 Distribution::paper_uniform(),

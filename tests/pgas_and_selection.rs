@@ -46,8 +46,8 @@ fn nth_element_equals_sorted_index_for_floats() {
             .collect();
         let arr = GlobalArray::from_local(comm, local);
         arr.fence(comm);
-        let q1 = nth_element(comm, &arr, (arr.global_len() as u64) / 4);
-        let med = median(comm, &arr);
+        let q1 = nth_element(comm, &arr, (arr.global_len() as u64) / 4).expect("k within range");
+        let med = median(comm, &arr).expect("array is non-empty");
         sort(comm, &arr);
         let q1_sorted = arr.get(comm, arr.global_len() / 4);
         let med_sorted = arr.get(comm, (arr.global_len() - 1) / 2);

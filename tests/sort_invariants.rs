@@ -143,10 +143,10 @@ proptest! {
             Layout::SingleRank { holder } => Layout::SingleRank { holder: holder % p },
             other => other,
         };
-        let cfg = SortConfig {
-            epsilon: [0.0, 0.01, 0.1][eps_pm as usize],
-            ..SortConfig::default()
-        };
+        let cfg = SortConfig::builder()
+            .epsilon([0.0, 0.01, 0.1][eps_pm as usize])
+            .build()
+            .expect("valid config");
         sort_and_verify(p, n_total, dist, layout, &cfg, seed);
     }
 
@@ -157,7 +157,10 @@ proptest! {
         dist in arb_distribution(),
         seed in 0u64..1_000_000,
     ) {
-        let cfg = SortConfig { partitioning: Partitioning::Balanced, ..SortConfig::default() };
+        let cfg = SortConfig::builder()
+            .partitioning(Partitioning::Balanced)
+            .build()
+            .expect("valid config");
         let sizes = sort_and_verify(p, n_total, dist, Layout::Balanced, &cfg, seed);
         prop_assert_eq!(sizes.iter().sum::<usize>(), n_total);
     }
@@ -171,7 +174,10 @@ proptest! {
         // Heavy duplicates: the transform's motivating case.
         let dist = Distribution::FewDistinct { k: 4 };
         let plain = SortConfig::default();
-        let unique = SortConfig { unique_transform: true, ..SortConfig::default() };
+        let unique = SortConfig::builder()
+            .unique_transform(true)
+            .build()
+            .expect("valid config");
         let a = sort_and_verify(p, n_total, dist, Layout::Balanced, &plain, seed);
         let b = sort_and_verify(p, n_total, dist, Layout::Balanced, &unique, seed);
         prop_assert_eq!(a, b);
@@ -218,10 +224,10 @@ proptest! {
         overlap: bool,
     ) {
         let flat = SortConfig::default();
-        let pairwise = SortConfig {
-            exchange: dhs::core::ExchangeStrategy::PairwiseMerge { overlap },
-            ..SortConfig::default()
-        };
+        let pairwise = SortConfig::builder()
+            .exchange(dhs::core::ExchangeStrategy::PairwiseMerge { overlap })
+            .build()
+            .expect("valid config");
         let a = sort_and_verify(p, n_total, dist, Layout::Balanced, &flat, seed);
         let b = sort_and_verify(p, n_total, dist, Layout::Balanced, &pairwise, seed);
         prop_assert_eq!(a, b);
@@ -234,10 +240,10 @@ proptest! {
         dist in arb_distribution(),
         seed in 0u64..1_000_000,
     ) {
-        let radix = SortConfig {
-            local_sort: dhs::core::LocalSort::Radix,
-            ..SortConfig::default()
-        };
+        let radix = SortConfig::builder()
+            .local_sort(dhs::core::LocalSort::Radix)
+            .build()
+            .expect("valid config");
         let a = sort_and_verify(p, n_total, dist, Layout::Balanced, &SortConfig::default(), seed);
         let b = sort_and_verify(p, n_total, dist, Layout::Balanced, &radix, seed);
         prop_assert_eq!(a, b);
@@ -247,10 +253,10 @@ proptest! {
 #[test]
 fn all_merge_engines_integrate() {
     for merge in MergeAlgo::ALL {
-        let cfg = SortConfig {
-            merge,
-            ..SortConfig::default()
-        };
+        let cfg = SortConfig::builder()
+            .merge(merge)
+            .build()
+            .expect("valid config");
         sort_and_verify(
             6,
             3000,
