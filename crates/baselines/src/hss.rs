@@ -103,8 +103,8 @@ pub fn hss_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &HssConfig) -> Alg
     stats.exchange_ns = sp_t2.finish();
 
     let sp_t3 = comm.span("sort_merge");
-    let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
-    let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
+    let n_recv = received.total_len() as u64;
+    let ways = received.runs().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
         MergeAlgo::Resort => comm.charge(Work::SortElems {
             n: n_recv,
@@ -116,7 +116,7 @@ pub fn hss_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &HssConfig) -> Alg
             elem_bytes: elem,
         }),
     }
-    *local = kway_merge(cfg.merge, &received);
+    *local = kway_merge(cfg.merge, &received.as_slices());
     stats.sort_merge_ns = sort_in_ns + (sp_t3.finish());
     stats.n_out = local.len();
     stats

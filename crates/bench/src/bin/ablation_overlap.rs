@@ -42,21 +42,21 @@ fn merged_exchange_time(p: usize, n_per: usize, seed: u64, strategy: &str) -> f6
         match strategy.as_str() {
             "alltoallv+resort" | "alltoallv+tournament" => {
                 let received = exchange_data(comm, &local, &plan);
-                let n: u64 = received.iter().map(|r| r.len() as u64).sum();
-                let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
+                let n = received.total_len() as u64;
+                let ways = received.runs().filter(|r| !r.is_empty()).count() as u64;
                 if strategy.ends_with("resort") {
                     comm.charge(Work::SortElems {
                         n,
                         elem_bytes: elem,
                     });
-                    let _ = kway_merge(MergeAlgo::Resort, &received);
+                    let _ = kway_merge(MergeAlgo::Resort, &received.as_slices());
                 } else {
                     comm.charge(Work::MergeElems {
                         n,
                         ways: ways.max(2),
                         elem_bytes: elem,
                     });
-                    let _ = kway_merge(MergeAlgo::TournamentTree, &received);
+                    let _ = kway_merge(MergeAlgo::TournamentTree, &received.as_slices());
                 }
             }
             "pairwise" => {

@@ -1,0 +1,320 @@
+//! Wall-clock (host time) harness — the one place in the repo where
+//! real time is measured on purpose. Every other crate runs purely on
+//! the virtual clock; this binary establishes the *host-side*
+//! performance trajectory the zero-copy work is judged against, and
+//! that every later perf PR extends.
+//!
+//! Three benchmark groups, written to `BENCH_wallclock.json`
+//! (schema `dhs-wallclock/v1`) at the repo root:
+//!
+//! * `full_sort` — end-to-end histogram sort at several (p, n/p)
+//!   points: host seconds per run, plus the (unchanged) virtual
+//!   makespan for cross-reference.
+//! * `exchange_ab` — the exchange superstep A/B: legacy owning path
+//!   (`exchange_data_vecs`: per-bucket `.to_vec()` + boxed
+//!   `alltoallv`) versus the zero-copy path (`exchange_data`:
+//!   borrowed slices into one contiguous `RecvRuns` buffer). The
+//!   largest configuration is the exchange-dominated one the
+//!   ≥2× acceptance target refers to.
+//! * `collectives_ab` — owning versus shared read-only collectives
+//!   (`allreduce_sum` / `exscan_sum_vec`) at histogram-like widths.
+//!
+//! Flags: `--smoke` (tiny grid for CI), `--out <path>`,
+//! `--reps <n>`.
+
+use std::fmt::Write as _;
+use std::time::Instant; // lint: allow-wall-clock
+
+use dhs_bench::experiment::{run_distributed_sort, SortAlgo};
+use dhs_bench::Args;
+use dhs_core::exchange::{exchange_data, exchange_data_vecs, plan_exchange};
+use dhs_core::{find_splitters, perfect_targets, SortConfig};
+use dhs_runtime::{run, ClusterConfig};
+use dhs_workloads::{rank_local_keys, Distribution, Layout};
+
+/// Min and median of a sample of host-seconds.
+fn min_median(mut xs: Vec<f64>) -> (f64, f64) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = xs.first().copied().unwrap_or(0.0);
+    let median = if xs.is_empty() { 0.0 } else { xs[xs.len() / 2] };
+    (min, median)
+}
+
+fn secs(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64()
+}
+
+struct FullSortCase {
+    label: String,
+    p: usize,
+    n_per: usize,
+    reps: usize,
+    host_min_s: f64,
+    host_median_s: f64,
+    virtual_makespan_s: f64,
+}
+
+fn bench_full_sort(grid: &[(usize, usize)], reps: usize) -> Vec<FullSortCase> {
+    let mut out = Vec::new();
+    for &(p, n_per) in grid {
+        let cluster = ClusterConfig::supermuc_phase2(p);
+        let algo = SortAlgo::Histogram(SortConfig::default());
+        let mut times = Vec::with_capacity(reps);
+        let mut makespan = 0.0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = run_distributed_sort(
+                &cluster,
+                &algo,
+                Distribution::paper_uniform(),
+                Layout::Balanced,
+                p * n_per,
+                7,
+            );
+            times.push(secs(t0));
+            makespan = r.makespan_s;
+        }
+        let (host_min_s, host_median_s) = min_median(times);
+        println!(
+            "full_sort      p={p:<4} n/p={n_per:<7} host {host_median_s:>9.4}s (min {host_min_s:.4}s)"
+        );
+        out.push(FullSortCase {
+            label: format!("p{p}_n{n_per}"),
+            p,
+            n_per,
+            reps,
+            host_min_s,
+            host_median_s,
+            virtual_makespan_s: makespan,
+        });
+    }
+    out
+}
+
+struct AbCase {
+    label: String,
+    p: usize,
+    n_per: usize,
+    reps: usize,
+    legacy_min_s: f64,
+    legacy_median_s: f64,
+    zero_copy_min_s: f64,
+    zero_copy_median_s: f64,
+}
+
+impl AbCase {
+    fn speedup(&self) -> f64 {
+        self.legacy_median_s / self.zero_copy_median_s.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// A/B the data-exchange superstep, measured through to the form every
+/// consumer needs: one contiguous, merge-ready buffer of received keys.
+/// Legacy is the pre-zero-copy data path (per-bucket `to_vec`, boxed
+/// `alltoallv`, flatten of the received `Vec<Vec<K>>`); zero-copy is
+/// borrowed send slices into `RecvRuns` + `into_data()` (a no-op).
+/// Both paths run inside the same simulated cluster; each rep is timed
+/// between barriers on every rank and rank 0's samples are reported
+/// (all ranks rendezvous in the collective, so rank 0 observes the
+/// full cost).
+fn bench_exchange(grid: &[(usize, usize)], reps: usize) -> Vec<AbCase> {
+    let mut out = Vec::new();
+    for &(p, n_per) in grid {
+        let results = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+            let mut local = rank_local_keys(
+                Distribution::paper_uniform(),
+                Layout::Balanced,
+                p * n_per,
+                p,
+                comm.rank(),
+                7,
+            );
+            local.sort_unstable();
+            let caps: Vec<usize> = comm.allgather(local.len());
+            let splitters = find_splitters(comm, &local, &perfect_targets(&caps), 0);
+            let plan = plan_exchange(comm, &local, &splitters);
+
+            let mut legacy = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                comm.barrier();
+                let t = Instant::now();
+                let received = exchange_data_vecs(comm, &local, &plan);
+                let flat: Vec<u64> = received.into_iter().flatten().collect();
+                std::hint::black_box(&flat);
+                legacy.push(secs(t));
+            }
+
+            let mut zero_copy = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                comm.barrier();
+                let t = Instant::now();
+                let received = exchange_data(comm, &local, &plan);
+                let flat: Vec<u64> = received.into_data();
+                std::hint::black_box(&flat);
+                zero_copy.push(secs(t));
+            }
+            (legacy, zero_copy)
+        });
+        let (legacy, zero_copy) = results[0].0.clone();
+        let (legacy_min_s, legacy_median_s) = min_median(legacy);
+        let (zero_copy_min_s, zero_copy_median_s) = min_median(zero_copy);
+        let case = AbCase {
+            label: format!("p{p}_n{n_per}"),
+            p,
+            n_per,
+            reps,
+            legacy_min_s,
+            legacy_median_s,
+            zero_copy_min_s,
+            zero_copy_median_s,
+        };
+        println!(
+            "exchange_ab    p={p:<4} n/p={n_per:<7} legacy {legacy_median_s:>9.6}s  zero-copy {zero_copy_median_s:>9.6}s  speedup {:.2}x",
+            case.speedup()
+        );
+        out.push(case);
+    }
+    out
+}
+
+/// A/B the owning vs shared read-only collectives at a histogram-like
+/// width (2 counters per splitter).
+fn bench_collectives(grid: &[(usize, usize)], reps: usize) -> Vec<AbCase> {
+    let mut out = Vec::new();
+    for &(p, width) in grid {
+        let results = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+            let xs: Vec<u64> = (0..width as u64).collect();
+
+            comm.barrier();
+            let t_legacy = Instant::now();
+            for _ in 0..reps {
+                let r = comm.allreduce_sum(xs.clone());
+                std::hint::black_box(&r);
+                let e = comm.exscan_sum_vec(xs.clone());
+                std::hint::black_box(&e);
+            }
+            comm.barrier();
+            let legacy_s = secs(t_legacy);
+
+            let t_shared = Instant::now();
+            for _ in 0..reps {
+                let r = comm.allreduce_sum_shared(&xs);
+                std::hint::black_box(&r);
+                let e = comm.exscan_sum_vec_shared(&xs);
+                std::hint::black_box(&e);
+            }
+            comm.barrier();
+            let shared_s = secs(t_shared);
+            (legacy_s, shared_s)
+        });
+        let (legacy_s, shared_s) = results[0].0;
+        let legacy_per = legacy_s / reps as f64;
+        let shared_per = shared_s / reps as f64;
+        let case = AbCase {
+            label: format!("p{p}_w{width}"),
+            p,
+            n_per: width,
+            reps,
+            legacy_min_s: legacy_per,
+            legacy_median_s: legacy_per,
+            zero_copy_min_s: shared_per,
+            zero_copy_median_s: shared_per,
+        };
+        println!(
+            "collectives_ab p={p:<4} width={width:<5} owning {legacy_per:>9.6}s  shared {shared_per:>9.6}s  speedup {:.2}x",
+            case.speedup()
+        );
+        out.push(case);
+    }
+    out
+}
+
+fn json_ab(cases: &[AbCase], a_key: &str, b_key: &str) -> String {
+    let mut s = String::new();
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      {{\"label\": \"{}\", \"p\": {}, \"n_per\": {}, \"reps\": {}, \
+             \"{a_key}\": {{\"min_s\": {:.9}, \"median_s\": {:.9}}}, \
+             \"{b_key}\": {{\"min_s\": {:.9}, \"median_s\": {:.9}}}, \
+             \"speedup\": {:.4}}}{}",
+            c.label,
+            c.p,
+            c.n_per,
+            c.reps,
+            c.legacy_min_s,
+            c.legacy_median_s,
+            c.zero_copy_min_s,
+            c.zero_copy_median_s,
+            c.speedup(),
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    s
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke") || args.quick();
+    let out_path = args
+        .raw("out")
+        .unwrap_or("BENCH_wallclock.json")
+        .to_string();
+
+    let (sort_grid, sort_reps): (Vec<(usize, usize)>, usize) = if smoke {
+        (vec![(4, 1024), (8, 4096)], 2)
+    } else {
+        (vec![(8, 4096), (16, 32768), (32, 131072)], 3)
+    };
+    let (ex_grid, ex_reps): (Vec<(usize, usize)>, usize) = if smoke {
+        (vec![(8, 4096)], 3)
+    } else {
+        (vec![(4, 1048576), (8, 262144), (16, 65536)], 5)
+    };
+    let (coll_grid, coll_reps): (Vec<(usize, usize)>, usize) = if smoke {
+        (vec![(8, 64)], 20)
+    } else {
+        (vec![(16, 64), (32, 64), (32, 4096)], 50)
+    };
+
+    println!("# wall-clock harness (host time; virtual clock unaffected)");
+    println!("# smoke = {smoke}\n");
+    let full = bench_full_sort(&sort_grid, sort_reps);
+    let exchange = bench_exchange(&ex_grid, ex_reps);
+    let collectives = bench_collectives(&coll_grid, coll_reps);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"dhs-wallclock/v1\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"groups\": [");
+    let _ = writeln!(json, "    {{\"name\": \"full_sort\", \"cases\": [");
+    for (i, c) in full.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"label\": \"{}\", \"p\": {}, \"n_per\": {}, \"reps\": {}, \
+             \"host\": {{\"min_s\": {:.9}, \"median_s\": {:.9}}}, \
+             \"virtual_makespan_s\": {:.9}}}{}",
+            c.label,
+            c.p,
+            c.n_per,
+            c.reps,
+            c.host_min_s,
+            c.host_median_s,
+            c.virtual_makespan_s,
+            if i + 1 < full.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]}},");
+    let _ = writeln!(json, "    {{\"name\": \"exchange_ab\", \"cases\": [");
+    let _ = write!(json, "{}", json_ab(&exchange, "legacy", "zero_copy"));
+    let _ = writeln!(json, "    ]}},");
+    let _ = writeln!(json, "    {{\"name\": \"collectives_ab\", \"cases\": [");
+    let _ = write!(json, "{}", json_ab(&collectives, "owning", "shared"));
+    let _ = writeln!(json, "    ]}}");
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write wallclock JSON");
+    println!("\nwrote {out_path}");
+}

@@ -12,7 +12,7 @@
 //! volume class here), then the payload moves in a single
 //! `ALL-TO-ALLV`.
 
-use dhs_runtime::{Comm, Work};
+use dhs_runtime::{Comm, RecvRuns, Work};
 
 use crate::key::Key;
 use crate::splitter::SplitterResult;
@@ -49,8 +49,8 @@ pub fn plan_exchange<K: Key>(
         searches: 2 * s as u64,
         n: n_local as u64,
     });
-    let mut lowers: Vec<u64> = Vec::with_capacity(s);
-    let mut contingents: Vec<u64> = Vec::with_capacity(s);
+    let mut lowers: Vec<u64> = comm.pool().take_u64();
+    let mut contingents: Vec<u64> = comm.pool().take_u64();
     for info in &splitters.splitters {
         let l = sorted_local.partition_point(|x| *x < info.key) as u64;
         let u = sorted_local.partition_point(|x| *x <= info.key) as u64;
@@ -64,7 +64,7 @@ pub fn plan_exchange<K: Key>(
     // ranks *before* it — one EXCLUSIVE_SCAN (which the paper names as
     // part of this step), O(P) data per rank instead of the full
     // O(P²) bound matrix.
-    let before_me = comm.exscan_sum_vec(contingents.clone());
+    let before_me = comm.exscan_sum_vec_shared(&contingents);
 
     comm.charge(Work::Compares(s as u64));
     let mut cuts = Vec::with_capacity(p + 1);
@@ -84,13 +84,38 @@ pub fn plan_exchange<K: Key>(
             cuts[i] = cuts[i - 1];
         }
     }
+    comm.pool().recycle_u64(lowers);
+    comm.pool().recycle_u64(contingents);
     ExchangePlan { cuts }
 }
 
-/// Execute the `ALL-TO-ALLV`: slice `sorted_local` by the plan and
-/// exchange. Returns the received runs ordered by source rank; each run
-/// is sorted (a contiguous slice of a sorted array).
-pub fn exchange_data<K: Key>(comm: &Comm, sorted_local: &[K], plan: &ExchangePlan) -> Vec<Vec<K>> {
+/// Execute the `ALL-TO-ALLV` zero-copy: the plan's segments of
+/// `sorted_local` are sent **in place** (borrowed slices, no bucket
+/// materialization) and received into one contiguous [`RecvRuns`]
+/// buffer whose per-source runs are sorted (contiguous slices of
+/// sorted arrays). The `MoveBytes` charge models the packing pass an
+/// MPI implementation still performs, keeping the virtual clock
+/// identical to the owning path.
+pub fn exchange_data<K: Key>(comm: &Comm, sorted_local: &[K], plan: &ExchangePlan) -> RecvRuns<K> {
+    let p = comm.size();
+    assert_eq!(plan.cuts.len(), p + 1);
+    let elem = std::mem::size_of::<K>() as u64;
+    comm.charge(Work::MoveBytes(sorted_local.len() as u64 * elem));
+    let segments: Vec<&[K]> = (0..p)
+        .map(|d| &sorted_local[plan.cuts[d]..plan.cuts[d + 1]])
+        .collect();
+    comm.alltoallv_slices(&segments)
+}
+
+/// Legacy owning exchange: materializes per-destination buckets with
+/// `.to_vec()` and moves them through the boxed `alltoallv`. Kept for
+/// A/B comparison in the wall-clock harness; [`exchange_data`] is the
+/// production path.
+pub fn exchange_data_vecs<K: Key>(
+    comm: &Comm,
+    sorted_local: &[K],
+    plan: &ExchangePlan,
+) -> Vec<Vec<K>> {
     let p = comm.size();
     assert_eq!(plan.cuts.len(), p + 1);
     let elem = std::mem::size_of::<K>() as u64;
@@ -132,8 +157,8 @@ mod tests {
             let res = find_splitters(comm, &local, &targets, 0);
             let plan = plan_exchange(comm, &local, &res);
             let received = exchange_data(comm, &local, &plan);
-            let recv_count: usize = received.iter().map(Vec::len).sum();
-            let mut merged: Vec<u64> = received.into_iter().flatten().collect();
+            let recv_count = received.total_len();
+            let mut merged: Vec<u64> = received.into_data();
             merged.sort_unstable();
             (recv_count, merged)
         });
@@ -190,7 +215,7 @@ mod tests {
             let res = find_splitters(comm, &local, &perfect_targets(&caps), 0);
             let plan = plan_exchange(comm, &local, &res);
             let received = exchange_data(comm, &local, &plan);
-            received.iter().map(Vec::len).sum::<usize>()
+            received.total_len()
         });
         assert_eq!(out[0].0, 300);
         assert_eq!(out[1].0, 0);

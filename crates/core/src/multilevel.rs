@@ -153,8 +153,8 @@ pub fn histogram_sort_two_level<K: Key>(
     stats.exchange_ns += sp.finish();
 
     let sp = comm.span("merge");
-    let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
-    let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
+    let n_recv = received.total_len() as u64;
+    let ways = received.runs().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
         dhs_merge::MergeAlgo::Resort => comm.charge(Work::SortElems {
             n: n_recv,
@@ -166,7 +166,7 @@ pub fn histogram_sort_two_level<K: Key>(
             elem_bytes: elem,
         }),
     }
-    *local = dhs_merge::kway_merge(cfg.merge, &received);
+    *local = dhs_merge::kway_merge(cfg.merge, &received.as_slices());
     stats.merge_ns += sp.finish();
     stats.n_out = local.len();
     debug_assert_eq!(

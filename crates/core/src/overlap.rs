@@ -11,7 +11,7 @@
 //! behind the *following* round's communication time (only the excess
 //! is charged), which is exactly the best case the paper argues for.
 
-use dhs_merge::merge_two;
+use dhs_merge::merge_two_into;
 use dhs_runtime::{Comm, Work};
 
 use crate::exchange::ExchangePlan;
@@ -99,6 +99,10 @@ pub fn exchange_and_merge<K: Key>(
     // Start from the chunk we keep for ourselves.
     let mut acc: Vec<K> = sorted_local[plan.cuts[me]..plan.cuts[me + 1]].to_vec();
     comm.charge(Work::MoveBytes(acc.len() as u64 * elem));
+    // Ping-pong scratch: each round merges into the spare buffer and
+    // swaps, so the rounds reuse two allocations instead of allocating
+    // a fresh result per round.
+    let mut scratch: Vec<K> = Vec::new();
 
     let mut pending_merge_ns: u64 = 0;
     for round in 0..one_factor_rounds(p) {
@@ -137,7 +141,8 @@ pub fn exchange_and_merge<K: Key>(
                 ways: 2,
                 elem_bytes: elem,
             });
-            acc = merge_two(&acc, &received);
+            merge_two_into(&acc, &received, &mut scratch);
+            std::mem::swap(&mut acc, &mut scratch);
         } else {
             pending_merge_ns = 0;
         }

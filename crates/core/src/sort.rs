@@ -410,13 +410,16 @@ fn run_pipeline<K: Key>(
             let received = exchange_data(comm, sorted_local, &plan);
             stats.exchange_ns = sp.finish();
 
-            // Phase 4: local merge of the received sorted runs.
+            // Phase 4: local merge of the received sorted runs,
+            // consumed in place from the contiguous receive buffer.
             let sp = comm.span("merge");
-            let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
-            let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
+            let n_recv = received.total_len() as u64;
+            let ways = received.runs().filter(|r| !r.is_empty()).count() as u64;
             match cfg.merge {
                 MergeAlgo::Resort => {
-                    let mut all: Vec<K> = received.into_iter().flatten().collect();
+                    // The receive buffer is already flat: re-sort it
+                    // directly, zero copies.
+                    let mut all: Vec<K> = received.into_data();
                     local_sort_exec(comm, &mut all, cfg.local_sort);
                     *sorted_local = all;
                 }
@@ -426,7 +429,7 @@ fn run_pipeline<K: Key>(
                         ways: ways.max(2),
                         elem_bytes: elem,
                     });
-                    *sorted_local = kway_merge(cfg.merge, &received);
+                    *sorted_local = kway_merge(cfg.merge, &received.as_slices());
                 }
             }
             stats.merge_ns = sp.finish();

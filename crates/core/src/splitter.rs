@@ -347,14 +347,20 @@ pub fn find_splitters_cfg<K: Key>(
             searches: 2 * active.len() as u64,
             n,
         });
-        let mut histogram: Vec<u64> = Vec::with_capacity(2 * active.len());
+        // Pooled counts buffer: every refinement round reuses the same
+        // allocation instead of growing a fresh vector.
+        let mut histogram: Vec<u64> = comm.pool().take_u64();
+        histogram.reserve(2 * active.len());
         for &(_, mid) in &mids {
             histogram.push(sorted_local.partition_point(|x| *x < mid) as u64);
             histogram.push(sorted_local.partition_point(|x| *x <= mid) as u64);
         }
 
-        // One global reduction per iteration (Alg. 3 line 8).
-        let global = comm.allreduce_sum(histogram);
+        // One global reduction per iteration (Alg. 3 line 8). The local
+        // histogram is viewed in place and the global result is one
+        // allocation shared by all ranks.
+        let global = comm.allreduce_sum_shared(&histogram);
+        comm.pool().recycle_u64(histogram);
 
         // Validate each active splitter (Alg. 3 line 9 / Alg. 2).
         for (j, &i) in active.iter().enumerate() {

@@ -1,0 +1,87 @@
+//! Allocation-count regression guard for the zero-copy exchange path.
+//!
+//! The whole point of `RecvRuns` + `BufferPool` + borrowed-slice
+//! collectives is that a full sort stops allocating O(p) vectors per
+//! superstep. This test pins that property: a counting global
+//! allocator measures every heap allocation made while a complete
+//! histogram sort runs at p=8, n/p=4096, and asserts the total stays
+//! under a recorded budget. If a future change reintroduces per-rank
+//! clones or per-bucket boxing, the count jumps far past the headroom
+//! and this fails long before a wall-clock benchmark would notice.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use dhs_core::{histogram_sort, SortConfig};
+use dhs_runtime::{run, ClusterConfig};
+
+fn keys_for(rank: usize, n: usize) -> Vec<u64> {
+    let mut x = (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .collect()
+}
+
+/// Budget = measured count (~900 at p=8, n/p=4096) plus ~40%
+/// headroom for allocator/layout drift across toolchains. The legacy
+/// path (per-bucket `to_vec`, boxed `alltoallv`, per-rank output
+/// clones) measures several times higher, so genuine regressions clear
+/// the headroom by a wide margin.
+const ALLOC_BUDGET: u64 = 1_300;
+
+#[test]
+fn full_sort_stays_within_allocation_budget() {
+    let p = 8;
+    let n_per = 4096;
+    // Thread spawning and key generation are setup, not the sort; the
+    // counter starts once every rank is inside the measured region.
+    let sizes = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+        let mut local = keys_for(comm.rank(), n_per);
+        comm.barrier();
+        if comm.rank() == 0 {
+            ALLOCATIONS.store(0, Ordering::Relaxed);
+        }
+        comm.barrier();
+        histogram_sort(comm, &mut local, &SortConfig::default());
+        comm.barrier();
+        let during = ALLOCATIONS.load(Ordering::Relaxed);
+        comm.barrier();
+        (local.len(), during)
+    });
+    let counted = sizes.iter().map(|((_, c), _)| *c).max().expect("ranks");
+    let total: usize = sizes.iter().map(|((n, _), _)| *n).sum();
+    assert_eq!(total, p * n_per, "sort must conserve keys");
+    assert!(
+        counted <= ALLOC_BUDGET,
+        "full sort at p={p}, n/p={n_per} made {counted} allocations, budget {ALLOC_BUDGET}; \
+         the zero-copy exchange path has regressed"
+    );
+}

@@ -11,23 +11,29 @@
 use std::collections::VecDeque;
 
 /// Merge sorted `runs` with a lazy funnel. Empty runs are permitted.
-pub fn funnel_merge<T: Ord + Copy>(runs: &[Vec<T>]) -> Vec<T> {
-    let total: usize = runs.iter().map(Vec::len).sum();
+/// Leaves borrow the runs, so no input data is copied up front.
+pub fn funnel_merge<T: Ord + Copy, R: AsRef<[T]>>(runs: &[R]) -> Vec<T> {
+    let total: usize = runs.iter().map(|r| r.as_ref().len()).sum();
     let mut out = Vec::with_capacity(total);
-    let mut root = Node::build(runs.iter().filter(|r| !r.is_empty()).cloned().collect());
+    let slices: Vec<&[T]> = runs
+        .iter()
+        .map(AsRef::as_ref)
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut root = Node::build(slices);
     while let Some(x) = root.pop() {
         out.push(x);
     }
     out
 }
 
-enum Node<T> {
+enum Node<'a, T> {
     Leaf {
-        run: Vec<T>,
+        run: &'a [T],
         pos: usize,
     },
     Inner {
-        children: Vec<Node<T>>,
+        children: Vec<Node<'a, T>>,
         buffer: VecDeque<T>,
         /// Burst size for refills: quadratic in the fan-in, so higher
         /// tree levels stream longer runs per touch.
@@ -36,25 +42,19 @@ enum Node<T> {
     },
 }
 
-impl<T: Ord + Copy> Node<T> {
-    fn build(runs: Vec<Vec<T>>) -> Node<T> {
+impl<'a, T: Ord + Copy> Node<'a, T> {
+    fn build(runs: Vec<&'a [T]>) -> Node<'a, T> {
         match runs.len() {
-            0 => Node::Leaf {
-                run: Vec::new(),
+            0 => Node::Leaf { run: &[], pos: 0 },
+            1 => Node::Leaf {
+                run: runs[0],
                 pos: 0,
             },
-            1 => {
-                let mut it = runs.into_iter();
-                Node::Leaf {
-                    run: it.next().expect("one run"),
-                    pos: 0,
-                }
-            }
             k => {
                 // √k-ary split into contiguous groups.
                 let arity = (k as f64).sqrt().ceil() as usize;
                 let group = k.div_ceil(arity);
-                let children: Vec<Node<T>> = runs
+                let children: Vec<Node<'a, T>> = runs
                     .chunks(group)
                     .map(|c| Node::build(c.to_vec()))
                     .collect();
@@ -187,7 +187,7 @@ mod tests {
     fn empty_and_uneven_runs() {
         let runs: Vec<Vec<u64>> = vec![vec![], vec![1, 1, 9], vec![], vec![2], vec![0, 5]];
         assert_eq!(funnel_merge(&runs), vec![0, 1, 1, 2, 5, 9]);
-        assert_eq!(funnel_merge::<u64>(&[]), Vec::<u64>::new());
+        assert_eq!(funnel_merge::<u64, Vec<u64>>(&[]), Vec::<u64>::new());
     }
 
     #[test]

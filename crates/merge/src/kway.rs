@@ -46,8 +46,10 @@ impl MergeAlgo {
 }
 
 /// Merge sorted `runs` into one sorted vector with the chosen engine.
-/// Empty runs are permitted.
-pub fn kway_merge<T: Ord + Copy>(algo: MergeAlgo, runs: &[Vec<T>]) -> Vec<T> {
+/// Empty runs are permitted. Runs are anything slice-like (`Vec<T>`,
+/// `&[T]`, the per-source views of a `RecvRuns` buffer, ...), so
+/// callers can merge received data in place without re-boxing it.
+pub fn kway_merge<T: Ord + Copy, R: AsRef<[T]>>(algo: MergeAlgo, runs: &[R]) -> Vec<T> {
     match algo {
         MergeAlgo::BinaryTree => binary_tree_merge(runs),
         MergeAlgo::TournamentTree => tournament_merge(runs),
@@ -58,10 +60,24 @@ pub fn kway_merge<T: Ord + Copy>(algo: MergeAlgo, runs: &[Vec<T>]) -> Vec<T> {
 }
 
 /// Pairwise binary merge tree: repeatedly merge adjacent pairs.
-pub fn binary_tree_merge<T: Ord + Copy>(runs: &[Vec<T>]) -> Vec<T> {
-    let mut level: Vec<Vec<T>> = runs.iter().filter(|r| !r.is_empty()).cloned().collect();
-    if level.is_empty() {
+pub fn binary_tree_merge<T: Ord + Copy, R: AsRef<[T]>>(runs: &[R]) -> Vec<T> {
+    let slices: Vec<&[T]> = runs
+        .iter()
+        .map(AsRef::as_ref)
+        .filter(|r| !r.is_empty())
+        .collect();
+    if slices.is_empty() {
         return Vec::new();
+    }
+    // First level merges the borrowed runs directly; only the merged
+    // intermediates are owned.
+    let mut level: Vec<Vec<T>> = Vec::with_capacity(slices.len().div_ceil(2));
+    let mut first = slices.chunks_exact(2);
+    for pair in &mut first {
+        level.push(crate::two_way::merge_two(pair[0], pair[1]));
+    }
+    if let [odd] = first.remainder() {
+        level.push(odd.to_vec());
     }
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len().div_ceil(2));
@@ -79,8 +95,8 @@ pub fn binary_tree_merge<T: Ord + Copy>(runs: &[Vec<T>]) -> Vec<T> {
 
 /// Tournament (winner) tree: each output element costs one root-to-leaf
 /// replay of `O(log k)` comparisons.
-pub fn tournament_merge<T: Ord + Copy>(runs: &[Vec<T>]) -> Vec<T> {
-    let total: usize = runs.iter().map(Vec::len).sum();
+pub fn tournament_merge<T: Ord + Copy, R: AsRef<[T]>>(runs: &[R]) -> Vec<T> {
+    let total: usize = runs.iter().map(|r| r.as_ref().len()).sum();
     let mut out = Vec::with_capacity(total);
     let mut tree = TournamentTree::new(runs);
     while let Some(x) = tree.pop() {
@@ -90,8 +106,9 @@ pub fn tournament_merge<T: Ord + Copy>(runs: &[Vec<T>]) -> Vec<T> {
 }
 
 /// A winner tree over `k` run cursors. Exhausted runs act as `+inf`.
-pub struct TournamentTree<'a, T> {
-    runs: &'a [Vec<T>],
+pub struct TournamentTree<'a, T, R = Vec<T>> {
+    runs: &'a [R],
+    _elem: std::marker::PhantomData<T>,
     cursors: Vec<usize>,
     /// `winners[1..leaf_base]` are internal nodes holding the run index
     /// of the subtree winner; leaves are implicit.
@@ -99,12 +116,13 @@ pub struct TournamentTree<'a, T> {
     leaf_base: usize,
 }
 
-impl<'a, T: Ord + Copy> TournamentTree<'a, T> {
-    pub fn new(runs: &'a [Vec<T>]) -> Self {
+impl<'a, T: Ord + Copy, R: AsRef<[T]>> TournamentTree<'a, T, R> {
+    pub fn new(runs: &'a [R]) -> Self {
         let k = runs.len().max(1);
         let leaf_base = k.next_power_of_two();
         let mut t = Self {
             runs,
+            _elem: std::marker::PhantomData,
             cursors: vec![0; runs.len()],
             winners: vec![usize::MAX; leaf_base],
             leaf_base,
@@ -124,7 +142,7 @@ impl<'a, T: Ord + Copy> TournamentTree<'a, T> {
         }
         self.runs
             .get(run)
-            .and_then(|r| r.get(self.cursors[run]))
+            .and_then(|r| r.as_ref().get(self.cursors[run]))
             .copied()
     }
 
@@ -182,20 +200,21 @@ impl<'a, T: Ord + Copy> TournamentTree<'a, T> {
 }
 
 /// Binary-heap k-way merge.
-pub fn heap_merge<T: Ord + Copy>(runs: &[Vec<T>]) -> Vec<T> {
+pub fn heap_merge<T: Ord + Copy, R: AsRef<[T]>>(runs: &[R]) -> Vec<T> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let total: usize = runs.iter().map(Vec::len).sum();
+    let total: usize = runs.iter().map(|r| r.as_ref().len()).sum();
     let mut out = Vec::with_capacity(total);
     let mut heap: BinaryHeap<Reverse<(T, usize, usize)>> = runs
         .iter()
+        .map(AsRef::as_ref)
         .enumerate()
         .filter(|(_, r)| !r.is_empty())
         .map(|(i, r)| Reverse((r[0], i, 0)))
         .collect();
     while let Some(Reverse((x, run, idx))) = heap.pop() {
         out.push(x);
-        if let Some(&next) = runs[run].get(idx + 1) {
+        if let Some(&next) = runs[run].as_ref().get(idx + 1) {
             heap.push(Reverse((next, run, idx + 1)));
         }
     }
@@ -204,8 +223,8 @@ pub fn heap_merge<T: Ord + Copy>(runs: &[Vec<T>]) -> Vec<T> {
 
 /// Concatenate and re-sort (the strategy the paper's implementation
 /// uses for the final merge phase).
-pub fn resort_merge<T: Ord + Copy>(runs: &[Vec<T>]) -> Vec<T> {
-    let mut out: Vec<T> = runs.iter().flatten().copied().collect();
+pub fn resort_merge<T: Ord + Copy, R: AsRef<[T]>>(runs: &[R]) -> Vec<T> {
+    let mut out: Vec<T> = runs.iter().flat_map(|r| r.as_ref()).copied().collect();
     out.sort_unstable();
     out
 }
@@ -261,7 +280,7 @@ mod tests {
     #[test]
     fn no_runs_at_all() {
         for algo in MergeAlgo::ALL {
-            assert_eq!(kway_merge::<u64>(algo, &[]), Vec::<u64>::new());
+            assert_eq!(kway_merge::<u64, Vec<u64>>(algo, &[]), Vec::<u64>::new());
         }
     }
 

@@ -1,0 +1,218 @@
+//! Zero-copy payload containers for the communicator layer.
+//!
+//! [`RecvRuns`] is the contiguous receive side of a personalized
+//! all-to-all: one flat buffer plus `(counts, displs)` offsets — the
+//! `MPI_Alltoallv` memory layout. [`SharedSlice`] is a rank's view into
+//! a collectively-owned vector (one allocation shared by all ranks of a
+//! communicator instead of one clone per rank). [`BufferPool`] recycles
+//! scratch vectors across the O(log P) histogram rounds of a sort.
+
+use std::cell::RefCell;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Variable-length per-source runs received into one contiguous buffer.
+///
+/// `run(s)` is the data sent by rank `s`: `data[displs[s]..displs[s] +
+/// counts[s]]`. Runs are ordered by source rank, so a sorted-input
+/// exchange yields `p` sorted runs ready for a k-way merge without any
+/// intermediate `Vec<Vec<T>>` materialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvRuns<T> {
+    data: Vec<T>,
+    counts: Vec<usize>,
+    displs: Vec<usize>,
+}
+
+impl<T> RecvRuns<T> {
+    /// Build from a flat buffer and per-source counts; displacements are
+    /// the exclusive prefix sums of `counts`.
+    pub fn from_parts(data: Vec<T>, counts: Vec<usize>) -> Self {
+        let mut displs = Vec::with_capacity(counts.len());
+        let mut off = 0usize;
+        for &c in &counts {
+            displs.push(off);
+            off += c;
+        }
+        assert_eq!(off, data.len(), "counts must cover the buffer exactly");
+        Self {
+            data,
+            counts,
+            displs,
+        }
+    }
+
+    /// Number of source runs (the communicator size).
+    pub fn num_runs(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total received elements.
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Elements received from rank `src`.
+    pub fn count(&self, src: usize) -> usize {
+        self.counts[src]
+    }
+
+    /// Per-source element counts, ordered by source rank.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Byte-style displacements: `run(s)` starts at `displs()[s]`.
+    pub fn displs(&self) -> &[usize] {
+        &self.displs
+    }
+
+    /// The run received from rank `src`.
+    pub fn run(&self, src: usize) -> &[T] {
+        &self.data[self.displs[src]..self.displs[src] + self.counts[src]]
+    }
+
+    /// All runs as borrowed slices, ordered by source rank.
+    pub fn as_slices(&self) -> Vec<&[T]> {
+        (0..self.num_runs()).map(|s| self.run(s)).collect()
+    }
+
+    /// Iterate the runs in source-rank order.
+    pub fn runs(&self) -> impl Iterator<Item = &[T]> {
+        (0..self.num_runs()).map(|s| self.run(s))
+    }
+
+    /// The flat buffer (all runs concatenated in source-rank order).
+    pub fn as_flat(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Take the flat buffer without copying.
+    pub fn into_data(self) -> Vec<T> {
+        self.data
+    }
+}
+
+/// A rank's window into a vector owned collectively by all ranks.
+///
+/// Produced by scan-style collectives: the combine computes one flat
+/// `p × width` result, and every rank gets an [`Arc`] plus its own
+/// `[start, start + len)` range — zero per-rank clones. Dereferences to
+/// `&[T]`.
+#[derive(Debug, Clone)]
+pub struct SharedSlice<T> {
+    buf: Arc<Vec<T>>,
+    start: usize,
+    len: usize,
+}
+
+impl<T> SharedSlice<T> {
+    pub fn new(buf: Arc<Vec<T>>, start: usize, len: usize) -> Self {
+        assert!(start + len <= buf.len(), "view out of bounds");
+        Self { buf, start, len }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T> Deref for SharedSlice<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.buf[self.start..self.start + self.len]
+    }
+}
+
+impl<T> AsRef<[T]> for SharedSlice<T> {
+    fn as_ref(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T: Clone> SharedSlice<T> {
+    /// Copy the viewed range into an owned vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_ref().to_vec()
+    }
+}
+
+/// Free lists of scratch buffers, one pool per communicator handle.
+///
+/// A histogram-splitter run performs O(log P) refinement rounds, each
+/// of which used to allocate a fresh counts vector; the pool hands the
+/// same allocation back every round. Single-threaded by construction
+/// ([`crate::Comm`] is owned by one rank-thread), hence `RefCell`.
+#[derive(Default)]
+pub struct BufferPool {
+    u64s: RefCell<Vec<Vec<u64>>>,
+}
+
+impl BufferPool {
+    /// Take a cleared `u64` scratch vector (capacity retained from
+    /// previous uses when available).
+    pub fn take_u64(&self) -> Vec<u64> {
+        let mut v = self.u64s.borrow_mut().pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Return a scratch vector to the pool for reuse.
+    pub fn recycle_u64(&self, v: Vec<u64>) {
+        if v.capacity() > 0 {
+            self.u64s.borrow_mut().push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recv_runs_layout() {
+        let r = RecvRuns::from_parts(vec![1u64, 2, 3, 4, 5, 6], vec![2, 0, 3, 1]);
+        assert_eq!(r.num_runs(), 4);
+        assert_eq!(r.total_len(), 6);
+        assert_eq!(r.displs(), &[0, 2, 2, 5]);
+        assert_eq!(r.run(0), &[1, 2]);
+        assert_eq!(r.run(1), &[] as &[u64]);
+        assert_eq!(r.run(2), &[3, 4, 5]);
+        assert_eq!(r.run(3), &[6]);
+        assert_eq!(r.as_slices().len(), 4);
+        assert_eq!(r.into_data(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts must cover the buffer exactly")]
+    fn recv_runs_rejects_mismatched_counts() {
+        let _ = RecvRuns::from_parts(vec![1u64, 2], vec![1]);
+    }
+
+    #[test]
+    fn shared_slice_views_range() {
+        let buf = Arc::new(vec![10u64, 11, 12, 13]);
+        let s = SharedSlice::new(buf.clone(), 1, 2);
+        assert_eq!(&*s, &[11, 12]);
+        assert_eq!(s.to_vec(), vec![11, 12]);
+        let empty = SharedSlice::new(buf, 4, 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let pool = BufferPool::default();
+        let mut v = pool.take_u64();
+        v.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = v.capacity();
+        pool.recycle_u64(v);
+        let v2 = pool.take_u64();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap);
+    }
+}

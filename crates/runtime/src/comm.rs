@@ -14,9 +14,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::buffer::{BufferPool, RecvRuns, SharedSlice};
 use crate::cost::{CostModel, Work};
 use crate::fault::{unit_draw, RankAbort, RankError};
-use crate::state::{CommState, EndTimes, Message, World};
+use crate::state::{CollectiveCtx, CommState, EndTimes, Message, World};
 use crate::stats::{RankLocal, RankReport};
 use crate::topology::Topology;
 use crate::trace::{SpanGuard, TraceSink};
@@ -52,6 +53,136 @@ pub struct Comm {
     straggler_factor: f64,
     /// Next per-`(dst, tag)` sequence number for outgoing messages.
     send_seq: RefCell<HashMap<(usize, u64), u64>>,
+    /// Scratch-buffer free lists reused across collective rounds.
+    pool: BufferPool,
+}
+
+/// A type-erased borrowed view of slices living on the depositing
+/// rank's stack. Only ever dereferenced inside the windows of
+/// [`CommState::collective_view`] where the owner is provably blocked
+/// in the same collective, which is what makes the `Send + Sync`
+/// assertion and the raw-pointer reads sound.
+struct RawParts<T> {
+    parts: Vec<(*const T, usize)>,
+}
+
+// SAFETY: the pointers are only dereferenced while the owning rank is
+// blocked inside the collective rendezvous (see `collective_view`); the
+// data itself is `Send + Sync`.
+unsafe impl<T: Send> Send for RawParts<T> {}
+unsafe impl<T: Sync> Sync for RawParts<T> {}
+
+impl<T> RawParts<T> {
+    fn of(slices: &[&[T]]) -> Self {
+        Self {
+            parts: slices.iter().map(|s| (s.as_ptr(), s.len())).collect(),
+        }
+    }
+
+    fn len(&self, i: usize) -> usize {
+        self.parts[i].1
+    }
+
+    /// SAFETY: caller must be inside a `collective_view` window where
+    /// the depositing rank is still blocked in the same collective.
+    unsafe fn slice(&self, i: usize) -> &[T] {
+        let (ptr, len) = self.parts[i];
+        std::slice::from_raw_parts(ptr, len)
+    }
+}
+
+/// Per-rank virtual end times of a personalized all-to-all under
+/// `algo`, where `count(s, d)` is the number of elements rank `s`
+/// sends rank `d`. Shared by [`Comm::alltoallv_with`] and
+/// [`Comm::alltoallv_slices_with`] so the owning and zero-copy paths
+/// charge byte-identical costs — the model reads only lengths and link
+/// classes, never the payloads.
+fn alltoallv_end_times(
+    ctx: &CollectiveCtx<'_>,
+    p: usize,
+    elem: u64,
+    algo: AllToAllAlgo,
+    count: &dyn Fn(usize, usize) -> u64,
+) -> Vec<u64> {
+    // Precomputed once for the leader schedule: node of every rank and
+    // the aggregated node-to-node byte matrix.
+    let (node_of, node_to_node) = if algo == AllToAllAlgo::HierarchicalLeaders {
+        let node_of: Vec<usize> = (0..p)
+            .map(|r| ctx.topology.placement(ctx.global_ranks[r]).node)
+            .collect();
+        let nodes = ctx.topology.nodes();
+        let mut m = vec![vec![0u64; nodes]; nodes];
+        for s in 0..p {
+            for d in 0..p {
+                m[node_of[s]][node_of[d]] += count(s, d) * elem;
+            }
+        }
+        (node_of, m)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let mut ends = Vec::with_capacity(p);
+    for r in 0..p {
+        let gr = ctx.global_ranks[r];
+        let cost = match algo {
+            // Per-rank cost: max(send side, recv side) along the
+            // pairwise 1-factor schedule.
+            AllToAllAlgo::OneFactor => {
+                let send_cost = ctx.cost.alltoallv_rank_ns((0..p).map(|d| {
+                    (
+                        ctx.topology.link(gr, ctx.global_ranks[d]),
+                        count(r, d) * elem,
+                    )
+                }));
+                let recv_cost = ctx.cost.alltoallv_rank_ns((0..p).map(|s| {
+                    (
+                        ctx.topology.link(ctx.global_ranks[s], gr),
+                        count(s, r) * elem,
+                    )
+                }));
+                send_cost.max(recv_cost)
+            }
+            // Store-and-forward: log P rounds at the worst link,
+            // shipping ~half the personalized payload per round.
+            AllToAllAlgo::Bruck => {
+                let total: u64 = (0..p).map(|d| count(r, d) * elem).sum();
+                ctx.cost.alltoallv_bruck_rank_ns(ctx.worst_link, p, total)
+            }
+            // Leader aggregation: stage inter-node bytes through the
+            // node leader; intra-node blocks move directly.
+            AllToAllAlgo::HierarchicalLeaders => {
+                let my_node = node_of[r];
+                // Direct intra-node portion.
+                let intra = ctx.cost.alltoallv_rank_ns((0..p).flat_map(|d| {
+                    let link = ctx.topology.link(gr, ctx.global_ranks[d]);
+                    (node_of[d] == my_node).then_some((link, count(r, d) * elem))
+                }));
+                // Stage out/in: my inter-node bytes cross the node's
+                // memory twice (to and from the leader).
+                let my_inter: u64 = (0..p)
+                    .filter(|&d| node_of[d] != my_node)
+                    .map(|d| count(r, d) * elem)
+                    .sum();
+                let stage = ctx
+                    .cost
+                    .p2p_ns(crate::topology::LinkClass::IntraNode, 2 * my_inter);
+                // The leader sends one aggregated message per peer
+                // node; every rank of the node waits for it.
+                let leader: u64 = node_to_node[my_node]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(n, _)| n != my_node)
+                    .map(|(_, &bytes)| {
+                        ctx.cost
+                            .p2p_ns(crate::topology::LinkClass::InterNode, bytes)
+                    })
+                    .sum();
+                intra + stage + leader
+            }
+        };
+        ends.push(ctx.enter_max_ns + cost);
+    }
+    ends
 }
 
 impl Comm {
@@ -67,6 +198,7 @@ impl Comm {
             crash_at_ns,
             straggler_factor,
             send_seq: RefCell::new(HashMap::new()),
+            pool: BufferPool::default(),
         }
     }
 
@@ -111,6 +243,13 @@ impl Comm {
     /// The cost model in effect.
     pub fn cost_model(&self) -> &CostModel {
         &self.state.world.cost
+    }
+
+    /// Scratch-buffer pool owned by this rank's handle. Algorithms use
+    /// it to recycle per-round vectors (histogram counts, exchange
+    /// staging) instead of reallocating every refinement round.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     pub(crate) fn world(&self) -> &Arc<World> {
@@ -225,6 +364,43 @@ impl Comm {
         out
     }
 
+    /// Zero-copy variant of [`Comm::run_collective`]: the input may be a
+    /// [`RawParts`] view of this rank's buffers, and `extract` runs per
+    /// rank against the shared output under the protocol guarantees of
+    /// [`CommState::collective_view`].
+    fn run_collective_view<T, R, Q, F, G>(
+        &self,
+        name: &'static str,
+        input: T,
+        combine: F,
+        extract: G,
+        exit_barrier: bool,
+    ) -> Q
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>, &CollectiveCtx<'_>) -> (R, EndTimes),
+        G: FnOnce(&Arc<R>) -> Q,
+    {
+        self.check_crash();
+        let g = self.gen.get();
+        self.gen.set(g + 1);
+        let enter_ns = self.local().now_ns();
+        let out = self
+            .state
+            .collective_view(self.rank, g, input, combine, extract, exit_barrier);
+        if let Some(sink) = self.sink() {
+            sink.complete(
+                Cow::Borrowed(name),
+                "collective",
+                enter_ns,
+                self.local().now_ns(),
+                0,
+            );
+        }
+        out
+    }
+
     // ------------------------------------------------------------------
     // Synchronizing collectives
     // ------------------------------------------------------------------
@@ -240,11 +416,12 @@ impl Comm {
         });
     }
 
-    /// Broadcast `value` from `root` to all ranks. Every rank passes its
-    /// local `value`; the root's survives.
-    pub fn broadcast<T>(&self, root: usize, value: T) -> T
+    /// Broadcast `value` from `root`, all ranks sharing one result
+    /// allocation. Every rank passes its local `value`; the root's
+    /// survives.
+    pub fn broadcast_shared<T>(&self, root: usize, value: T) -> Arc<T>
     where
-        T: Clone + Send + Sync + 'static,
+        T: Send + Sync + 'static,
     {
         let p = self.size();
         let bytes = mem::size_of::<T>() as u64;
@@ -254,57 +431,119 @@ impl Comm {
             (v, EndTimes::Uniform(end))
         });
         self.account_collective_bytes(bytes * crate::cost::log2_ceil(p) as u64);
-        (*out).clone()
+        out
     }
 
-    /// Broadcast a slice-like payload from `root`; non-roots pass an
-    /// empty `Vec`.
-    pub fn broadcast_vec<T>(&self, root: usize, value: Vec<T>) -> Vec<T>
+    /// Owning [`Comm::broadcast_shared`]: clones the shared result once
+    /// for this rank.
+    pub fn broadcast<T>(&self, root: usize, value: T) -> T
     where
         T: Clone + Send + Sync + 'static,
     {
+        self.broadcast_shared(root, value).as_ref().clone()
+    }
+
+    /// Broadcast a slice-like payload from `root`, shared across ranks;
+    /// non-roots pass an empty `Vec`.
+    pub fn broadcast_vec_shared<T>(&self, root: usize, value: Vec<T>) -> Arc<Vec<T>>
+    where
+        T: Send + Sync + 'static,
+    {
         let p = self.size();
-        let out = self.run_collective("broadcast_vec", value, move |mut xs, ctx| {
+        self.run_collective("broadcast_vec", value, move |mut xs, ctx| {
             let v = xs.swap_remove(root);
             let bytes = (v.len() * mem::size_of::<T>()) as u64;
             let end = ctx.enter_max_ns + ctx.cost.bcast_ns(ctx.worst_link, p, bytes);
             (v, EndTimes::Uniform(end))
-        });
-        (*out).clone()
+        })
     }
 
-    /// Element-wise allreduce: all ranks pass equally long vectors; the
-    /// result at index `i` is the fold of element `i` over ranks.
-    pub fn allreduce_with<T, F>(&self, xs: Vec<T>, op: F) -> Vec<T>
+    /// Owning [`Comm::broadcast_vec_shared`].
+    pub fn broadcast_vec<T>(&self, root: usize, value: Vec<T>) -> Vec<T>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.broadcast_vec_shared(root, value).as_ref().clone()
+    }
+
+    /// Element-wise allreduce returning the shared result: all ranks
+    /// pass equally long vectors; the result at index `i` is the fold
+    /// of element `i` over ranks; one allocation serves every rank.
+    pub fn allreduce_with_shared<T, F>(&self, xs: Vec<T>, op: F) -> Arc<Vec<T>>
     where
         T: Clone + Send + Sync + 'static,
         F: Fn(&T, &T) -> T,
     {
         let p = self.size();
         let out = self.run_collective("allreduce", xs, move |inputs, ctx| {
-            let width = inputs.first().map_or(0, Vec::len);
-            for x in &inputs {
-                assert_eq!(x.len(), width, "allreduce inputs must have equal length");
-            }
-            let mut acc = inputs[0].clone();
-            for x in &inputs[1..] {
-                for (a, b) in acc.iter_mut().zip(x) {
+            let mut it = inputs.into_iter();
+            let mut acc = it.next().expect("at least one rank");
+            for x in it {
+                assert_eq!(
+                    x.len(),
+                    acc.len(),
+                    "allreduce inputs must have equal length"
+                );
+                for (a, b) in acc.iter_mut().zip(&x) {
                     *a = op(a, b);
                 }
             }
-            let bytes = (width * mem::size_of::<T>()) as u64;
+            let bytes = (acc.len() * mem::size_of::<T>()) as u64;
             let end = ctx.enter_max_ns + ctx.cost.allreduce_ns(ctx.worst_link, p, bytes);
             (acc, EndTimes::Uniform(end))
         });
         self.account_collective_bytes(
             (out.len() * mem::size_of::<T>()) as u64 * crate::cost::log2_ceil(p) as u64,
         );
-        (*out).clone()
+        out
     }
 
-    /// Sum-allreduce over `u64` vectors (the histogramming workhorse).
+    /// Owning [`Comm::allreduce_with_shared`].
+    pub fn allreduce_with<T, F>(&self, xs: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        self.allreduce_with_shared(xs, op).as_ref().clone()
+    }
+
+    /// Sum-allreduce over a borrowed `u64` slice — the histogramming
+    /// workhorse. The input is viewed in place (no send-side copy) and
+    /// the reduced vector is shared by all ranks.
+    pub fn allreduce_sum_shared(&self, xs: &[u64]) -> Arc<Vec<u64>> {
+        let p = self.size();
+        let view = RawParts::of(&[xs]);
+        let out: Arc<Vec<u64>> = self.run_collective_view(
+            "allreduce",
+            view,
+            move |inputs: Vec<RawParts<u64>>, ctx| {
+                let width = inputs.first().map_or(0, |v| v.len(0));
+                let mut acc = vec![0u64; width];
+                for x in &inputs {
+                    assert_eq!(x.len(0), width, "allreduce inputs must have equal length");
+                    // SAFETY: every depositing rank is blocked inside
+                    // this collective until the output exists.
+                    let s = unsafe { x.slice(0) };
+                    for (a, b) in acc.iter_mut().zip(s) {
+                        *a = a.wrapping_add(*b);
+                    }
+                }
+                let bytes = (width * mem::size_of::<u64>()) as u64;
+                let end = ctx.enter_max_ns + ctx.cost.allreduce_ns(ctx.worst_link, p, bytes);
+                (acc, EndTimes::Uniform(end))
+            },
+            Arc::clone,
+            false,
+        );
+        self.account_collective_bytes(
+            (out.len() * mem::size_of::<u64>()) as u64 * crate::cost::log2_ceil(p) as u64,
+        );
+        out
+    }
+
+    /// Owning sum-allreduce over `u64` vectors.
     pub fn allreduce_sum(&self, xs: Vec<u64>) -> Vec<u64> {
-        self.allreduce_with(xs, |a, b| a.wrapping_add(*b))
+        self.allreduce_sum_shared(&xs).as_ref().clone()
     }
 
     /// Min/max allreduce over one value per rank.
@@ -318,10 +557,11 @@ impl Comm {
         pair.into_iter().next().expect("one element")
     }
 
-    /// Gather one value per rank onto every rank, ordered by rank.
-    pub fn allgather<T>(&self, x: T) -> Vec<T>
+    /// Gather one value per rank onto every rank, ordered by rank; the
+    /// gathered vector is one shared allocation.
+    pub fn allgather_shared<T>(&self, x: T) -> Arc<Vec<T>>
     where
-        T: Clone + Send + Sync + 'static,
+        T: Send + Sync + 'static,
     {
         let p = self.size();
         let bytes = mem::size_of::<T>() as u64;
@@ -330,13 +570,22 @@ impl Comm {
             (xs, EndTimes::Uniform(end))
         });
         self.account_collective_bytes(bytes * p.saturating_sub(1) as u64);
-        (*out).clone()
+        out
     }
 
-    /// Gather a variable-length vector per rank onto every rank.
-    pub fn allgatherv<T>(&self, xs: Vec<T>) -> Vec<Vec<T>>
+    /// Owning [`Comm::allgather_shared`].
+    pub fn allgather<T>(&self, x: T) -> Vec<T>
     where
         T: Clone + Send + Sync + 'static,
+    {
+        self.allgather_shared(x).as_ref().clone()
+    }
+
+    /// Gather a variable-length vector per rank onto every rank; the
+    /// per-rank vectors are moved, not copied, into the shared result.
+    pub fn allgatherv_shared<T>(&self, xs: Vec<T>) -> Arc<Vec<Vec<T>>>
+    where
+        T: Send + Sync + 'static,
     {
         let p = self.size();
         let my_bytes = (xs.len() * mem::size_of::<T>()) as u64;
@@ -350,46 +599,76 @@ impl Comm {
             (inputs, EndTimes::Uniform(end))
         });
         self.account_collective_bytes(my_bytes * p.saturating_sub(1) as u64);
-        (*out).clone()
+        out
+    }
+
+    /// Owning [`Comm::allgatherv_shared`].
+    pub fn allgatherv<T>(&self, xs: Vec<T>) -> Vec<Vec<T>>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.allgatherv_shared(xs).as_ref().clone()
     }
 
     /// Exclusive prefix scan of equally long `u64` vectors with
     /// element-wise sums; rank 0 receives zeros. Charged at the
     /// vector's true byte width (unlike the generic [`Comm::exscan`],
     /// whose payload estimate is `size_of::<T>()`).
-    pub fn exscan_sum_vec(&self, xs: Vec<u64>) -> Vec<u64> {
+    ///
+    /// The input is viewed in place and the scan is computed **once**
+    /// into a flat `p × width` buffer shared by all ranks; the returned
+    /// [`SharedSlice`] is this rank's window into it. (The owning
+    /// predecessor materialized `p` prefix vectors and cloned one per
+    /// rank — O(p²·width) traffic in host memory.)
+    pub fn exscan_sum_vec_shared(&self, xs: &[u64]) -> SharedSlice<u64> {
         let p = self.size();
         let me = self.rank;
-        let out = self.run_collective("exscan", xs, move |inputs, ctx| {
-            let width = inputs.first().map_or(0, Vec::len);
-            let mut pre: Vec<Vec<u64>> = Vec::with_capacity(p);
-            let mut acc = vec![0u64; width];
-            for x in &inputs {
-                assert_eq!(x.len(), width, "exscan inputs must have equal length");
-                pre.push(acc.clone());
-                for (a, b) in acc.iter_mut().zip(x) {
-                    *a = a.wrapping_add(*b);
+        let width_in = xs.len();
+        let view = RawParts::of(&[xs]);
+        let out: Arc<Vec<u64>> = self.run_collective_view(
+            "exscan",
+            view,
+            move |inputs: Vec<RawParts<u64>>, ctx| {
+                let width = inputs.first().map_or(0, |v| v.len(0));
+                let mut flat = vec![0u64; p * width];
+                let mut acc = vec![0u64; width];
+                for (r, x) in inputs.iter().enumerate() {
+                    assert_eq!(x.len(0), width, "exscan inputs must have equal length");
+                    flat[r * width..(r + 1) * width].copy_from_slice(&acc);
+                    // SAFETY: every depositing rank is blocked inside
+                    // this collective until the output exists.
+                    let s = unsafe { x.slice(0) };
+                    for (a, b) in acc.iter_mut().zip(s) {
+                        *a = a.wrapping_add(*b);
+                    }
                 }
-            }
-            let bytes = (width * mem::size_of::<u64>()) as u64;
-            let end = ctx.enter_max_ns + ctx.cost.exscan_ns(ctx.worst_link, p, bytes);
-            (pre, EndTimes::Uniform(end))
-        });
-        self.account_collective_bytes(
-            (out[me].len() * mem::size_of::<u64>()) as u64 * crate::cost::log2_ceil(p) as u64,
+                let bytes = (width * mem::size_of::<u64>()) as u64;
+                let end = ctx.enter_max_ns + ctx.cost.exscan_ns(ctx.worst_link, p, bytes);
+                (flat, EndTimes::Uniform(end))
+            },
+            Arc::clone,
+            false,
         );
-        out[me].clone()
+        self.account_collective_bytes(
+            mem::size_of_val(xs) as u64 * crate::cost::log2_ceil(p) as u64,
+        );
+        SharedSlice::new(out, me * width_in, width_in)
+    }
+
+    /// Owning [`Comm::exscan_sum_vec_shared`].
+    pub fn exscan_sum_vec(&self, xs: Vec<u64>) -> Vec<u64> {
+        self.exscan_sum_vec_shared(&xs).to_vec()
     }
 
     /// Gather every rank's vector to a (virtual) root, combine with
-    /// `f`, and broadcast the combined result to everyone — the
+    /// `f`, and share the combined result with everyone — the
     /// "central processor" step of sample sort without materializing
     /// the full gathered set on every rank. `result_bytes` sizes the
     /// broadcast payload for the cost model.
-    pub fn gather_reduce<T, R, F, B>(&self, xs: Vec<T>, f: F, result_bytes: B) -> R
+    pub fn gather_reduce_shared<T, R, F, B>(&self, xs: Vec<T>, f: F, result_bytes: B) -> Arc<R>
     where
         T: Send + Sync + 'static,
-        R: Clone + Send + Sync + 'static,
+        R: Send + Sync + 'static,
         F: FnOnce(Vec<Vec<T>>) -> R,
         B: FnOnce(&R) -> u64,
     {
@@ -408,7 +687,20 @@ impl Comm {
             (r, EndTimes::Uniform(ctx.enter_max_ns + gather + bcast))
         });
         self.account_collective_bytes(in_bytes);
-        (*out).clone()
+        out
+    }
+
+    /// Owning [`Comm::gather_reduce_shared`].
+    pub fn gather_reduce<T, R, F, B>(&self, xs: Vec<T>, f: F, result_bytes: B) -> R
+    where
+        T: Send + Sync + 'static,
+        R: Clone + Send + Sync + 'static,
+        F: FnOnce(Vec<Vec<T>>) -> R,
+        B: FnOnce(&R) -> u64,
+    {
+        self.gather_reduce_shared(xs, f, result_bytes)
+            .as_ref()
+            .clone()
     }
 
     /// Exclusive prefix scan with `op`; rank 0 receives `identity`.
@@ -461,134 +753,127 @@ impl Comm {
             p,
             "alltoallv needs one bucket per destination rank"
         );
-        // Account this rank's own outgoing traffic.
-        let mut sent_bytes = 0u64;
-        {
-            let topo = self.topology();
-            let counters = &self.local().counters;
-            let me_g = self.state.global_ranks[self.rank];
-            for (dst, bucket) in send.iter().enumerate() {
-                let link = topo.link(me_g, self.state.global_ranks[dst]);
-                let bytes = (bucket.len() * mem::size_of::<T>()) as u64;
-                counters.add_bytes(link, bytes);
-                sent_bytes += bytes;
-            }
-        }
+        let sent_bytes =
+            self.account_alltoallv_send(send.iter().map(Vec::len), mem::size_of::<T>());
         let me = self.rank;
         let out = self.run_collective("alltoallv", send, move |mut inputs, ctx| {
             let elem = mem::size_of::<T>() as u64;
-            // Precomputed once for the leader schedule: node of every
-            // rank and the aggregated node-to-node byte matrix.
-            let (node_of, node_to_node) = if algo == AllToAllAlgo::HierarchicalLeaders {
-                let node_of: Vec<usize> = (0..p)
-                    .map(|r| ctx.topology.placement(ctx.global_ranks[r]).node)
-                    .collect();
-                let nodes = ctx.topology.nodes();
-                let mut m = vec![vec![0u64; nodes]; nodes];
-                for s in 0..p {
-                    for d in 0..p {
-                        m[node_of[s]][node_of[d]] += inputs[s][d].len() as u64 * elem;
-                    }
-                }
-                (node_of, m)
-            } else {
-                (Vec::new(), Vec::new())
-            };
-            let mut ends = Vec::with_capacity(p);
-            for r in 0..p {
-                let gr = ctx.global_ranks[r];
-                let cost = match algo {
-                    // Per-rank cost: max(send side, recv side) along
-                    // the pairwise 1-factor schedule.
-                    AllToAllAlgo::OneFactor => {
-                        let send_cost = ctx.cost.alltoallv_rank_ns((0..p).map(|d| {
-                            (
-                                ctx.topology.link(gr, ctx.global_ranks[d]),
-                                inputs[r][d].len() as u64 * elem,
-                            )
-                        }));
-                        let recv_cost = ctx.cost.alltoallv_rank_ns((0..p).map(|s| {
-                            (
-                                ctx.topology.link(ctx.global_ranks[s], gr),
-                                inputs[s][r].len() as u64 * elem,
-                            )
-                        }));
-                        send_cost.max(recv_cost)
-                    }
-                    // Store-and-forward: log P rounds at the worst
-                    // link, shipping ~half the personalized payload per
-                    // round.
-                    AllToAllAlgo::Bruck => {
-                        let total: u64 = (0..p).map(|d| inputs[r][d].len() as u64 * elem).sum();
-                        ctx.cost.alltoallv_bruck_rank_ns(ctx.worst_link, p, total)
-                    }
-                    // Leader aggregation: stage inter-node bytes
-                    // through the node leader; intra-node blocks move
-                    // directly.
-                    AllToAllAlgo::HierarchicalLeaders => {
-                        let my_node = node_of[r];
-                        // Direct intra-node portion.
-                        let intra = ctx.cost.alltoallv_rank_ns((0..p).flat_map(|d| {
-                            let link = ctx.topology.link(gr, ctx.global_ranks[d]);
-                            (node_of[d] == my_node)
-                                .then_some((link, inputs[r][d].len() as u64 * elem))
-                        }));
-                        // Stage out/in: my inter-node bytes cross the
-                        // node's memory twice (to and from the leader).
-                        let my_inter: u64 = (0..p)
-                            .filter(|&d| node_of[d] != my_node)
-                            .map(|d| inputs[r][d].len() as u64 * elem)
-                            .sum();
-                        let stage = ctx
-                            .cost
-                            .p2p_ns(crate::topology::LinkClass::IntraNode, 2 * my_inter);
-                        // The leader sends one aggregated message per
-                        // peer node; every rank of the node waits for it.
-                        let leader: u64 = node_to_node[my_node]
-                            .iter()
-                            .enumerate()
-                            .filter(|&(n, _)| n != my_node)
-                            .map(|(_, &bytes)| {
-                                ctx.cost
-                                    .p2p_ns(crate::topology::LinkClass::InterNode, bytes)
-                            })
-                            .sum();
-                        intra + stage + leader
-                    }
-                };
-                ends.push(ctx.enter_max_ns + cost);
-            }
+            let ends = alltoallv_end_times(ctx, p, elem, algo, &|s, d| inputs[s][d].len() as u64);
             // Transpose: recv[dst][src] = send[src][dst], moving buffers.
-            let mut recv: Vec<Vec<Mutex<Option<Vec<T>>>>> = Vec::with_capacity(p);
+            let mut recv: Vec<Vec<Option<Vec<T>>>> = Vec::with_capacity(p);
             for _ in 0..p {
-                recv.push((0..p).map(|_| Mutex::new(None)).collect());
+                recv.push((0..p).map(|_| None).collect());
             }
             for (src, buckets) in inputs.iter_mut().enumerate() {
                 for (dst, bucket) in buckets.drain(..).enumerate() {
-                    *recv[dst][src].lock() = Some(bucket);
+                    recv[dst][src] = Some(bucket);
                 }
             }
-            (recv, EndTimes::PerRank(ends))
+            (
+                recv.into_iter().map(Mutex::new).collect::<Vec<_>>(),
+                EndTimes::PerRank(ends),
+            )
         });
         if let Some(sink) = self.sink() {
             sink.attribute_bytes(sent_bytes);
         }
-        out[me]
-            .iter()
-            .map(|slot| slot.lock().take().expect("each slot taken exactly once"))
-            .collect()
+        let recv = out[me]
+            .lock()
+            .iter_mut()
+            .map(|slot| slot.take().expect("each row taken exactly once"))
+            .collect();
+        recv
     }
 
-    /// Fixed-size all-to-all of one value per destination.
+    /// Zero-copy personalized all-to-all: `send[d]` is a **borrowed**
+    /// segment of this rank's (typically already-sorted) local array
+    /// destined for rank `d`. Each element is copied exactly once, from
+    /// the sender's buffer straight into the receiver's single
+    /// contiguous [`RecvRuns`] buffer — real `MPI_Alltoallv` semantics,
+    /// with `(counts, displs)` marking the per-source runs.
+    ///
+    /// Identical virtual-clock behaviour and byte accounting as
+    /// [`Comm::alltoallv`]: both paths share [`alltoallv_end_times`],
+    /// and the cost model reads only lengths and link classes.
+    pub fn alltoallv_slices<T>(&self, send: &[&[T]]) -> RecvRuns<T>
+    where
+        T: Copy + Send + Sync + 'static,
+    {
+        self.alltoallv_slices_with(send, AllToAllAlgo::OneFactor)
+    }
+
+    /// [`Comm::alltoallv_slices`] with an explicit schedule.
+    pub fn alltoallv_slices_with<T>(&self, send: &[&[T]], algo: AllToAllAlgo) -> RecvRuns<T>
+    where
+        T: Copy + Send + Sync + 'static,
+    {
+        let p = self.size();
+        assert_eq!(
+            send.len(),
+            p,
+            "alltoallv needs one bucket per destination rank"
+        );
+        let sent_bytes =
+            self.account_alltoallv_send(send.iter().map(|s| s.len()), mem::size_of::<T>());
+        let me = self.rank;
+        let view = RawParts::of(send);
+        let out = self.run_collective_view(
+            "alltoallv",
+            view,
+            move |views: Vec<RawParts<T>>, ctx| {
+                let elem = mem::size_of::<T>() as u64;
+                let ends = alltoallv_end_times(ctx, p, elem, algo, &|s, d| views[s].len(d) as u64);
+                (views, EndTimes::PerRank(ends))
+            },
+            move |views: &Arc<Vec<RawParts<T>>>| {
+                let counts: Vec<usize> = views.iter().map(|v| v.len(me)).collect();
+                let total: usize = counts.iter().sum();
+                let mut data: Vec<T> = Vec::with_capacity(total);
+                for v in views.iter() {
+                    // SAFETY: the exit barrier keeps every depositing
+                    // rank inside the collective until all ranks finish
+                    // this copy-out.
+                    data.extend_from_slice(unsafe { v.slice(me) });
+                }
+                RecvRuns::from_parts(data, counts)
+            },
+            true,
+        );
+        if let Some(sink) = self.sink() {
+            sink.attribute_bytes(sent_bytes);
+        }
+        out
+    }
+
+    /// Per-link byte accounting for this rank's outgoing personalized
+    /// traffic, shared by the owning and zero-copy all-to-all paths.
+    /// Returns the total for span attribution (which must happen after
+    /// the collective records its span).
+    fn account_alltoallv_send(&self, lens: impl Iterator<Item = usize>, elem: usize) -> u64 {
+        let topo = self.topology();
+        let counters = &self.local().counters;
+        let me_g = self.state.global_ranks[self.rank];
+        let mut sent_bytes = 0u64;
+        for (dst, len) in lens.enumerate() {
+            let link = topo.link(me_g, self.state.global_ranks[dst]);
+            let bytes = (len * elem) as u64;
+            counters.add_bytes(link, bytes);
+            sent_bytes += bytes;
+        }
+        sent_bytes
+    }
+
+    /// Fixed-size all-to-all of one value per destination, on the flat
+    /// zero-copy path (one element per peer, one contiguous receive
+    /// buffer — no per-element `Vec` boxing).
     pub fn alltoall<T>(&self, send: Vec<T>) -> Vec<T>
     where
-        T: Send + 'static,
+        T: Copy + Send + Sync + 'static,
     {
-        let buckets = send.into_iter().map(|x| vec![x]).collect();
-        self.alltoallv(buckets)
-            .into_iter()
-            .map(|mut v| v.pop().expect("exactly one element per peer"))
-            .collect()
+        let slices: Vec<&[T]> = send.chunks(1).collect();
+        let recv = self.alltoallv_slices(&slices);
+        debug_assert!(recv.counts().iter().all(|&c| c == 1));
+        recv.into_data()
     }
 
     // ------------------------------------------------------------------

@@ -23,6 +23,7 @@
 //! assert!(results.iter().all(|(v, _)| *v == 0 + 1 + 2 + 3));
 //! ```
 
+pub mod buffer;
 pub mod comm;
 pub mod cost;
 pub mod fault;
@@ -32,6 +33,7 @@ pub mod stats;
 pub mod topology;
 pub mod trace;
 
+pub use buffer::{BufferPool, RecvRuns, SharedSlice};
 pub use comm::{AllToAllAlgo, Comm};
 pub use cost::{log2_ceil, CostModel, LinkCost, Work};
 pub use fault::{Crash, FaultPlan, LinkFault, LossSpec, RankError, Straggler};

@@ -23,6 +23,12 @@ use crate::trace::{TraceConfig, TraceSink};
 /// liveness bound for error propagation; correctness never depends on it.
 const POISON_POLL: Duration = Duration::from_millis(25);
 
+/// Poison polls a zero-copy collective waits for an in-flight combine
+/// before concluding the combiner itself died (see
+/// [`CommState::collective_view`]). Generous on purpose: aborting early
+/// is only safe because by then the output can never appear.
+const POISON_GRACE_POLLS: u32 = 200;
+
 /// Machine-wide immutable context shared by all communicators of a run.
 pub struct World {
     pub topology: Topology,
@@ -350,6 +356,175 @@ impl CommState {
             .fetch_add(end.saturating_sub(enter_ns), Ordering::Relaxed);
         me.counters.collectives.fetch_add(1, Ordering::Relaxed);
         out
+    }
+
+    /// Like [`CommState::collective`], but built for zero-copy payloads
+    /// whose inputs may be **borrowed views of rank-local memory** (raw
+    /// slices of the caller's buffers). Two extra guarantees make that
+    /// sound:
+    ///
+    /// 1. `extract` runs once per rank against the shared output while
+    ///    the depositor of every input is still blocked inside this
+    ///    call, so combine *and* extract may read borrowed data.
+    /// 2. With `exit_barrier`, no rank returns (and thus no borrowed
+    ///    buffer can be dropped or mutated) until **every** rank has
+    ///    finished its `extract` — required when extract itself
+    ///    dereferences views of peer memory, as the all-to-all
+    ///    copy-out does.
+    ///
+    /// Poison handling must never let a rank unwind while a peer can
+    /// still read its views:
+    /// - while waiting for our generation (nothing deposited yet):
+    ///   abort freely, as in [`CommState::collective`];
+    /// - while waiting for the output with `arrived < size`: retract
+    ///   our own input first, then abort — the combine can no longer
+    ///   observe our views;
+    /// - once `arrived == size` the combiner owns the inputs; it never
+    ///   blocks, so wait out a grace period for the output. Only if it
+    ///   died mid-combine (output will never appear, views are never
+    ///   read again) do we abort;
+    /// - between obtaining the output and the generation bump (the
+    ///   extract / exit-barrier window) there are **no** aborts: every
+    ///   rank that saw the output departs unconditionally, so the
+    ///   barrier cannot deadlock.
+    pub fn collective_view<T, R, Q, F, G>(
+        &self,
+        rank: usize,
+        my_gen: u64,
+        input: T,
+        combine: F,
+        extract: G,
+        exit_barrier: bool,
+    ) -> Q
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>, &CollectiveCtx<'_>) -> (R, EndTimes),
+        G: FnOnce(&Arc<R>) -> Q,
+    {
+        let world = &self.world;
+        let me_global = self.global_ranks[rank];
+        let me = &world.locals[me_global];
+        let enter_ns = me.now_ns();
+        let size = self.size();
+
+        let mut st = self.cell.state.lock();
+        while st.gen != my_gen {
+            if world.poisoned() {
+                drop(st);
+                world.abort_peer_failed(me_global);
+            }
+            self.cv_wait(&mut st);
+        }
+        debug_assert!(st.inputs[rank].is_none(), "double entry into collective");
+        st.inputs[rank] = Some(Box::new(input));
+        st.clocks[rank] = enter_ns;
+        st.arrived += 1;
+
+        if st.arrived == size {
+            let inputs: Vec<T> = st
+                .inputs
+                .iter_mut()
+                .map(|slot| {
+                    *slot
+                        .take()
+                        .expect("all ranks deposited")
+                        .downcast::<T>()
+                        .expect("uniform collective payload type")
+                })
+                .collect();
+            let enter_max_ns = st.clocks.iter().copied().max().unwrap_or(0);
+            let cost_now = world.fault.cost_at(&world.cost, enter_max_ns);
+            let ctx = CollectiveCtx {
+                cost: &cost_now,
+                topology: &world.topology,
+                global_ranks: &self.global_ranks,
+                enter_max_ns,
+                worst_link: self.worst_link,
+            };
+            let (out, ends) = combine(inputs, &ctx);
+            match ends {
+                EndTimes::Uniform(t) => st.end_ns.iter_mut().for_each(|e| *e = t),
+                EndTimes::PerRank(v) => {
+                    assert_eq!(v.len(), size, "PerRank end times must cover every rank");
+                    st.end_ns.copy_from_slice(&v);
+                }
+            }
+            st.output = Some(Arc::new(out));
+            self.cell.cv.notify_all();
+        } else {
+            let mut grace = 0u32;
+            while st.output.is_none() {
+                if world.poisoned() {
+                    if st.arrived < size {
+                        // Our views must not outlive this frame: pull
+                        // our input back before unwinding so the (not
+                        // yet started) combine can never read it.
+                        st.inputs[rank] = None;
+                        st.arrived -= 1;
+                        drop(st);
+                        world.abort_peer_failed(me_global);
+                    }
+                    // Combine in flight: it never blocks, so the output
+                    // appears shortly unless the combiner itself died.
+                    grace += 1;
+                    if grace > POISON_GRACE_POLLS {
+                        drop(st);
+                        world.abort_peer_failed(me_global);
+                    }
+                }
+                self.cv_wait(&mut st);
+            }
+        }
+
+        let out = st
+            .output
+            .as_ref()
+            .expect("output present")
+            .clone()
+            .downcast::<R>()
+            .expect("uniform collective result type");
+        let end = st.end_ns[rank];
+
+        let result = if exit_barrier {
+            // Extract outside the lock (it may copy a lot of data),
+            // then hold every rank until all extracts are done: peers
+            // read views of this rank's memory during their extract.
+            drop(st);
+            let result = extract(&out);
+            let mut st = self.cell.state.lock();
+            st.departed += 1;
+            if st.departed == size {
+                st.arrived = 0;
+                st.departed = 0;
+                st.output = None;
+                st.gen += 1;
+                self.cell.cv.notify_all();
+            } else {
+                while st.gen == my_gen {
+                    self.cv_wait(&mut st);
+                }
+            }
+            result
+        } else {
+            st.departed += 1;
+            if st.departed == size {
+                st.arrived = 0;
+                st.departed = 0;
+                st.output = None;
+                st.gen += 1;
+                self.cell.cv.notify_all();
+            }
+            drop(st);
+            extract(&out)
+        };
+
+        me.advance_to_ns(end);
+        me.counters
+            .comm_ns
+            .fetch_add(end.saturating_sub(enter_ns), Ordering::Relaxed);
+        me.counters.collectives.fetch_add(1, Ordering::Relaxed);
+        result
     }
 
     fn cv_wait(&self, st: &mut parking_lot::MutexGuard<'_, CellState>) {
