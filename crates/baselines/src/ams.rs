@@ -1,5 +1,5 @@
 //! AMS-sort-style multi-level sample sort (paper §III-C, Axtmann,
-//! Bingmann, Sanders & Schulz [16]): recursive splitting into `k`
+//! Bingmann, Sanders & Schulz \[16\]): recursive splitting into `k`
 //! processor groups like HykSort, but splitters come from a one-shot
 //! *sample* and the known sampling inaccuracy is mitigated by
 //! **overpartitioning** — `a·k` buckets are formed and then assigned

@@ -1,4 +1,4 @@
-//! Distributed bitonic sort (paper §III-C, Batcher [17]): a sorting
+//! Distributed bitonic sort (paper §III-C, Batcher \[17\]): a sorting
 //! network over ranks. Simple and oblivious, but every key crosses the
 //! network `O(log² P)` times — the paper's point for why it "cannot
 //! keep up with sample sort if N/P >> 1".

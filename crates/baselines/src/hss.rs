@@ -1,5 +1,5 @@
 //! Histogram Sort with Sampling (paper §III-B; the Charm++ comparator
-//! of the evaluation, after Harsh, Kale & Solomonik, SPAA'19 [1]).
+//! of the evaluation, after Harsh, Kale & Solomonik, SPAA'19 \[1\]).
 //!
 //! Like the core histogram sort, splitters are refined by iterative
 //! histogramming — but probes are **sampled data keys** instead of
@@ -24,7 +24,7 @@ use crate::stats::AlgoStats;
 pub struct HssConfig {
     /// Sampling budget per rank per round, spread over the unresolved
     /// splitters (so the global per-round sample is `O(P·budget)`, the
-    /// constant-per-processor regime of [1]).
+    /// constant-per-processor regime of \[1\]).
     pub samples_per_round: usize,
     /// Load-balance tolerance ε (0 demands exact boundaries and can
     /// take many rounds).

@@ -1,4 +1,4 @@
-//! HykSort-style hypercube k-way quicksort (paper §III-C, ref [20]):
+//! HykSort-style hypercube k-way quicksort (paper §III-C, ref \[20\]):
 //! recursively split the processor group into `k` subgroups around
 //! `k-1` splitters and move each key into its subgroup; after
 //! `log_k(P)` levels every rank holds a disjoint key range.

@@ -4,15 +4,15 @@
 //! relative to (§III), implemented on the same simulated runtime so
 //! the scaling studies can reproduce the paper's head-to-heads:
 //!
-//! * [`sample_sort`] — classic random-sampling sample sort (§III-A);
-//! * [`psrs`] — sample sort with *regular* sampling (§III-A, [12]);
+//! * [`sample_sort()`] — classic random-sampling sample sort (§III-A);
+//! * [`psrs()`] — sample sort with *regular* sampling (§III-A, \[12\]);
 //! * [`hss_sort`] — Histogram Sort with Sampling, the Charm++
-//!   comparator of Figures 2 and 3 (§III-B, [1]);
-//! * [`hyksort`] — hypercube k-way quicksort with recursive
-//!   communicator splitting (§III-C, [20]);
-//! * [`bitonic_sort`] — Batcher's sorting network (§III-C, [17]);
+//!   comparator of Figures 2 and 3 (§III-B, \[1\]);
+//! * [`hyksort()`] — hypercube k-way quicksort with recursive
+//!   communicator splitting (§III-C, \[20\]);
+//! * [`bitonic_sort`] — Batcher's sorting network (§III-C, \[17\]);
 //! * [`ams_sort`] — AMS-style multi-level sample sort with
-//!   overpartitioning (§III-C, [16]).
+//!   overpartitioning (§III-C, \[16\]).
 
 pub mod ams;
 pub mod bitonic;

@@ -1,4 +1,4 @@
-//! Parallel Sorting by Regular Sampling (paper §III-A, refs [12], [13]):
+//! Parallel Sorting by Regular Sampling (paper §III-A, refs \[12\], \[13\]):
 //! sample sort with *regular* instead of random samples — probes are
 //! taken at regular positions of the locally **sorted** data, which in
 //! practice yields near-perfect balancing deterministically.

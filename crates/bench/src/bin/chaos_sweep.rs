@@ -12,7 +12,10 @@
 //! attribution so existing consumers are unaffected.
 //!
 //! Flags: `--p <ranks>` (default 32), `--nper <keys/rank>` (default
-//! 2^12), `--out <path>`, `--quick`.
+//! 2^12), `--threads <threads/rank>` (default 1), `--out <path>`,
+//! `--quick`. The `--threads` flag exercises hybrid rank×thread
+//! execution; by the determinism contract the emitted JSON is
+//! byte-identical for every value (only host wall-clock changes).
 
 use std::fmt::Write as _;
 
@@ -130,6 +133,7 @@ fn main() {
     } else {
         args.get("nper", 1 << 12)
     };
+    let threads: usize = args.get("threads", 1);
     let out_path = args
         .raw("out")
         .unwrap_or("results/chaos_sweep.json")
@@ -141,12 +145,21 @@ fn main() {
     // point-to-point transport, which is where message loss bites; the
     // collective-based sorters only feel stragglers and slow links.
     let algos: Vec<(&str, SortAlgo)> = vec![
-        ("dash-histogram", SortAlgo::Histogram(SortConfig::default())),
+        (
+            "dash-histogram",
+            SortAlgo::Histogram(
+                SortConfig::builder()
+                    .threads_per_rank(threads)
+                    .build()
+                    .expect("valid config"),
+            ),
+        ),
         (
             "dash-histogram-pairwise",
             SortAlgo::Histogram(
                 SortConfig::builder()
                     .exchange(ExchangeStrategy::PairwiseMerge { overlap: false })
+                    .threads_per_rank(threads)
                     .build()
                     .expect("valid config"),
             ),

@@ -11,6 +11,15 @@
 //! * `openmp-merge-sort` — task merge sort with sequential per-pair
 //!   merges.
 //!
+//! A second table sweeps the hybrid rank×thread grid at a fixed core
+//! count: every decomposition `ranks × threads_per_rank = 28` of one
+//! Table I node, from pure MPI (28×1) to pure shared memory (1×28).
+//! Virtual charges are functions of per-rank data sizes only, so the
+//! grid isolates the *rank-level* trade-off the paper's hybrid design
+//! exploits: fewer ranks shrink the splitter rounds and the exchange,
+//! while the intra-rank threads are invisible to the virtual clock
+//! (they only cut host wall time, see `wallclock.rs`).
+//!
 //! Optionally (`--wall`) also measures *real* wall-clock time of this
 //! crate's actual shared-memory sorts (`dhs-shm`) on the host — only
 //! meaningful on a multi-core host.
@@ -49,6 +58,24 @@ fn simulated_time(cores: usize, n_total: usize, seed: u64, which: &str) -> f64 {
             "openmp" => sim_openmp_merge_sort(comm, &local),
             other => panic!("unknown contender {other}"),
         }
+        comm.now_ns() - t0
+    });
+    out.iter().map(|(t, _)| *t).max().expect("non-empty") as f64 * 1e-9
+}
+
+/// Simulated makespan of the histogram sort on `ranks` ranks with a
+/// thread budget of `threads_per_rank` each (hybrid decomposition).
+fn hybrid_time(ranks: usize, threads_per_rank: usize, n_total: usize, seed: u64) -> f64 {
+    let cluster = ClusterConfig::single_node(ranks);
+    let cfg = SortConfig::builder()
+        .threads_per_rank(threads_per_rank)
+        .build()
+        .expect("valid hybrid config");
+    let out = run(&cluster, move |comm| {
+        let n_local = n_total / comm.size();
+        let mut local = normal_keys(comm.rank(), n_local, seed);
+        let t0 = comm.now_ns();
+        histogram_sort(comm, &mut local, &cfg);
         comm.now_ns() - t0
     });
     out.iter().map(|(t, _)| *t).max().expect("non-empty") as f64 * 1e-9
@@ -99,6 +126,27 @@ fn main() {
                 format!("{:.2}x", bt / m.median),
             ]);
         }
+    }
+    t.print();
+
+    println!("\n## hybrid rank x thread grid (ranks * threads_per_rank = 28 cores)");
+    println!("# virtual charges depend on per-rank data sizes only; threads are");
+    println!("# invisible to the virtual clock (they cut host wall time instead)");
+    let mut t = Table::new(["ranks", "threads/rank", "median", "ci95", "vs-28x1"]);
+    let mut base: Option<f64> = None;
+    for (ranks, threads) in [(28usize, 1usize), (14, 2), (7, 4), (4, 7), (2, 14), (1, 28)] {
+        let times: Vec<f64> = (0..reps)
+            .map(|rep| hybrid_time(ranks, threads, n_total, 0xF164 + rep as u64))
+            .collect();
+        let m = median_ci(&times);
+        let bt = *base.get_or_insert(m.median);
+        t.row([
+            ranks.to_string(),
+            threads.to_string(),
+            fmt_secs(m.median),
+            format!("[{},{}]", fmt_secs(m.lo), fmt_secs(m.hi)),
+            format!("{:.2}x", bt / m.median),
+        ]);
     }
     t.print();
 

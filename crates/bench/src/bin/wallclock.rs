@@ -4,8 +4,8 @@
 //! performance trajectory the zero-copy work is judged against, and
 //! that every later perf PR extends.
 //!
-//! Three benchmark groups, written to `BENCH_wallclock.json`
-//! (schema `dhs-wallclock/v1`) at the repo root:
+//! Five benchmark groups, written to `BENCH_wallclock.json`
+//! (schema `dhs-wallclock/v2`) at the repo root:
 //!
 //! * `full_sort` — end-to-end histogram sort at several (p, n/p)
 //!   points: host seconds per run, plus the (unchanged) virtual
@@ -18,6 +18,23 @@
 //!   ≥2× acceptance target refers to.
 //! * `collectives_ab` — owning versus shared read-only collectives
 //!   (`allreduce_sum` / `exscan_sum_vec`) at histogram-like widths.
+//! * `local_sort_ab` — the local-sort phase A/B: the serial
+//!   `threads_per_rank = 1` execution path (`sort_unstable`) versus
+//!   the kernel the sort dispatches to at `threads_per_rank = 4`
+//!   (`parallel_merge_sort` at the host-clamped execution budget).
+//!   The ≥1.5× hybrid acceptance target refers to `local_sort_ab` +
+//!   `local_merge_ab` on a host with ≥4 cores.
+//! * `local_merge_ab` — the post-exchange merge A/B: the serial
+//!   `MergeAlgo::Resort` path (flatten + `sort_unstable`) versus the
+//!   hybrid `flat_tree_merge` over the received sorted runs.
+//!
+//! The hybrid merge wins even on a single-core host (a streaming
+//! pairwise merge tree over sorted runs does `O(n log k)` branchless
+//! moves where a re-sort pays `O(n log n)` compares); the hybrid sort
+//! reduces to exactly `sort_unstable` when the execution budget clamps
+//! to 1 and forks on real cores. The recorded `host_parallelism` field
+//! says which regime produced the numbers. Virtual time is identical
+//! on both sides by the hybrid determinism contract.
 //!
 //! Flags: `--smoke` (tiny grid for CI), `--out <path>`,
 //! `--reps <n>`.
@@ -229,6 +246,109 @@ fn bench_collectives(grid: &[(usize, usize)], reps: usize) -> Vec<AbCase> {
     out
 }
 
+/// A/B the *local* phases of hybrid rank×thread execution, measured
+/// directly on the dispatched kernels (a full-sort A/B would dilute
+/// the local phases behind the exchange and collectives). Side A is
+/// exactly what a rank executes at `threads_per_rank = 1`; side B is
+/// exactly what it executes at `threads_per_rank = 4`, including the
+/// host clamp of the execution budget (on a single-core host the
+/// hybrid sort reduces to `sort_unstable` and the hybrid merge runs
+/// the flat tree serially). Grid entries are `(p, n_per)`: the merge
+/// side merges `p` received runs of `n_per` keys; the sort side sorts
+/// the same `p * n_per` keys flat.
+fn bench_hybrid_local(
+    grid: &[(usize, usize)],
+    reps: usize,
+    threads: usize,
+) -> (Vec<AbCase>, Vec<AbCase>) {
+    let host = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let te = threads.min(host);
+    let mut sorts = Vec::new();
+    let mut merges = Vec::new();
+    for &(p, n_per) in grid {
+        let n = p * n_per;
+        let base = rank_local_keys(Distribution::paper_uniform(), Layout::Balanced, n, 1, 0, 11);
+
+        // Local sort: serial comparison path vs the hybrid fork–join
+        // merge sort at the clamped execution budget.
+        let mut serial = Vec::with_capacity(reps);
+        let mut hybrid = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let mut v = base.clone();
+            let t = Instant::now();
+            v.sort_unstable();
+            serial.push(secs(t));
+            std::hint::black_box(&v);
+
+            let mut v = base.clone();
+            let t = Instant::now();
+            dhs_shm::parallel_merge_sort(&mut v, te);
+            hybrid.push(secs(t));
+            std::hint::black_box(&v);
+        }
+        let (legacy_min_s, legacy_median_s) = min_median(serial);
+        let (zero_copy_min_s, zero_copy_median_s) = min_median(hybrid);
+        let case = AbCase {
+            label: format!("p{p}_n{n_per}"),
+            p,
+            n_per,
+            reps,
+            legacy_min_s,
+            legacy_median_s,
+            zero_copy_min_s,
+            zero_copy_median_s,
+        };
+        println!(
+            "local_sort_ab  p={p:<4} n/p={n_per:<7} serial(t1) {legacy_median_s:>9.6}s  hybrid(t{threads}) {zero_copy_median_s:>9.6}s  speedup {:.2}x",
+            case.speedup()
+        );
+        sorts.push(case);
+
+        // Post-exchange merge: serial Resort path vs the hybrid flat
+        // tree merge over the p received sorted runs.
+        let runs: Vec<Vec<u64>> = base
+            .chunks(n_per)
+            .map(|c| {
+                let mut r = c.to_vec();
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        let mut serial = Vec::with_capacity(reps);
+        let mut hybrid = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t = Instant::now();
+            let mut flat: Vec<u64> = runs.iter().flatten().copied().collect();
+            flat.sort_unstable();
+            serial.push(secs(t));
+            std::hint::black_box(&flat);
+
+            let t = Instant::now();
+            let merged = dhs_shm::flat_tree_merge(&runs, te);
+            hybrid.push(secs(t));
+            std::hint::black_box(&merged);
+        }
+        let (legacy_min_s, legacy_median_s) = min_median(serial);
+        let (zero_copy_min_s, zero_copy_median_s) = min_median(hybrid);
+        let case = AbCase {
+            label: format!("p{p}_n{n_per}"),
+            p,
+            n_per,
+            reps,
+            legacy_min_s,
+            legacy_median_s,
+            zero_copy_min_s,
+            zero_copy_median_s,
+        };
+        println!(
+            "local_merge_ab p={p:<4} n/p={n_per:<7} serial(t1) {legacy_median_s:>9.6}s  hybrid(t{threads}) {zero_copy_median_s:>9.6}s  speedup {:.2}x",
+            case.speedup()
+        );
+        merges.push(case);
+    }
+    (sorts, merges)
+}
+
 fn json_ab(cases: &[AbCase], a_key: &str, b_key: &str) -> String {
     let mut s = String::new();
     for (i, c) in cases.iter().enumerate() {
@@ -276,17 +396,27 @@ fn main() {
     } else {
         (vec![(16, 64), (32, 64), (32, 4096)], 50)
     };
+    let (local_grid, local_reps): (Vec<(usize, usize)>, usize) = if smoke {
+        (vec![(4, 16384)], 3)
+    } else {
+        (vec![(4, 262144), (8, 131072), (16, 65536)], 5)
+    };
+    let hybrid_threads: usize = args.get("threads", 4);
 
     println!("# wall-clock harness (host time; virtual clock unaffected)");
     println!("# smoke = {smoke}\n");
     let full = bench_full_sort(&sort_grid, sort_reps);
     let exchange = bench_exchange(&ex_grid, ex_reps);
     let collectives = bench_collectives(&coll_grid, coll_reps);
+    let (local_sorts, local_merges) = bench_hybrid_local(&local_grid, local_reps, hybrid_threads);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"dhs-wallclock/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"dhs-wallclock/v2\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let host = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let _ = writeln!(json, "  \"host_parallelism\": {host},");
+    let _ = writeln!(json, "  \"hybrid_threads\": {hybrid_threads},");
     let _ = writeln!(json, "  \"groups\": [");
     let _ = writeln!(json, "    {{\"name\": \"full_sort\", \"cases\": [");
     for (i, c) in full.iter().enumerate() {
@@ -311,6 +441,12 @@ fn main() {
     let _ = writeln!(json, "    ]}},");
     let _ = writeln!(json, "    {{\"name\": \"collectives_ab\", \"cases\": [");
     let _ = write!(json, "{}", json_ab(&collectives, "owning", "shared"));
+    let _ = writeln!(json, "    ]}},");
+    let _ = writeln!(json, "    {{\"name\": \"local_sort_ab\", \"cases\": [");
+    let _ = write!(json, "{}", json_ab(&local_sorts, "serial", "hybrid"));
+    let _ = writeln!(json, "    ]}},");
+    let _ = writeln!(json, "    {{\"name\": \"local_merge_ab\", \"cases\": [");
+    let _ = write!(json, "{}", json_ab(&local_merges, "serial", "hybrid"));
     let _ = writeln!(json, "    ]}}");
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");

@@ -58,12 +58,14 @@ pub fn sort<K: Key>(comm: &Comm, array: &GlobalArray<K>) -> SortStats {
 /// Sort records by an extracted key, with defaults: `dash::sort` over
 /// arbitrary `T` via the paper's key-exchange path. Collective; the
 /// records end up globally ordered by `key_fn` with perfect
-/// partitioning (every rank keeps its input count).
+/// partitioning (every rank keeps its input count). `key_fn` must be
+/// `Sync` so the hybrid rank×thread path may call it from worker
+/// threads (any pure projection closure qualifies).
 pub fn sort_by_key<T, K, F>(comm: &Comm, local: &mut Vec<T>, key_fn: F) -> SortStats
 where
     T: Clone + Send + Sync + 'static,
     K: Key,
-    F: Fn(&T) -> K,
+    F: Fn(&T) -> K + Sync,
 {
     histogram_sort_by(comm, local, key_fn, &SortConfig::default())
 }

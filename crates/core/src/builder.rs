@@ -85,6 +85,15 @@ impl SortConfigBuilder {
         self
     }
 
+    /// Intra-rank host thread budget for the local phases (hybrid
+    /// rank×thread execution). `1` (the default) keeps the fully
+    /// serial paths. Output and virtual clock are byte-identical for
+    /// every budget; `build()` rejects a budget of 0.
+    pub fn threads_per_rank(mut self, threads: usize) -> Self {
+        self.cfg.threads_per_rank = threads;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<SortConfig, InvalidSortConfig> {
         self.cfg.validate()?;
@@ -111,6 +120,7 @@ impl Default for SortConfig {
             local_sort: LocalSort::Comparison,
             unique_transform: false,
             max_splitter_iterations: None,
+            threads_per_rank: 1,
         }
     }
 }
@@ -130,6 +140,23 @@ mod tests {
         assert_eq!(built.local_sort, def.local_sort);
         assert_eq!(built.unique_transform, def.unique_transform);
         assert_eq!(built.max_splitter_iterations, def.max_splitter_iterations);
+        assert_eq!(built.threads_per_rank, def.threads_per_rank);
+        assert_eq!(def.threads_per_rank, 1, "default must be fully serial");
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads() {
+        let err = SortConfig::builder().threads_per_rank(0).build();
+        assert!(matches!(err, Err(InvalidSortConfig::ZeroThreads)));
+    }
+
+    #[test]
+    fn builder_threads_roundtrip() {
+        let cfg = SortConfig::builder()
+            .threads_per_rank(4)
+            .build()
+            .expect("4 threads per rank is valid");
+        assert_eq!(cfg.threads_per_rank, 4);
     }
 
     #[test]

@@ -51,11 +51,34 @@ pub fn plan_exchange<K: Key>(
     });
     let mut lowers: Vec<u64> = comm.pool().take_u64();
     let mut contingents: Vec<u64> = comm.pool().take_u64();
-    for info in &splitters.splitters {
-        let l = sorted_local.partition_point(|x| *x < info.key) as u64;
-        let u = sorted_local.partition_point(|x| *x <= info.key) as u64;
-        lowers.push(l);
-        contingents.push(u - l);
+    // With an intra-rank thread budget the per-splitter bounds are
+    // probed in parallel over chunks of the splitter list; the results
+    // land in splitter order either way.
+    let t = comm.threads().exec_budget();
+    if t > 1 && s >= 4 {
+        let chunk = s.div_ceil(t);
+        let parts: Vec<&[crate::splitter::SplitterInfo<K>]> =
+            splitters.splitters.chunks(chunk).collect();
+        let bounds = comm.threads().map(parts, |part| {
+            part.iter()
+                .map(|info| {
+                    let l = sorted_local.partition_point(|x| *x < info.key) as u64;
+                    let u = sorted_local.partition_point(|x| *x <= info.key) as u64;
+                    (l, u - l)
+                })
+                .collect::<Vec<_>>()
+        });
+        for (l, c) in bounds.into_iter().flatten() {
+            lowers.push(l);
+            contingents.push(c);
+        }
+    } else {
+        for info in &splitters.splitters {
+            let l = sorted_local.partition_point(|x| *x < info.key) as u64;
+            let u = sorted_local.partition_point(|x| *x <= info.key) as u64;
+            lowers.push(l);
+            contingents.push(u - l);
+        }
     }
 
     // Refinement (Algorithm 4): splitter i's excess over the global

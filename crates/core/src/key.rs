@@ -79,6 +79,10 @@ signed_key!(i8 => u8: 8, i16 => u16: 16, i32 => u32: 32, i64 => u64: 64);
 pub struct OrderedF64(pub f64);
 
 impl OrderedF64 {
+    /// Wrap a float.
+    ///
+    /// # Panics
+    /// Panics on NaN, which has no total order.
     pub fn new(x: f64) -> Self {
         assert!(!x.is_nan(), "OrderedF64 cannot hold NaN");
         OrderedF64(x)
@@ -127,6 +131,10 @@ impl Key for OrderedF64 {
 pub struct OrderedF32(pub f32);
 
 impl OrderedF32 {
+    /// Wrap a float.
+    ///
+    /// # Panics
+    /// Panics on NaN, which has no total order.
     pub fn new(x: f32) -> Self {
         assert!(!x.is_nan(), "OrderedF32 cannot hold NaN");
         OrderedF32(x)
@@ -177,8 +185,11 @@ impl Key for OrderedF32 {
 /// notes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct UniqueKey<K: Key> {
+    /// The original key (most significant in the ordering).
     pub key: K,
+    /// Origin rank of the key (first tiebreaker).
     pub rank: u32,
+    /// Position within the origin rank's block (second tiebreaker).
     pub index: u32,
 }
 

@@ -30,6 +30,7 @@
 //! assert!(all.windows(2).all(|w| w[0] <= w[1]));
 //! ```
 
+#![warn(missing_docs)]
 pub mod api;
 pub mod builder;
 pub mod exchange;

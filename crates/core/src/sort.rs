@@ -46,7 +46,10 @@ pub enum ExchangeStrategy {
     /// Explicit pairwise 1-factor rounds with eager binary merging of
     /// each received chunk (§VI-E1). With `overlap`, merge work hides
     /// behind the next round's transfer.
-    PairwiseMerge { overlap: bool },
+    PairwiseMerge {
+        /// Overlap each round's merge with the next round's transfer.
+        overlap: bool,
+    },
 }
 
 /// Configuration of one sort invocation.
@@ -76,6 +79,19 @@ pub struct SortConfig {
     /// adversarial keys). `None` (default) lets the search run to its
     /// key-width convergence bound.
     pub max_splitter_iterations: Option<u32>,
+    /// Intra-rank host-thread budget for hybrid rank×thread execution
+    /// (default 1 = fully serial ranks). With a budget above 1, the
+    /// local phases — initial local sort, per-round histogram counting
+    /// over splitter candidates, and the post-exchange merge — dispatch
+    /// to the deterministic `dhs-shm` fork/pmerge/radix kernels via the
+    /// [`dhs_runtime::ThreadPool`] owned by this rank's `Comm`.
+    ///
+    /// **Determinism contract:** the budget affects *host* wall-clock
+    /// only. Sorted output and the virtual clock are byte-identical for
+    /// every value (parallel kernels are stable with data-deterministic
+    /// split points; all `Work` charges are computed from data sizes,
+    /// never from host threading). Pinned by `tests/hybrid_threads.rs`.
+    pub threads_per_rank: usize,
 }
 
 /// A [`SortConfig`] that cannot be executed.
@@ -85,6 +101,8 @@ pub enum InvalidSortConfig {
     BadEpsilon(f64),
     /// A splitter-iteration cap of 0 can never place a boundary.
     ZeroIterationCap,
+    /// A thread budget of 0 leaves no thread to run the rank itself.
+    ZeroThreads,
 }
 
 impl fmt::Display for InvalidSortConfig {
@@ -95,6 +113,9 @@ impl fmt::Display for InvalidSortConfig {
             }
             InvalidSortConfig::ZeroIterationCap => {
                 write!(f, "max_splitter_iterations must be at least 1 when set")
+            }
+            InvalidSortConfig::ZeroThreads => {
+                write!(f, "threads_per_rank must be at least 1")
             }
         }
     }
@@ -112,23 +133,29 @@ impl SortConfig {
         if self.max_splitter_iterations == Some(0) {
             return Err(InvalidSortConfig::ZeroIterationCap);
         }
+        if self.threads_per_rank == 0 {
+            return Err(InvalidSortConfig::ZeroThreads);
+        }
         Ok(())
     }
 }
 
-/// Run the configured local sort and charge its modelled cost.
-fn local_sort_exec<K: Key>(comm: &Comm, data: &mut [K], engine: LocalSort) {
-    let n = data.len() as u64;
+/// Charge the modelled cost of a local sort of `n` keys under
+/// `engine`. Split from execution so the hybrid paths (which may run a
+/// different host kernel, e.g. a k-way merge standing in for a
+/// re-sort) charge exactly what the serial path charges — the charges
+/// depend only on `n` and the key width, never on `threads_per_rank`,
+/// which is what keeps the virtual clock byte-identical across thread
+/// budgets.
+fn charge_local_sort<K: Key>(comm: &Comm, n: u64, engine: LocalSort) {
     match engine {
         LocalSort::Comparison => {
-            data.sort_unstable();
             comm.charge(Work::SortElems {
                 n,
                 elem_bytes: std::mem::size_of::<K>() as u64,
             });
         }
         LocalSort::Radix => {
-            dhs_shm::radix_sort_by_bits(data, |x| x.to_bits(), K::BITS);
             // One streaming read + one scattered write per pass.
             let passes = K::BITS.div_ceil(8) as u64;
             comm.charge(Work::MoveBytes(
@@ -136,6 +163,33 @@ fn local_sort_exec<K: Key>(comm: &Comm, data: &mut [K], engine: LocalSort) {
             ));
             comm.charge(Work::RandomAccesses(passes * n / 8));
         }
+    }
+}
+
+/// Run the configured local sort and charge its modelled cost. With an
+/// intra-rank thread budget above 1 the *host* execution dispatches to
+/// the parallel `dhs-shm` kernel matching the configured engine
+/// (fork–join merge sort for [`LocalSort::Comparison`], radix-sorted
+/// halves with a stable bit-projection merge for [`LocalSort::Radix`]);
+/// the kernels run at the host-clamped [`dhs_runtime::ThreadPool::exec_budget`],
+/// and at an effective fan-out of 1 they reduce to exactly the serial
+/// engine. The sorted output is identical for any budget, and the
+/// virtual clock always charges the configured engine's model.
+fn local_sort_exec<K: Key>(comm: &Comm, data: &mut [K], engine: LocalSort) {
+    charge_local_sort::<K>(comm, data.len() as u64, engine);
+    if comm.threads().is_parallel() {
+        let te = comm.threads().exec_budget();
+        match engine {
+            LocalSort::Comparison => dhs_shm::parallel_merge_sort(data, te),
+            LocalSort::Radix => {
+                dhs_shm::radix_merge_sort_by_bits(data, te, &|x: &K| x.to_bits(), K::BITS)
+            }
+        }
+        return;
+    }
+    match engine {
+        LocalSort::Comparison => data.sort_unstable(),
+        LocalSort::Radix => dhs_shm::radix_sort_by_bits(data, |x| x.to_bits(), K::BITS),
     }
 }
 
@@ -158,6 +212,7 @@ pub enum SortOutcome {
 }
 
 impl SortOutcome {
+    /// Whether the iteration cap forced a degraded partition.
     pub fn is_degraded(&self) -> bool {
         matches!(self, SortOutcome::Degraded { .. })
     }
@@ -179,8 +234,9 @@ pub struct SortStats {
     pub exchange_ns: u64,
     /// Local merge of received runs.
     pub merge_ns: u64,
-    /// Keys held before / after.
+    /// Keys held by this rank before the sort.
     pub n_in: usize,
+    /// Keys held by this rank after the sort.
     pub n_out: usize,
     /// Whether the partition met the configured ε or was degraded by
     /// the splitter-iteration cap.
@@ -202,6 +258,7 @@ pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig)
     if let Err(e) = cfg.validate() {
         panic!("invalid SortConfig: {e}");
     }
+    comm.threads().configure(cfg.threads_per_rank);
     let t_begin = comm.now_ns();
     let mut stats = SortStats {
         n_in: local.len(),
@@ -210,7 +267,9 @@ pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig)
 
     // Phase 1: local sort.
     let sp = comm.span("local_sort");
+    let intra = comm.intra_span("local_sort");
     local_sort_exec(comm, local, cfg.local_sort);
+    drop(intra);
     stats.local_sort_ns = sp.finish();
 
     // Global shape ("Other" in the paper's breakdown: everything that
@@ -275,8 +334,15 @@ fn outcome_of<K>(res: &SplitterResult<K>, n_total: u64, p: usize) -> SortOutcome
 /// Sort a distributed vector of arbitrary records by an extracted
 /// [`Key`] — the `std::sort`-with-projection form scientific codes use
 /// (e.g. particles keyed by Morton code, matrix nonzeros keyed by
-/// row). Collective. The local merge is always a re-sort (the paper's
-/// evaluated configuration), since the merge engines operate on keys.
+/// row). Collective. The local merge is always a (stable) re-sort of
+/// the received records (the paper's evaluated configuration); with an
+/// intra-rank thread budget both local phases dispatch to the *stable*
+/// `dhs-shm` kernels, whose output is element-for-element identical to
+/// the serial stable sort for every `threads_per_rank`.
+///
+/// `key_fn` must be `Sync` so the hybrid path may evaluate it from
+/// worker threads; key extraction is pure, so any ordinary projection
+/// closure qualifies.
 pub fn histogram_sort_by<T, K, F>(
     comm: &Comm,
     local: &mut Vec<T>,
@@ -286,11 +352,12 @@ pub fn histogram_sort_by<T, K, F>(
 where
     T: Clone + Send + Sync + 'static,
     K: Key,
-    F: Fn(&T) -> K,
+    F: Fn(&T) -> K + Sync,
 {
     if let Err(e) = cfg.validate() {
         panic!("invalid SortConfig: {e}");
     }
+    comm.threads().configure(cfg.threads_per_rank);
     let t_begin = comm.now_ns();
     let mut stats = SortStats {
         n_in: local.len(),
@@ -298,13 +365,22 @@ where
     };
     let elem = std::mem::size_of::<T>() as u64;
 
-    // Phase 1: local sort by key.
+    // Phase 1: local sort by key (stable, like `slice::sort_by_key`;
+    // the hybrid kernel reproduces the stable order exactly).
     let sp = comm.span("local_sort");
-    local.sort_by_key(|x| key_fn(x));
+    let intra = comm.intra_span("local_sort");
+    let t = comm.threads().budget();
+    if t > 1 {
+        let te = comm.threads().exec_budget();
+        dhs_shm::parallel_merge_sort_by(local, te, &|a: &T, b: &T| key_fn(a).cmp(&key_fn(b)));
+    } else {
+        local.sort_by_key(|x| key_fn(x));
+    }
     comm.charge(Work::SortElems {
         n: local.len() as u64,
         elem_bytes: elem,
     });
+    drop(intra);
     stats.local_sort_ns = sp.finish();
 
     let sp = comm.span("prepare");
@@ -356,15 +432,27 @@ where
     let received = comm.alltoallv(buckets);
     stats.exchange_ns = sp.finish();
 
-    // Phase 4: re-sort the received records by key.
+    // Phase 4: re-sort the received records by key. Every received
+    // bucket is a slice of a sorted array, so the hybrid path merges
+    // the buckets stably instead — identical to the serial stable
+    // re-sort of the concatenation, charged identically.
     let sp = comm.span("merge");
+    let intra = comm.intra_span("merge");
     let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
     comm.charge(Work::SortElems {
         n: n_recv,
         elem_bytes: elem,
     });
-    *local = received.into_iter().flatten().collect();
-    local.sort_by_key(|x| key_fn(x));
+    if t > 1 {
+        let te = comm.threads().exec_budget();
+        *local = dhs_shm::parallel_binary_tree_merge_by(&received, te, &|a: &T, b: &T| {
+            key_fn(a).cmp(&key_fn(b))
+        });
+    } else {
+        *local = received.into_iter().flatten().collect();
+        local.sort_by_key(|x| key_fn(x));
+    }
+    drop(intra);
     stats.merge_ns = sp.finish();
     stats.n_out = local.len();
     debug_assert_eq!(
@@ -412,16 +500,34 @@ fn run_pipeline<K: Key>(
 
             // Phase 4: local merge of the received sorted runs,
             // consumed in place from the contiguous receive buffer.
+            // With an intra-rank thread budget the merge dispatches to
+            // the chunked parallel k-way kernel over the borrowed
+            // runs; charges always follow the *configured* engine, so
+            // the virtual clock is identical for every budget.
             let sp = comm.span("merge");
+            let intra = comm.intra_span("merge");
+            let t = comm.threads().budget();
             let n_recv = received.total_len() as u64;
             let ways = received.runs().filter(|r| !r.is_empty()).count() as u64;
             match cfg.merge {
-                MergeAlgo::Resort => {
+                MergeAlgo::Resort if t <= 1 => {
                     // The receive buffer is already flat: re-sort it
                     // directly, zero copies.
                     let mut all: Vec<K> = received.into_data();
                     local_sort_exec(comm, &mut all, cfg.local_sort);
                     *sorted_local = all;
+                }
+                MergeAlgo::Resort => {
+                    // Hybrid host execution: the received runs are
+                    // already sorted, so merge them with the flat
+                    // pairwise tree instead of re-sorting the flat
+                    // buffer — a genuine algorithmic win even at an
+                    // effective fan-out of 1. Output is the same sorted
+                    // key sequence; the charge is the modelled re-sort,
+                    // as configured.
+                    charge_local_sort::<K>(comm, n_recv, cfg.local_sort);
+                    let te = comm.threads().exec_budget();
+                    *sorted_local = dhs_shm::flat_tree_merge(&received.as_slices(), te);
                 }
                 _ => {
                     comm.charge(Work::MergeElems {
@@ -429,9 +535,15 @@ fn run_pipeline<K: Key>(
                         ways: ways.max(2),
                         elem_bytes: elem,
                     });
-                    *sorted_local = kway_merge(cfg.merge, &received.as_slices());
+                    *sorted_local = if t > 1 {
+                        let te = comm.threads().exec_budget();
+                        dhs_shm::parallel_kway_chunked(&received.as_slices(), te, cfg.merge)
+                    } else {
+                        kway_merge(cfg.merge, &received.as_slices())
+                    };
                 }
             }
+            drop(intra);
             stats.merge_ns = sp.finish();
         }
         ExchangeStrategy::PairwiseMerge { overlap } => {

@@ -121,7 +121,10 @@ pub enum InitialBounds {
     /// (`per_rank` probes per rank). Brackets may miss the true
     /// splitter; the search then falls back to the data min/max
     /// bracket for that splitter.
-    SampledQuantiles { per_rank: usize },
+    SampledQuantiles {
+        /// Probes taken per rank for the one-shot sample.
+        per_rank: usize,
+    },
 }
 
 /// Determine all splitters for the given global boundary `targets`
@@ -348,12 +351,30 @@ pub fn find_splitters_cfg<K: Key>(
             n,
         });
         // Pooled counts buffer: every refinement round reuses the same
-        // allocation instead of growing a fresh vector.
+        // allocation instead of growing a fresh vector. With an
+        // intra-rank thread budget the probes are counted in parallel
+        // over chunks of `mids`; the counts land in probe order either
+        // way, so the reduction input is identical.
         let mut histogram: Vec<u64> = comm.pool().take_u64();
         histogram.reserve(2 * active.len());
-        for &(_, mid) in &mids {
-            histogram.push(sorted_local.partition_point(|x| *x < mid) as u64);
-            histogram.push(sorted_local.partition_point(|x| *x <= mid) as u64);
+        let t = comm.threads().exec_budget();
+        if t > 1 && mids.len() >= 4 {
+            let chunk = mids.len().div_ceil(t);
+            let chunks: Vec<&[(u128, K)]> = mids.chunks(chunk).collect();
+            let counted = comm.threads().map(chunks, |part| {
+                let mut out = Vec::with_capacity(2 * part.len());
+                for &(_, mid) in part {
+                    out.push(sorted_local.partition_point(|x| *x < mid) as u64);
+                    out.push(sorted_local.partition_point(|x| *x <= mid) as u64);
+                }
+                out
+            });
+            histogram.extend(counted.into_iter().flatten());
+        } else {
+            for &(_, mid) in &mids {
+                histogram.push(sorted_local.partition_point(|x| *x < mid) as u64);
+                histogram.push(sorted_local.partition_point(|x| *x <= mid) as u64);
+            }
         }
 
         // One global reduction per iteration (Alg. 3 line 8). The local

@@ -10,11 +10,24 @@ use crate::key::Key;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SortViolation {
     /// `local[i] > local[i+1]` on some rank.
-    LocalOrder { rank: usize, index: usize },
+    LocalOrder {
+        /// Rank holding the out-of-order pair.
+        rank: usize,
+        /// Index of the first element of the inverted pair.
+        index: usize,
+    },
     /// The last key of `rank` exceeds the first key of `rank + 1`.
-    BoundaryOrder { rank: usize },
+    BoundaryOrder {
+        /// The left rank of the violated boundary.
+        rank: usize,
+    },
     /// The global key count changed.
-    CountMismatch { before: u64, after: u64 },
+    CountMismatch {
+        /// Global key count before the sort.
+        before: u64,
+        /// Global key count after the sort.
+        after: u64,
+    },
     /// The multiset of keys changed (checksum mismatch).
     ChecksumMismatch,
 }

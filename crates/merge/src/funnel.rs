@@ -1,6 +1,6 @@
 //! Lazy-funnel k-way merge — the cache-oblivious merger the paper
 //! flags as future work for its merge phase ("we ... may consider a
-//! cache oblivious merge algorithm [36]", §VI-E2).
+//! cache oblivious merge algorithm \[36\]", §VI-E2).
 //!
 //! The merger is a tree of √k-ary nodes; every internal node owns a
 //! buffer that is refilled in bursts from its children. Bursty

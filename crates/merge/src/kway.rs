@@ -21,7 +21,7 @@ pub enum MergeAlgo {
     Heap,
     Resort,
     /// Cache-oblivious lazy funnel (the paper's §VI-E2 future-work
-    /// direction, ref [36]).
+    /// direction, ref \[36\]).
     Funnel,
 }
 

@@ -22,4 +22,7 @@ pub use kway::{
     binary_tree_merge, heap_merge, kway_merge, resort_merge, tournament_merge, MergeAlgo,
     TournamentTree,
 };
-pub use two_way::{lower_bound, merge_two, merge_two_into, upper_bound};
+pub use two_way::{
+    lower_bound, lower_bound_by, merge_two, merge_two_by_into, merge_two_into, upper_bound,
+    upper_bound_by,
+};

@@ -27,6 +27,33 @@ pub fn merge_two<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
     out
 }
 
+/// Stable two-way merge under an explicit comparator: ties take from
+/// `a` first, so merging a left run `a` with a right run `b` preserves
+/// the concatenation order of equal elements. This is the
+/// record-capable (`Clone`, not `Copy`) kernel behind the parallel
+/// leaf merges of `dhs-shm`.
+pub fn merge_two_by_into<T, F>(a: &[T], b: &[T], out: &mut Vec<T>, cmp: &F)
+where
+    T: Clone,
+    F: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        if cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater {
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
 /// Index of the first element in sorted `data` that is `>= key`
 /// (`lower_bound`).
 pub fn lower_bound<T: Ord>(data: &[T], key: &T) -> usize {
@@ -37,6 +64,22 @@ pub fn lower_bound<T: Ord>(data: &[T], key: &T) -> usize {
 /// (`upper_bound`).
 pub fn upper_bound<T: Ord>(data: &[T], key: &T) -> usize {
     data.partition_point(|x| x <= key)
+}
+
+/// [`lower_bound`] under an explicit comparator.
+pub fn lower_bound_by<T, F>(data: &[T], key: &T, cmp: &F) -> usize
+where
+    F: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    data.partition_point(|x| cmp(x, key) == std::cmp::Ordering::Less)
+}
+
+/// [`upper_bound`] under an explicit comparator.
+pub fn upper_bound_by<T, F>(data: &[T], key: &T, cmp: &F) -> usize
+where
+    F: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    data.partition_point(|x| cmp(x, key) != std::cmp::Ordering::Greater)
 }
 
 #[cfg(test)]

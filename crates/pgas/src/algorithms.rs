@@ -1,6 +1,6 @@
 //! STL-like global algorithms over [`GlobalArray`]s — DASH's
 //! "containers and algorithms to operate on global data" surface
-//! (paper §VI-A1, ref [33]). Every function is collective and follows
+//! (paper §VI-A1, ref \[33\]). Every function is collective and follows
 //! the owner-computes model: each rank scans its local block, then one
 //! reduction combines the partial results.
 

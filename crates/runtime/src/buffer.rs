@@ -107,15 +107,21 @@ pub struct SharedSlice<T> {
 }
 
 impl<T> SharedSlice<T> {
+    /// A view of `buf[start..start + len]`.
+    ///
+    /// # Panics
+    /// Panics when the window exceeds the buffer.
     pub fn new(buf: Arc<Vec<T>>, start: usize, len: usize) -> Self {
         assert!(start + len <= buf.len(), "view out of bounds");
         Self { buf, start, len }
     }
 
+    /// Number of elements in the view.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

@@ -19,6 +19,7 @@ use crate::cost::{CostModel, Work};
 use crate::fault::{unit_draw, RankAbort, RankError};
 use crate::state::{CollectiveCtx, CommState, EndTimes, Message, World};
 use crate::stats::{RankLocal, RankReport};
+use crate::threads::ThreadPool;
 use crate::topology::Topology;
 use crate::trace::{SpanGuard, TraceSink};
 
@@ -55,6 +56,8 @@ pub struct Comm {
     send_seq: RefCell<HashMap<(usize, u64), u64>>,
     /// Scratch-buffer free lists reused across collective rounds.
     pool: BufferPool,
+    /// Intra-rank host-thread budget for hybrid rank×thread execution.
+    threads: ThreadPool,
 }
 
 /// A type-erased borrowed view of slices living on the depositing
@@ -199,6 +202,7 @@ impl Comm {
             straggler_factor,
             send_seq: RefCell::new(HashMap::new()),
             pool: BufferPool::default(),
+            threads: ThreadPool::new(),
         }
     }
 
@@ -250,6 +254,26 @@ impl Comm {
     /// staging) instead of reallocating every refinement round.
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// Intra-rank thread pool of this rank's handle. Local compute
+    /// phases read its budget (configured per sort via
+    /// `SortConfig::threads_per_rank` in `dhs-core`) and spend it on
+    /// the deterministic `dhs-shm` fork–join kernels. The budget never
+    /// influences the virtual clock — see [`crate::threads`].
+    pub fn threads(&self) -> &ThreadPool {
+        &self.threads
+    }
+
+    /// Open a span attributing local compute to the intra-rank thread
+    /// pool: named `"{phase}@t{budget}"`, nested inside the phase's own
+    /// span. Returns `None` with a serial budget so traces of the
+    /// default configuration are unchanged. Spans never advance the
+    /// clock, so this preserves the traced/untraced and
+    /// any-`threads_per_rank` bit-identity contracts.
+    pub fn intra_span(&self, phase: &str) -> Option<SpanGuard<'_>> {
+        let t = self.threads.budget();
+        (t > 1).then(|| self.span(format!("{phase}@t{t}")))
     }
 
     pub(crate) fn world(&self) -> &Arc<World> {
@@ -793,7 +817,7 @@ impl Comm {
     /// with `(counts, displs)` marking the per-source runs.
     ///
     /// Identical virtual-clock behaviour and byte accounting as
-    /// [`Comm::alltoallv`]: both paths share [`alltoallv_end_times`],
+    /// [`Comm::alltoallv`]: both paths share `alltoallv_end_times`,
     /// and the cost model reads only lengths and link classes.
     pub fn alltoallv_slices<T>(&self, send: &[&[T]]) -> RecvRuns<T>
     where

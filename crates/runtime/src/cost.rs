@@ -5,7 +5,7 @@
 //! standard recursive-doubling / binomial-tree formulas over `⌈log₂ P⌉`
 //! rounds at the worst link class present in the communicator, except the
 //! personalized all-to-all exchanges which are charged per peer along a
-//! 1-factor pairwise schedule (Sanders & Träff [34] in the paper).
+//! 1-factor pairwise schedule (Sanders & Träff \[34\] in the paper).
 //!
 //! Compute work is charged explicitly by the algorithms through
 //! [`Work`] values so that simulated times are deterministic and
@@ -234,11 +234,28 @@ pub enum Work {
     /// `n` dependent random memory accesses.
     RandomAccesses(u64),
     /// Comparison-sorting `n` elements of `elem_bytes` each.
-    SortElems { n: u64, elem_bytes: u64 },
+    SortElems {
+        /// Element count.
+        n: u64,
+        /// Size of one element in bytes.
+        elem_bytes: u64,
+    },
     /// Merging `n` total elements from `ways` sorted runs.
-    MergeElems { n: u64, ways: u64, elem_bytes: u64 },
+    MergeElems {
+        /// Total element count across all runs.
+        n: u64,
+        /// Number of sorted input runs.
+        ways: u64,
+        /// Size of one element in bytes.
+        elem_bytes: u64,
+    },
     /// `searches` binary searches over a sorted run of length `n`.
-    BinarySearches { searches: u64, n: u64 },
+    BinarySearches {
+        /// Number of searches.
+        searches: u64,
+        /// Length of the sorted run searched.
+        n: u64,
+    },
     /// A raw nanosecond charge.
     Ns(u64),
 }

@@ -32,6 +32,7 @@ use crate::topology::LinkClass;
 /// Multiplicative compute slowdown on one rank (global rank id).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Straggler {
+    /// Global rank id the slowdown applies to.
     pub rank: usize,
     /// Compute charges on this rank are multiplied by this factor
     /// (must be >= 1: faults slow ranks down, never speed them up).
@@ -88,7 +89,9 @@ impl Default for LossSpec {
 /// after `at_ns`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Crash {
+    /// Global rank id to kill.
     pub rank: usize,
+    /// Virtual deadline; the rank dies at its next interaction.
     pub at_ns: u64,
 }
 
@@ -97,13 +100,18 @@ pub struct Crash {
 pub struct FaultPlan {
     /// Seed for all probabilistic decisions (message loss, duplicates).
     pub seed: u64,
+    /// Per-rank compute slowdowns.
     pub stragglers: Vec<Straggler>,
+    /// Degraded-link windows.
     pub link_faults: Vec<LinkFault>,
+    /// Probabilistic message loss/duplication, if any.
     pub loss: Option<LossSpec>,
+    /// Rank kills at virtual deadlines.
     pub crashes: Vec<Crash>,
 }
 
 impl FaultPlan {
+    /// An empty plan carrying only a seed.
     pub fn seeded(seed: u64) -> Self {
         Self {
             seed,
@@ -272,12 +280,25 @@ fn mix(mut z: u64) -> u64 {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RankError {
     /// The rank was killed by the fault plan at a virtual deadline.
-    Crashed { rank: usize, at_ns: u64 },
+    Crashed {
+        /// The killed rank.
+        rank: usize,
+        /// The virtual deadline that fired.
+        at_ns: u64,
+    },
     /// The rank's body panicked on its own.
-    Panicked { rank: usize, message: String },
+    Panicked {
+        /// The panicking rank.
+        rank: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
     /// The rank aborted a blocking operation because some other rank
     /// failed first (poison propagation, not a root cause).
-    PeerFailed { rank: usize },
+    PeerFailed {
+        /// The aborting rank (not the root cause).
+        rank: usize,
+    },
 }
 
 impl RankError {

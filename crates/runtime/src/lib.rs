@@ -23,6 +23,7 @@
 //! assert!(results.iter().all(|(v, _)| *v == 0 + 1 + 2 + 3));
 //! ```
 
+#![warn(missing_docs)]
 pub mod buffer;
 pub mod comm;
 pub mod cost;
@@ -30,6 +31,7 @@ pub mod fault;
 pub mod runner;
 pub mod state;
 pub mod stats;
+pub mod threads;
 pub mod topology;
 pub mod trace;
 
@@ -41,6 +43,7 @@ pub use runner::{
     run, run_summarized, run_traced, try_run, try_run_traced, ClusterConfig, RunError, TracedRun,
 };
 pub use stats::{CounterSnapshot, RankReport, RunSummary};
+pub use threads::ThreadPool;
 pub use topology::{LinkClass, Placement, Topology};
 pub use trace::{
     validate_chrome_trace, ChromeTraceCheck, EventRecord, PhaseStat, PhaseSummary, RankTrace,

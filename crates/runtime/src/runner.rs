@@ -14,7 +14,9 @@ use crate::Comm;
 /// Configuration of one simulated run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
+    /// Physical layout of ranks over NUMA domains and nodes.
     pub topology: Topology,
+    /// The α–β communication cost model for the run.
     pub cost: CostModel,
     /// Faults to inject during the run; [`FaultPlan::default`] is a
     /// fault-free run with zero modelling overhead.
@@ -75,6 +77,7 @@ impl ClusterConfig {
         }
     }
 
+    /// Replace the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
         self
@@ -93,6 +96,7 @@ impl ClusterConfig {
         self
     }
 
+    /// Total rank count of the configured topology.
     pub fn ranks(&self) -> usize {
         self.topology.ranks()
     }
@@ -141,6 +145,7 @@ impl std::error::Error for RunError {}
 pub struct TracedRun<R> {
     /// One `(value, report)` pair per rank, ordered by rank.
     pub ranks: Vec<(R, RankReport)>,
+    /// The recorded trace (empty when tracing was off).
     pub trace: RunTrace,
 }
 

@@ -1,6 +1,6 @@
 //! Shared data plane backing a communicator.
 //!
-//! Every communicator owns one [`CollectiveCell`] (a generation-counted
+//! Every communicator owns one `CollectiveCell` (a generation-counted
 //! rendezvous through which all collectives move their payloads) and one
 //! mailbox per member rank for point-to-point messages. Payloads are
 //! type-erased so a single cell serves collectives of any element type.
@@ -31,7 +31,9 @@ const POISON_GRACE_POLLS: u32 = 200;
 
 /// Machine-wide immutable context shared by all communicators of a run.
 pub struct World {
+    /// Physical layout of ranks over NUMA domains and nodes.
     pub topology: Topology,
+    /// The α–β communication cost model in effect.
     pub cost: CostModel,
     /// Fault-injection plan in effect (inert by default).
     pub fault: FaultPlan,
@@ -46,14 +48,17 @@ pub struct World {
 }
 
 impl World {
+    /// A fault-free, untraced world.
     pub fn new(topology: Topology, cost: CostModel) -> Arc<Self> {
         Self::with_fault(topology, cost, FaultPlan::default())
     }
 
+    /// A world with a fault plan and tracing off.
     pub fn with_fault(topology: Topology, cost: CostModel, fault: FaultPlan) -> Arc<Self> {
         Self::with_config(topology, cost, fault, TraceConfig::Off)
     }
 
+    /// A world with explicit fault plan and trace configuration.
     pub fn with_config(
         topology: Topology,
         cost: CostModel,
@@ -79,10 +84,12 @@ impl World {
         })
     }
 
+    /// Whether any rank has failed (collectives must abort).
     pub fn poisoned(&self) -> bool {
         self.poison.load(Ordering::Relaxed)
     }
 
+    /// Mark the run as failed so blocked peers abort.
     pub fn poison_now(&self) {
         self.poison.store(true, Ordering::Relaxed);
     }
@@ -205,7 +212,9 @@ impl CollectiveCell {
 
 /// Context handed to the combine closure of a collective.
 pub struct CollectiveCtx<'a> {
+    /// The cost model of the run.
     pub cost: &'a CostModel,
+    /// The topology of the run.
     pub topology: &'a Topology,
     /// Communicator-rank -> global-rank mapping.
     pub global_ranks: &'a [usize],
@@ -227,6 +236,7 @@ pub enum EndTimes {
 
 /// Backing state of one communicator.
 pub struct CommState {
+    /// The machine-wide context this communicator lives in.
     pub world: Arc<World>,
     /// Communicator-rank -> global-rank.
     pub global_ranks: Vec<usize>,
@@ -237,6 +247,7 @@ pub struct CommState {
 }
 
 impl CommState {
+    /// A communicator over `global_ranks` (index = communicator rank).
     pub fn new(world: Arc<World>, global_ranks: Vec<usize>) -> Arc<Self> {
         let n = global_ranks.len();
         assert!(n > 0, "communicator must have at least one member");
@@ -250,6 +261,7 @@ impl CommState {
         })
     }
 
+    /// Number of member ranks.
     pub fn size(&self) -> usize {
         self.global_ranks.len()
     }

@@ -19,21 +19,30 @@ pub struct RankLocal {
 /// relaxed: each instance is only ever written by its own rank-thread.
 #[derive(Debug, Default)]
 pub struct Counters {
+    /// Bytes this rank sent to itself (self-loop copies).
     pub bytes_self: AtomicU64,
+    /// Bytes sent to ranks on the same NUMA domain.
     pub bytes_intra_numa: AtomicU64,
+    /// Bytes sent to ranks on the same node, across NUMA domains.
     pub bytes_intra_node: AtomicU64,
+    /// Bytes sent to ranks on other nodes.
     pub bytes_inter_node: AtomicU64,
+    /// Point-to-point messages initiated by this rank.
     pub p2p_messages: AtomicU64,
     /// Retransmissions forced by injected message loss.
     pub p2p_retries: AtomicU64,
     /// Stray duplicate deliveries injected by the fault plan.
     pub p2p_duplicates: AtomicU64,
+    /// Collective operations this rank participated in.
     pub collectives: AtomicU64,
+    /// Virtual nanoseconds attributed to local compute charges.
     pub compute_ns: AtomicU64,
+    /// Virtual nanoseconds attributed to communication.
     pub comm_ns: AtomicU64,
 }
 
 impl Counters {
+    /// Credit `bytes` of traffic to the counter for `class`.
     pub fn add_bytes(&self, class: LinkClass, bytes: u64) {
         let slot = match class {
             LinkClass::SelfLoop => &self.bytes_self,
@@ -98,19 +107,30 @@ impl RankLocal {
 /// Plain-value snapshot of a rank's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CounterSnapshot {
+    /// Bytes this rank sent to itself (self-loop copies).
     pub bytes_self: u64,
+    /// Bytes sent to ranks on the same NUMA domain.
     pub bytes_intra_numa: u64,
+    /// Bytes sent to ranks on the same node, across NUMA domains.
     pub bytes_intra_node: u64,
+    /// Bytes sent to ranks on other nodes.
     pub bytes_inter_node: u64,
+    /// Point-to-point messages initiated by this rank.
     pub p2p_messages: u64,
+    /// Retransmissions forced by injected message loss.
     pub p2p_retries: u64,
+    /// Stray duplicate deliveries injected by the fault plan.
     pub p2p_duplicates: u64,
+    /// Collective operations this rank participated in.
     pub collectives: u64,
+    /// Virtual nanoseconds attributed to local compute charges.
     pub compute_ns: u64,
+    /// Virtual nanoseconds attributed to communication.
     pub comm_ns: u64,
 }
 
 impl CounterSnapshot {
+    /// Total bytes this rank sent, across all link classes.
     pub fn total_bytes(&self) -> u64 {
         self.bytes_self + self.bytes_intra_numa + self.bytes_intra_node + self.bytes_inter_node
     }
@@ -123,6 +143,7 @@ impl CounterSnapshot {
 pub struct RankReport {
     /// Virtual completion time in nanoseconds.
     pub clock_ns: u64,
+    /// Flat traffic and operation counters.
     pub counters: CounterSnapshot,
     /// Top-level phase totals `(name, virtual ns)` in first-appearance
     /// order, derived from the trace layer's depth-0 spans.
@@ -163,6 +184,7 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
+    /// Aggregate per-rank reports (max clock, summed traffic).
     pub fn from_reports(reports: &[RankReport]) -> Self {
         let mut s = RunSummary::default();
         for r in reports {

@@ -33,6 +33,7 @@ pub enum TraceConfig {
 }
 
 impl TraceConfig {
+    /// Whether tracing is enabled.
     pub fn is_on(self) -> bool {
         matches!(self, TraceConfig::On)
     }
@@ -41,11 +42,14 @@ impl TraceConfig {
 /// One closed span on a rank's timeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
+    /// Span name (phase label or operation name).
     pub name: Cow<'static, str>,
     /// Category: `"phase"` for user spans, `"collective"` / `"p2p"` for
     /// auto-recorded runtime operations.
     pub cat: &'static str,
+    /// Virtual open time of the span, in nanoseconds.
     pub start_ns: u64,
+    /// Virtual close time of the span, in nanoseconds.
     pub end_ns: u64,
     /// Nesting depth at open time (0 = top-level phase).
     pub depth: usize,
@@ -54,6 +58,7 @@ pub struct SpanRecord {
 }
 
 impl SpanRecord {
+    /// Virtual duration covered by the span.
     pub fn duration_ns(&self) -> u64 {
         self.end_ns.saturating_sub(self.start_ns)
     }
@@ -63,10 +68,13 @@ impl SpanRecord {
 /// duplicate, one-sided transfer, crash).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventRecord {
+    /// Event name (e.g. `"send"`, `"retry"`, `"crash"`).
     pub name: &'static str,
+    /// Virtual timestamp of the event, in nanoseconds.
     pub at_ns: u64,
     /// Link class the event's traffic crossed, when it carried any.
     pub link: Option<LinkClass>,
+    /// Payload bytes the event carried (0 for pure control events).
     pub bytes: u64,
     /// Event-specific detail: destination rank for sends, retry count
     /// for retries, deadline for crashes.
@@ -253,10 +261,13 @@ impl Drop for SpanGuard<'_> {
 /// The trace of one rank over a whole run.
 #[derive(Debug, Clone, Default)]
 pub struct RankTrace {
+    /// The rank this trace belongs to.
     pub rank: usize,
     /// The rank's virtual clock when the run finished (its makespan).
     pub clock_ns: u64,
+    /// Every closed span, in open order.
     pub spans: Vec<SpanRecord>,
+    /// Every instantaneous event, in record order.
     pub events: Vec<EventRecord>,
 }
 
@@ -278,16 +289,22 @@ impl RankTrace {
 /// All ranks' traces, aggregated by the runner.
 #[derive(Debug, Clone, Default)]
 pub struct RunTrace {
+    /// One trace per rank, indexed by rank id.
     pub ranks: Vec<RankTrace>,
 }
 
 /// Cross-rank statistics for one top-level phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseStat {
+    /// Phase (top-level span) name.
     pub name: String,
+    /// Fastest rank's time in this phase.
     pub min_ns: u64,
+    /// Median across ranks.
     pub median_ns: u64,
+    /// 95th percentile across ranks.
     pub p95_ns: u64,
+    /// Slowest rank's time in this phase.
     pub max_ns: u64,
     /// Rank that spent the longest in this phase.
     pub max_rank: usize,
@@ -302,6 +319,7 @@ pub struct PhaseSummary {
     pub makespan_ns: u64,
     /// Rank holding the makespan: the critical path ends on it.
     pub critical_rank: usize,
+    /// Per-phase cross-rank statistics, first-appearance order.
     pub phases: Vec<PhaseStat>,
     /// Per-rank sum of top-level span durations (should equal the
     /// rank's clock when the whole run body is covered by spans).
@@ -334,6 +352,7 @@ impl RunTrace {
         RunTrace { ranks }
     }
 
+    /// Whether any rank recorded anything (false under [`TraceConfig::Off`]).
     pub fn is_empty(&self) -> bool {
         self.ranks.is_empty()
     }
@@ -549,15 +568,22 @@ fn json_escape(s: &str) -> String {
 /// own exports, not a general-purpose JSON library.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
+    /// JSON `null`.
     Null,
+    /// JSON boolean.
     Bool(bool),
+    /// JSON number (all numbers parse as `f64`).
     Num(f64),
+    /// JSON string.
     Str(String),
+    /// JSON array.
     Arr(Vec<JsonValue>),
+    /// JSON object, as ordered key–value pairs.
     Obj(Vec<(String, JsonValue)>),
 }
 
 impl JsonValue {
+    /// Object field lookup; `None` for non-objects or absent keys.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
             JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -565,6 +591,7 @@ impl JsonValue {
         }
     }
 
+    /// The numeric value, if this is a number.
     pub fn as_num(&self) -> Option<f64> {
         match self {
             JsonValue::Num(n) => Some(*n),
@@ -572,6 +599,7 @@ impl JsonValue {
         }
     }
 
+    /// The string value, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             JsonValue::Str(s) => Some(s),
@@ -579,6 +607,7 @@ impl JsonValue {
         }
     }
 
+    /// The elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[JsonValue]> {
         match self {
             JsonValue::Arr(v) => Some(v),

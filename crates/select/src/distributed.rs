@@ -1,4 +1,4 @@
-//! Distributed selection (paper Algorithm 1, after Saukas & Song [30]):
+//! Distributed selection (paper Algorithm 1, after Saukas & Song \[30\]):
 //! find the key of global rank `k` across all processors' partitions
 //! without redistributing any data.
 //!

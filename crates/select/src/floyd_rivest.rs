@@ -1,8 +1,8 @@
-//! Floyd–Rivest SELECT (paper ref [22]): expected `n + min(k, n-k) +
+//! Floyd–Rivest SELECT (paper ref \[22\]): expected `n + min(k, n-k) +
 //! O(√n)` comparisons by recursively narrowing to a sample-predicted
 //! window around the target rank before partitioning — the classic
 //! "sampling makes pivot selection more efficient" result the paper
-//! points to for optimizing selection (§IV-B, ref [24]).
+//! points to for optimizing selection (§IV-B, ref \[24\]).
 
 /// The `k`-th order statistic (0-based) by the Floyd–Rivest algorithm.
 /// `data` is reordered.

@@ -59,7 +59,7 @@ pub fn quickselect<T: Ord + Copy>(data: &mut [T], k: usize) -> T {
 }
 
 /// The `k`-th order statistic with guaranteed `O(n)` worst case via
-/// median-of-medians pivot selection (BFPRT, paper ref [21]).
+/// median-of-medians pivot selection (BFPRT, paper ref \[21\]).
 /// `data` is reordered.
 pub fn median_of_medians_select<T: Ord + Copy>(data: &mut [T], k: usize) -> T {
     assert!(

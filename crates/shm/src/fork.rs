@@ -1,110 +1,11 @@
-//! Minimal fork–join primitive on scoped threads.
+//! Fork–join primitives, re-exported from [`dhs_runtime::threads`].
 //!
-//! The sanctioned dependency set has no task scheduler, so parallel
-//! sorts recurse with an explicit *thread budget*: every split gives
-//! half the budget to a spawned scoped thread and keeps the rest. The
-//! recursion depth is `O(log threads)`, so thread-spawn overhead stays
-//! negligible next to the `O(n)`-sized leaf work.
+//! The scoped-thread `join`/`map_parallel` pair started life in this
+//! crate; with hybrid rank×thread execution the single implementation
+//! now lives next to the per-rank `ThreadPool` in `dhs-runtime` (so
+//! `Comm` can own the budget), and this module keeps the historical
+//! `dhs_shm::fork` paths working. Semantics are unchanged: fixed split
+//! points, order-restoring maps, budget-halving recursion — results
+//! are byte-identical for every thread budget.
 
-/// Run `a` and `b`, possibly in parallel. `threads` is the total budget
-/// for both branches; with a budget of one (or on spawn failure) both
-/// run sequentially on the caller.
-pub fn join<RA, RB, A, B>(threads: usize, a: A, b: B) -> (RA, RB)
-where
-    RA: Send,
-    RB: Send,
-    A: FnOnce(usize) -> RA + Send,
-    B: FnOnce(usize) -> RB + Send,
-{
-    if threads <= 1 {
-        return (a(1), b(1));
-    }
-    let tb = threads / 2;
-    let ta = threads - tb;
-    std::thread::scope(|s| {
-        let hb = s.spawn(move || b(tb));
-        let ra = a(ta);
-        let rb = hb.join().expect("forked branch panicked");
-        (ra, rb)
-    })
-}
-
-/// Run one closure per chunk of `items`, in parallel up to `threads`.
-/// Returns outputs in input order.
-pub fn map_parallel<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = threads.clamp(1, n);
-    if workers == 1 {
-        return items.into_iter().map(f).collect();
-    }
-    // Distribute items round-robin into one bucket per worker, run the
-    // buckets on scoped threads, then restore input order.
-    let mut buckets: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        buckets[i % workers].push((i, item));
-    }
-    let f = &f;
-    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| {
-                s.spawn(move || {
-                    bucket
-                        .into_iter()
-                        .map(|(i, item)| (i, f(item)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    indexed.sort_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, r)| r).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn join_returns_both_branches() {
-        let (a, b) = join(4, |_| 1 + 1, |_| "x");
-        assert_eq!(a, 2);
-        assert_eq!(b, "x");
-    }
-
-    #[test]
-    fn join_sequential_budget() {
-        let (a, b) = join(1, |t| t, |t| t);
-        assert_eq!((a, b), (1, 1));
-    }
-
-    #[test]
-    fn join_splits_budget() {
-        let (a, b) = join(8, |t| t, |t| t);
-        assert_eq!(a + b, 8);
-    }
-
-    #[test]
-    fn map_parallel_preserves_order() {
-        let out = map_parallel(4, (0..100).collect::<Vec<u64>>(), |x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
-    }
-
-    #[test]
-    fn map_parallel_empty_and_single() {
-        assert_eq!(map_parallel(4, Vec::<u64>::new(), |x| x), Vec::<u64>::new());
-        assert_eq!(map_parallel(4, vec![7u64], |x| x + 1), vec![8]);
-    }
-}
+pub use dhs_runtime::threads::{join, map_parallel};

@@ -18,6 +18,12 @@ pub mod radix;
 pub mod sort;
 
 pub use fork::{join, map_parallel};
-pub use pmerge::{parallel_binary_tree_merge, parallel_kway_chunked, parallel_merge_into};
+pub use pmerge::{
+    flat_tree_merge, parallel_binary_tree_merge, parallel_binary_tree_merge_by,
+    parallel_kway_chunked, parallel_merge_into, parallel_merge_into_by,
+};
 pub use radix::{radix_sort_by_bits, radix_sort_u32, radix_sort_u64};
-pub use sort::{parallel_merge_sort, parallel_quicksort, task_merge_sort};
+pub use sort::{
+    parallel_merge_sort, parallel_merge_sort_by, parallel_quicksort, radix_merge_sort_by_bits,
+    task_merge_sort,
+};

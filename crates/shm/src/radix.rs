@@ -7,6 +7,14 @@
 /// Sort `data` by the order-preserving projection `bits` covering
 /// `width` significant bits (≤ 128). Stable, `O(n·width/8)` with one
 /// `n`-sized scratch buffer.
+///
+/// All per-digit histograms are built in a *single* read sweep, and
+/// passes whose digit is constant across the input are skipped without
+/// touching the data again — on keys that occupy fewer bits than
+/// `width` (e.g. the paper's `[0, 1e9]` uniform workload inside a u64)
+/// this cuts the work to the occupied bytes plus one counting pass.
+/// Pass-skipping never changes the output: a skipped pass is one whose
+/// stable scatter would be the identity permutation.
 pub fn radix_sort_by_bits<T, F>(data: &mut [T], bits: F, width: u32)
 where
     T: Copy,
@@ -17,25 +25,27 @@ where
     if n <= 1 {
         return;
     }
-    let passes = width.div_ceil(8);
+    let passes = width.div_ceil(8) as usize;
+    // One sweep counts every pass's digits at once.
+    let mut hist = vec![[0usize; 256]; passes];
+    for x in data.iter() {
+        let b = bits(x);
+        for (pass, h) in hist.iter_mut().enumerate() {
+            h[((b >> (8 * pass)) & 0xFF) as usize] += 1;
+        }
+    }
+    // A pass where every key shares the digit permutes nothing.
+    let live: Vec<usize> = (0..passes).filter(|&p| !hist[p].contains(&n)).collect();
+    if live.is_empty() {
+        return;
+    }
     let mut src: Vec<T> = data.to_vec();
-    let mut dst: Vec<T> = Vec::with_capacity(n);
-    // SAFETY-free version: prefill dst.
-    dst.extend_from_slice(data);
-
-    for pass in 0..passes {
-        let shift = pass * 8;
-        let mut histogram = [0usize; 256];
-        for x in src.iter() {
-            histogram[((bits(x) >> shift) & 0xFF) as usize] += 1;
-        }
-        // Skip passes where every key shares the digit.
-        if histogram.contains(&n) {
-            continue;
-        }
+    let mut dst: Vec<T> = data.to_vec();
+    for &pass in &live {
+        let shift = 8 * pass as u32;
         let mut offsets = [0usize; 256];
         let mut acc = 0;
-        for (o, &c) in offsets.iter_mut().zip(&histogram) {
+        for (o, &c) in offsets.iter_mut().zip(&hist[pass]) {
             *o = acc;
             acc += c;
         }

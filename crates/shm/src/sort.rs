@@ -8,9 +8,26 @@
 //!   sort the paper includes "for reference".
 //! * [`parallel_quicksort`] — partition-based alternative; moves data
 //!   in place, useful as the local sort inside ranks.
+//!
+//! Two kernels added for hybrid rank×thread execution back the local
+//! phases of the distributed sort:
+//!
+//! * [`parallel_merge_sort_by`] — **stable** comparator merge sort
+//!   over `Clone` records; its output is element-for-element identical
+//!   to `slice::sort_by` for every thread budget (fixed split points +
+//!   stable parallel merges), which is what keeps
+//!   `histogram_sort_by` byte-identical across `threads_per_rank`.
+//! * [`radix_merge_sort_by_bits`] — splits the input into
+//!   budget-determined halves, radix-sorts each, and stably merges by
+//!   the projected bits; identical output to the serial
+//!   [`crate::radix_sort_by_bits`], and faster than comparison sorting
+//!   even on one core.
+
+use std::cmp::Ordering;
 
 use crate::fork::join;
-use crate::pmerge::parallel_merge_into;
+use crate::pmerge::{parallel_merge_into, parallel_merge_into_by};
+use crate::radix::radix_sort_by_bits;
 use dhs_merge::merge_two_into;
 
 /// Below this size leaves fall back to `sort_unstable`.
@@ -65,6 +82,81 @@ fn msort<T: Ord + Copy + Send + Sync>(
         scratch.copy_from_slice(&tmp);
     }
     data.copy_from_slice(scratch);
+}
+
+/// **Stable** parallel merge sort under an explicit comparator, for
+/// `Clone` records (the `histogram_sort_by` payload path). Produces
+/// exactly the `slice::sort_by` (stable) order for every thread
+/// budget: leaves use the standard stable sort, halves are merged with
+/// the stable [`parallel_merge_into_by`], and all split points depend
+/// only on the data.
+pub fn parallel_merge_sort_by<T, F>(data: &mut [T], threads: usize, cmp: &F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if data.len() <= SORT_GRAIN || threads <= 1 {
+        data.sort_by(|a, b| cmp(a, b));
+        return;
+    }
+    let mut scratch = data.to_vec();
+    msort_by(data, &mut scratch, threads, cmp);
+}
+
+/// Recursive step of [`parallel_merge_sort_by`].
+fn msort_by<T, F>(data: &mut [T], scratch: &mut [T], threads: usize, cmp: &F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    debug_assert_eq!(data.len(), scratch.len());
+    if data.len() <= SORT_GRAIN || threads <= 1 {
+        data.sort_by(|a, b| cmp(a, b));
+        return;
+    }
+    let mid = data.len() / 2;
+    let (d_lo, d_hi) = data.split_at_mut(mid);
+    let (s_lo, s_hi) = scratch.split_at_mut(mid);
+    join(
+        threads,
+        |t| msort_by(d_lo, s_lo, t, cmp),
+        |t| msort_by(d_hi, s_hi, t, cmp),
+    );
+    parallel_merge_into_by(&data[..mid], &data[mid..], scratch, threads, cmp);
+    data.clone_from_slice(scratch);
+}
+
+/// Hybrid radix + merge sort: split the input into budget-determined
+/// halves, LSD-radix-sort each half (stable over the projection), and
+/// stably merge by the projected bits. For every thread budget the
+/// output is byte-identical to the serial
+/// [`crate::radix_sort_by_bits`] over the whole slice — both are
+/// stable sorts by the same projection. This is the kernel behind the
+/// hybrid local-sort dispatch of the distributed sort: on a multi-core
+/// host the halves sort concurrently, and even serially the radix
+/// leaves beat a comparison sort on integer-like keys.
+pub fn radix_merge_sort_by_bits<T, F>(data: &mut [T], threads: usize, bits: &F, width: u32)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u128 + Sync,
+{
+    if threads <= 1 || data.len() <= SORT_GRAIN {
+        radix_sort_by_bits(data, |x| bits(x), width);
+        return;
+    }
+    let mid = data.len() / 2;
+    {
+        let (lo, hi) = data.split_at_mut(mid);
+        join(
+            threads,
+            |t| radix_merge_sort_by_bits(lo, t, bits, width),
+            |t| radix_merge_sort_by_bits(hi, t, bits, width),
+        );
+    }
+    let mut scratch = data.to_vec();
+    let cmp = |x: &T, y: &T| bits(x).cmp(&bits(y));
+    parallel_merge_into_by(&data[..mid], &data[mid..], &mut scratch, threads, &cmp);
+    data.copy_from_slice(&scratch);
 }
 
 /// Parallel three-way quicksort.
@@ -174,5 +266,61 @@ mod tests {
     #[test]
     fn parallel_quicksort_correct() {
         check_sorter(parallel_quicksort);
+    }
+
+    /// `parallel_merge_sort_by` must reproduce the *stable* std sort
+    /// exactly, for every thread budget — the invariant that keeps
+    /// `histogram_sort_by` byte-identical across `threads_per_rank`.
+    #[test]
+    fn merge_sort_by_matches_stable_sort() {
+        let mk = |n: usize| -> Vec<(u32, usize)> {
+            noise(n, n as u64 + 3)
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| ((x % 37) as u32, i))
+                .collect()
+        };
+        let cmp = |a: &(u32, usize), b: &(u32, usize)| a.0.cmp(&b.0);
+        for (n, t) in [
+            (0usize, 4),
+            (1, 4),
+            (100, 4),
+            (60_000, 1),
+            (60_000, 4),
+            (60_000, 7),
+        ] {
+            let mut v = mk(n);
+            let mut expect = v.clone();
+            expect.sort_by(cmp); // stable reference
+            parallel_merge_sort_by(&mut v, t, &cmp);
+            assert_eq!(v, expect, "n={n} t={t}");
+        }
+    }
+
+    /// The hybrid radix kernel must be byte-identical to the serial
+    /// radix sort (both stable over the projection), for every budget.
+    #[test]
+    fn radix_merge_sort_matches_serial_radix() {
+        // Pairs sorted by the first component only: stability over the
+        // projection is observable through the second component.
+        let mut base: Vec<(u16, u32)> = noise(50_000, 17)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| ((x % 97) as u16, i as u32))
+            .collect();
+        let mut expect = base.clone();
+        radix_sort_by_bits(&mut expect, |&(k, _)| k as u128, 16);
+        for t in [1usize, 2, 4, 6] {
+            let mut v = base.clone();
+            radix_merge_sort_by_bits(&mut v, t, &|&(k, _): &(u16, u32)| k as u128, 16);
+            assert_eq!(v, expect, "t={t}");
+        }
+        // Plain u64 keys against the comparison reference.
+        base.truncate(0);
+        let mut v = noise(80_000, 23);
+        let mut want = v.clone();
+        want.sort_unstable();
+        radix_merge_sort_by_bits(&mut v, 4, &|&x: &u64| x as u128, 64);
+        assert_eq!(v, want);
     }
 }

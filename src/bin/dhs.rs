@@ -4,6 +4,7 @@
 //! ```sh
 //! dhs sort --algo histogram --ranks 64 --nper 65536 --dist zipf
 //! dhs sort --algo two-level --ranks 256 --groups 16 --verify
+//! dhs sort --threads 4 --verify        # hybrid rank×thread execution
 //! dhs select --ranks 32 --nper 10000 --k 160000
 //! dhs topology --ranks 64
 //! ```
@@ -106,7 +107,8 @@ fn sort_config(args: &Args) -> SortConfig {
             "radix" => LocalSort::Radix,
             other => panic!("unknown local sort {other}"),
         })
-        .unique_transform(args.has("unique"));
+        .unique_transform(args.has("unique"))
+        .threads_per_rank(args.get("threads", 1));
     if let Some(iters) = args.raw("max-iters") {
         let iters: u32 = iters
             .parse()

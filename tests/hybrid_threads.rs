@@ -1,0 +1,153 @@
+//! The hybrid rank×thread determinism contract: for every
+//! `threads_per_rank`, the sort produces byte-identical output AND
+//! byte-identical virtual time on every rank. Host threads spent
+//! inside a rank are invisible to the cost model — charges are pure
+//! functions of data sizes — so budgets 1, 2 and 4 must replay the
+//! exact same simulation, with or without injected faults.
+
+use dhs::core::{histogram_sort, histogram_sort_by, SortConfig};
+use dhs::runtime::{run, ClusterConfig, FaultPlan, LinkClass, LinkFault, RankReport};
+use dhs::workloads::{rank_local_keys, Distribution, Layout};
+use proptest::prelude::*;
+
+/// One full sort: per-rank `(sorted data, RankReport)` — the report
+/// carries the virtual completion clock, all message/byte counters and
+/// the depth-0 phase totals, so equality is the whole simulation.
+fn sort_with_threads(
+    cluster: &ClusterConfig,
+    p: usize,
+    n_per: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<(Vec<u64>, RankReport)> {
+    let cfg = SortConfig::builder()
+        .threads_per_rank(threads)
+        .build()
+        .expect("valid config");
+    run(cluster, move |comm| {
+        let mut local = rank_local_keys(
+            Distribution::paper_uniform(),
+            Layout::Balanced,
+            p * n_per,
+            p,
+            comm.rank(),
+            seed,
+        );
+        histogram_sort(comm, &mut local, &cfg);
+        local
+    })
+}
+
+/// Record sort: `(key, provenance)` pairs ordered by key only, so the
+/// provenance tags witness the *stable* permutation byte-for-byte.
+fn sort_by_with_threads(
+    cluster: &ClusterConfig,
+    p: usize,
+    n_per: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<(Vec<(u64, u32)>, RankReport)> {
+    let cfg = SortConfig::builder()
+        .threads_per_rank(threads)
+        .build()
+        .expect("valid config");
+    run(cluster, move |comm| {
+        let keys = rank_local_keys(
+            Distribution::paper_uniform(),
+            Layout::Balanced,
+            p * n_per,
+            p,
+            comm.rank(),
+            seed,
+        );
+        // Key space collapsed mod 97: plenty of global duplicates, so
+        // only a genuinely stable path reproduces the serial order.
+        let mut records: Vec<(u64, u32)> = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k % 97, (comm.rank() * 1_000_000 + i) as u32))
+            .collect();
+        histogram_sort_by(comm, &mut records, |r| r.0, &cfg);
+        records
+    })
+}
+
+fn faulty(p: usize, seed: u64) -> ClusterConfig {
+    ClusterConfig::small_cluster(p).with_fault(
+        FaultPlan::seeded(seed ^ 0x7ead)
+            .with_straggler(seed as usize % p, 2.5)
+            .with_link_fault(LinkFault {
+                class: Some(LinkClass::IntraNode),
+                extra_alpha_ns: 3_000.0,
+                beta_factor: 1.8,
+                from_ns: 0,
+                until_ns: u64::MAX,
+            }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// `histogram_sort`: output and per-rank virtual clocks identical
+    /// for budgets 1, 2 and 4, on clean and faulty clusters alike.
+    #[test]
+    fn keys_identical_across_thread_budgets(
+        p in 2usize..7,
+        n_per in 50usize..400,
+        seed in 0u64..100_000,
+        with_faults in any::<bool>(),
+    ) {
+        let cluster = if with_faults {
+            faulty(p, seed)
+        } else {
+            ClusterConfig::small_cluster(p)
+        };
+        let serial = sort_with_threads(&cluster, p, n_per, seed, 1);
+        for threads in [2usize, 4] {
+            let hybrid = sort_with_threads(&cluster, p, n_per, seed, threads);
+            prop_assert_eq!(&serial, &hybrid, "threads={}", threads);
+        }
+    }
+
+    /// `histogram_sort_by` (stable record path): the duplicate-heavy
+    /// key space makes any stability violation visible in the tags.
+    #[test]
+    fn records_identical_across_thread_budgets(
+        p in 2usize..6,
+        n_per in 50usize..300,
+        seed in 0u64..100_000,
+        with_faults in any::<bool>(),
+    ) {
+        let cluster = if with_faults {
+            faulty(p, seed)
+        } else {
+            ClusterConfig::small_cluster(p)
+        };
+        let serial = sort_by_with_threads(&cluster, p, n_per, seed, 1);
+        for threads in [2usize, 4] {
+            let hybrid = sort_by_with_threads(&cluster, p, n_per, seed, threads);
+            prop_assert_eq!(&serial, &hybrid, "threads={}", threads);
+        }
+    }
+}
+
+/// Above the shm kernels' serial-fallback grain the parallel code paths
+/// actually fork; the contract must hold there too, not just in the
+/// small-n regime the proptests cover.
+#[test]
+fn large_local_blocks_identical_across_budgets() {
+    let p = 4;
+    let n_per = 40_000; // > SORT_GRAIN per rank: kernels really fork
+    let cluster = ClusterConfig::supermuc_phase2(p);
+    let serial = sort_with_threads(&cluster, p, n_per, 42, 1);
+    for threads in [2usize, 4] {
+        let hybrid = sort_with_threads(&cluster, p, n_per, 42, threads);
+        assert_eq!(serial, hybrid, "threads={threads}");
+    }
+    let serial_by = sort_by_with_threads(&cluster, p, n_per, 42, 1);
+    for threads in [2usize, 4] {
+        let hybrid = sort_by_with_threads(&cluster, p, n_per, 42, threads);
+        assert_eq!(serial_by, hybrid, "threads={threads}");
+    }
+}
