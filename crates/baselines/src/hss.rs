@@ -136,6 +136,7 @@ fn hss_find_splitters<K: Key>(
         return SplitterResult {
             splitters: Vec::new(),
             iterations: 0,
+            probes: 0,
             degraded: false,
         };
     }
@@ -181,6 +182,7 @@ fn hss_find_splitters<K: Key>(
 
     let mut rng = SplitMix64(cfg.seed ^ (comm.rank() as u64).wrapping_mul(0x2545F4914F6CDD1D));
     let mut rounds = 0u32;
+    let mut probes_total = 0u64;
 
     loop {
         let active: Vec<usize> = (0..brackets.len())
@@ -300,6 +302,7 @@ fn hss_find_splitters<K: Key>(
         }
 
         // One global histogram reduction for all probes of this round.
+        probes_total += probes.len() as u64;
         comm.charge(Work::BinarySearches {
             searches: 2 * probes.len() as u64,
             n: n_local,
@@ -347,6 +350,7 @@ fn hss_find_splitters<K: Key>(
     SplitterResult {
         splitters,
         iterations: rounds,
+        probes: probes_total,
         degraded: !stats.converged,
     }
 }

@@ -4,8 +4,8 @@
 //! performance trajectory the zero-copy work is judged against, and
 //! that every later perf PR extends.
 //!
-//! Five benchmark groups, written to `BENCH_wallclock.json`
-//! (schema `dhs-wallclock/v2`) at the repo root:
+//! Six benchmark groups, written to `BENCH_wallclock.json`
+//! (schema `dhs-wallclock/v3`) at the repo root:
 //!
 //! * `full_sort` — end-to-end histogram sort at several (p, n/p)
 //!   points: host seconds per run, plus the (unchanged) virtual
@@ -27,6 +27,12 @@
 //! * `local_merge_ab` — the post-exchange merge A/B: the serial
 //!   `MergeAlgo::Resort` path (flatten + `sort_unstable`) versus the
 //!   hybrid `flat_tree_merge` over the received sorted runs.
+//! * `splitter_ab` — the splitter search A/B: the classic loop
+//!   (`probes_per_round = 1`, index brackets off — one midpoint per
+//!   round, every probe binary-searching the full local array) versus
+//!   the tuned search (`probes_per_round = 7`, brackets on). Both
+//!   sides accept byte-identical splitters; the ≥1.3× acceptance
+//!   target refers to the largest (reference) configuration.
 //!
 //! The hybrid merge wins even on a single-core host (a streaming
 //! pairwise merge tree over sorted runs does `O(n log k)` branchless
@@ -45,7 +51,7 @@ use std::time::Instant; // lint: allow-wall-clock
 use dhs_bench::experiment::{run_distributed_sort, SortAlgo};
 use dhs_bench::Args;
 use dhs_core::exchange::{exchange_data, exchange_data_vecs, plan_exchange};
-use dhs_core::{find_splitters, perfect_targets, SortConfig};
+use dhs_core::{find_splitters, find_splitters_cfg, perfect_targets, SortConfig, SplitterOptions};
 use dhs_runtime::{run, ClusterConfig};
 use dhs_workloads::{rank_local_keys, Distribution, Layout};
 
@@ -349,6 +355,79 @@ fn bench_hybrid_local(
     (sorts, merges)
 }
 
+/// A/B the splitter search on identical sorted local data: the classic
+/// single-probe loop with full-array binary searches versus multi-probe
+/// bisection (`m = 7`) with shrinking index brackets. Each rep is timed
+/// between barriers on every rank; rank 0's samples are reported (all
+/// ranks rendezvous in the per-round allreduce, so rank 0 observes the
+/// full critical path). Both sides return byte-identical splitters —
+/// asserted per rep — so the A/B measures pure search cost.
+fn bench_splitter(grid: &[(usize, usize)], reps: usize) -> Vec<AbCase> {
+    let mut out = Vec::new();
+    for &(p, n_per) in grid {
+        let results = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+            let mut local = rank_local_keys(
+                Distribution::paper_uniform(),
+                Layout::Balanced,
+                p * n_per,
+                p,
+                comm.rank(),
+                7,
+            );
+            local.sort_unstable();
+            let caps: Vec<usize> = comm.allgather(local.len());
+            let targets = perfect_targets(&caps);
+
+            let classic = SplitterOptions {
+                probes_per_round: 1,
+                index_brackets: false,
+                ..SplitterOptions::default()
+            };
+            let tuned = SplitterOptions {
+                probes_per_round: 7,
+                index_brackets: true,
+                ..SplitterOptions::default()
+            };
+            let mut legacy = Vec::with_capacity(reps);
+            let mut multi = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                comm.barrier();
+                let t = Instant::now();
+                let a = find_splitters_cfg(comm, &local, &targets, 0, classic);
+                legacy.push(secs(t));
+                std::hint::black_box(&a);
+
+                comm.barrier();
+                let t = Instant::now();
+                let b = find_splitters_cfg(comm, &local, &targets, 0, tuned);
+                multi.push(secs(t));
+                std::hint::black_box(&b);
+                assert_eq!(a.splitters, b.splitters, "splitters must be grid-invariant");
+            }
+            (legacy, multi)
+        });
+        let (legacy, multi) = results[0].0.clone();
+        let (legacy_min_s, legacy_median_s) = min_median(legacy);
+        let (zero_copy_min_s, zero_copy_median_s) = min_median(multi);
+        let case = AbCase {
+            label: format!("p{p}_n{n_per}"),
+            p,
+            n_per,
+            reps,
+            legacy_min_s,
+            legacy_median_s,
+            zero_copy_min_s,
+            zero_copy_median_s,
+        };
+        println!(
+            "splitter_ab    p={p:<4} n/p={n_per:<7} classic {legacy_median_s:>9.6}s  multi-probe {zero_copy_median_s:>9.6}s  speedup {:.2}x",
+            case.speedup()
+        );
+        out.push(case);
+    }
+    out
+}
+
 fn json_ab(cases: &[AbCase], a_key: &str, b_key: &str) -> String {
     let mut s = String::new();
     for (i, c) in cases.iter().enumerate() {
@@ -401,6 +480,11 @@ fn main() {
     } else {
         (vec![(4, 262144), (8, 131072), (16, 65536)], 5)
     };
+    let (splitter_grid, splitter_reps): (Vec<(usize, usize)>, usize) = if smoke {
+        (vec![(8, 8192)], 3)
+    } else {
+        (vec![(16, 65536), (32, 65536), (64, 32768)], 5)
+    };
     let hybrid_threads: usize = args.get("threads", 4);
 
     println!("# wall-clock harness (host time; virtual clock unaffected)");
@@ -409,10 +493,11 @@ fn main() {
     let exchange = bench_exchange(&ex_grid, ex_reps);
     let collectives = bench_collectives(&coll_grid, coll_reps);
     let (local_sorts, local_merges) = bench_hybrid_local(&local_grid, local_reps, hybrid_threads);
+    let splitter = bench_splitter(&splitter_grid, splitter_reps);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"dhs-wallclock/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"dhs-wallclock/v3\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let host = std::thread::available_parallelism().map_or(1, |v| v.get());
     let _ = writeln!(json, "  \"host_parallelism\": {host},");
@@ -447,6 +532,9 @@ fn main() {
     let _ = writeln!(json, "    ]}},");
     let _ = writeln!(json, "    {{\"name\": \"local_merge_ab\", \"cases\": [");
     let _ = write!(json, "{}", json_ab(&local_merges, "serial", "hybrid"));
+    let _ = writeln!(json, "    ]}},");
+    let _ = writeln!(json, "    {{\"name\": \"splitter_ab\", \"cases\": [");
+    let _ = write!(json, "{}", json_ab(&splitter, "classic", "multi_probe"));
     let _ = writeln!(json, "    ]}}");
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");

@@ -47,6 +47,10 @@ pub struct DistributedRun {
     pub phases: Vec<(&'static str, f64)>,
     /// Histogramming/splitter rounds (max over ranks).
     pub iterations: u32,
+    /// Candidate keys histogrammed across all rounds (max over ranks;
+    /// identical on every rank for the histogram sort). Zero for
+    /// algorithms that do not histogram.
+    pub probes: u64,
     /// Total bytes that crossed node boundaries.
     pub inter_node_bytes: u64,
     /// Total bytes that stayed inside nodes.
@@ -89,7 +93,7 @@ pub fn run_distributed_sort(
     let out = run(cluster, move |comm| {
         let mut local = rank_local_keys(dist, layout, n_total, p, comm.rank(), seed);
         let t0 = comm.now_ns();
-        let (phases, iterations, converged) = match &algo {
+        let (phases, iterations, probes, converged) = match &algo {
             SortAlgo::Histogram(cfg) => {
                 let s = histogram_sort(comm, &mut local, cfg);
                 (
@@ -101,41 +105,43 @@ pub fn run_distributed_sort(
                         ("other", s.prepare_ns),
                     ],
                     s.iterations,
+                    s.probes,
                     !s.outcome.is_degraded(),
                 )
             }
             SortAlgo::Hss(cfg) => {
                 let s = hss_sort(comm, &mut local, cfg);
-                (algo_phases(&s), s.rounds, s.converged)
+                (algo_phases(&s), s.rounds, 0, s.converged)
             }
             SortAlgo::SampleSort(cfg) => {
                 let s = sample_sort(comm, &mut local, cfg);
-                (algo_phases(&s), s.rounds, s.converged)
+                (algo_phases(&s), s.rounds, 0, s.converged)
             }
             SortAlgo::Psrs(cfg) => {
                 let s = psrs(comm, &mut local, cfg);
-                (algo_phases(&s), s.rounds, s.converged)
+                (algo_phases(&s), s.rounds, 0, s.converged)
             }
             SortAlgo::HykSort(cfg) => {
                 let s = hyksort(comm, &mut local, cfg);
-                (algo_phases(&s), s.rounds, s.converged)
+                (algo_phases(&s), s.rounds, 0, s.converged)
             }
             SortAlgo::Ams(cfg) => {
                 let s = ams_sort(comm, &mut local, cfg);
-                (algo_phases(&s), s.rounds, s.converged)
+                (algo_phases(&s), s.rounds, 0, s.converged)
             }
             SortAlgo::Bitonic => {
                 let s = bitonic_sort(comm, &mut local);
-                (algo_phases(&s), s.rounds, s.converged)
+                (algo_phases(&s), s.rounds, 0, s.converged)
             }
         };
         let total_ns = comm.now_ns() - t0;
-        (phases, iterations, converged, local.len(), total_ns)
+        (phases, iterations, probes, converged, local.len(), total_ns)
     });
 
     let mut phase_max: Vec<(&'static str, u64)> = Vec::new();
     let mut makespan_ns = 0u64;
     let mut iterations = 0u32;
+    let mut probes = 0u64;
     let mut converged = true;
     let mut max_keys = 0usize;
     let mut min_keys = usize::MAX;
@@ -143,11 +149,12 @@ pub fn run_distributed_sort(
     let mut intra = 0u64;
     let mut retries = 0u64;
     let mut duplicates = 0u64;
-    for ((phases, iters, conv, n_out, total_ns), report) in &out {
+    for ((phases, iters, probe_count, conv, n_out, total_ns), report) in &out {
         retries += report.counters.p2p_retries;
         duplicates += report.counters.p2p_duplicates;
         makespan_ns = makespan_ns.max(*total_ns);
         iterations = iterations.max(*iters);
+        probes = probes.max(*probe_count);
         converged &= conv;
         max_keys = max_keys.max(*n_out);
         min_keys = min_keys.min(*n_out);
@@ -170,6 +177,7 @@ pub fn run_distributed_sort(
             .map(|(n, t)| (n, t as f64 * 1e-9))
             .collect(),
         iterations,
+        probes,
         inter_node_bytes: inter,
         intra_node_bytes: intra,
         max_keys,

@@ -85,6 +85,17 @@ impl SortConfigBuilder {
         self
     }
 
+    /// Candidate keys histogrammed per still-active splitter per
+    /// refinement round (multi-probe bisection; effectively rounded
+    /// down to `2^d - 1`). `1` (the default) is classic one-midpoint
+    /// bisection; larger grids trade a fatter allreduce payload for
+    /// `log₂(m+1)`-fold fewer rounds with identical results.
+    /// `build()` rejects 0.
+    pub fn probes_per_round(mut self, probes: usize) -> Self {
+        self.cfg.probes_per_round = probes;
+        self
+    }
+
     /// Intra-rank host thread budget for the local phases (hybrid
     /// rank×thread execution). `1` (the default) keeps the fully
     /// serial paths. Output and virtual clock are byte-identical for
@@ -120,6 +131,7 @@ impl Default for SortConfig {
             local_sort: LocalSort::Comparison,
             unique_transform: false,
             max_splitter_iterations: None,
+            probes_per_round: 1,
             threads_per_rank: 1,
         }
     }
@@ -140,8 +152,25 @@ mod tests {
         assert_eq!(built.local_sort, def.local_sort);
         assert_eq!(built.unique_transform, def.unique_transform);
         assert_eq!(built.max_splitter_iterations, def.max_splitter_iterations);
+        assert_eq!(built.probes_per_round, def.probes_per_round);
         assert_eq!(built.threads_per_rank, def.threads_per_rank);
         assert_eq!(def.threads_per_rank, 1, "default must be fully serial");
+        assert_eq!(def.probes_per_round, 1, "default must be classic bisection");
+    }
+
+    #[test]
+    fn builder_rejects_zero_probes() {
+        let err = SortConfig::builder().probes_per_round(0).build();
+        assert!(matches!(err, Err(InvalidSortConfig::ZeroProbes)));
+    }
+
+    #[test]
+    fn builder_probes_roundtrip() {
+        let cfg = SortConfig::builder()
+            .probes_per_round(7)
+            .build()
+            .expect("7 probes per round is valid");
+        assert_eq!(cfg.probes_per_round, 7);
     }
 
     #[test]

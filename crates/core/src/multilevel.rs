@@ -90,6 +90,7 @@ pub fn histogram_sort_two_level<K: Key>(
     let slack = crate::splitter::slack_for(n_total, p, cfg.epsilon);
     let l1 = find_splitters(comm, local, &targets, slack);
     stats.iterations += l1.iterations;
+    stats.probes += l1.probes;
     stats.histogram_ns += sp.finish();
 
     // Level-1 exchange: the g-way plan, but routed so each bucket goes
@@ -142,6 +143,7 @@ pub fn histogram_sort_two_level<K: Key>(
     let sp = comm.span("histogram");
     let l2 = find_splitters(&sub, local, &l2_targets, slack);
     stats.iterations += l2.iterations;
+    stats.probes += l2.probes;
     stats.histogram_ns += sp.finish();
 
     let sp = comm.span("prepare");

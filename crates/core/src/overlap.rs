@@ -96,23 +96,30 @@ pub fn exchange_and_merge<K: Key>(
     let elem = std::mem::size_of::<K>() as u64;
     let mut stats = OverlapStats::default();
 
-    // Start from the chunk we keep for ourselves.
-    let mut acc: Vec<K> = sorted_local[plan.cuts[me]..plan.cuts[me + 1]].to_vec();
+    // Start from the chunk we keep for ourselves. Pooled: repeated
+    // overlapped sorts on one communicator reuse the same allocation.
+    let mut acc: Vec<K> = comm.pool().take();
+    acc.extend_from_slice(&sorted_local[plan.cuts[me]..plan.cuts[me + 1]]);
     comm.charge(Work::MoveBytes(acc.len() as u64 * elem));
     // Ping-pong scratch: each round merges into the spare buffer and
     // swaps, so the rounds reuse two allocations instead of allocating
     // a fresh result per round.
-    let mut scratch: Vec<K> = Vec::new();
+    let mut scratch: Vec<K> = comm.pool().take();
 
     let mut pending_merge_ns: u64 = 0;
     for round in 0..one_factor_rounds(p) {
         stats.rounds += 1;
         let t0 = comm.now_ns();
+        // Send buckets straight out of `sorted_local` — no owning
+        // clone; the staging copy inside `exchange_slice` is the
+        // modelled wire transfer, drawn from (and recycled to) the
+        // communicator's buffer pool.
         let received: Vec<K> = match one_factor_partner(p, round, me) {
-            Some(peer) => {
-                let bucket = sorted_local[plan.cuts[peer]..plan.cuts[peer + 1]].to_vec();
-                comm.exchange(peer, round as u64, bucket)
-            }
+            Some(peer) => comm.exchange_slice(
+                peer,
+                round as u64,
+                &sorted_local[plan.cuts[peer]..plan.cuts[peer + 1]],
+            ),
             None => Vec::new(),
         };
         // Everyone advances round-by-round (the schedule is bulk
@@ -143,6 +150,7 @@ pub fn exchange_and_merge<K: Key>(
             });
             merge_two_into(&acc, &received, &mut scratch);
             std::mem::swap(&mut acc, &mut scratch);
+            comm.pool().recycle(received);
         } else {
             pending_merge_ns = 0;
         }
@@ -151,6 +159,7 @@ pub fn exchange_and_merge<K: Key>(
     if pending_merge_ns > 0 {
         comm.charge(Work::Ns(pending_merge_ns));
     }
+    comm.pool().recycle(scratch);
     (acc, stats)
 }
 

@@ -79,6 +79,16 @@ pub struct SortConfig {
     /// adversarial keys). `None` (default) lets the search run to its
     /// key-width convergence bound.
     pub max_splitter_iterations: Option<u32>,
+    /// Candidate keys histogrammed per still-active splitter per
+    /// refinement round, folded into a single allreduce (effectively
+    /// rounded down to `2^d - 1`: the probe grid is the full `d`-level
+    /// bisection tree of the splitter's interval). `1` (default) is the
+    /// paper's one-midpoint bisection; `m > 1` cuts allreduce rounds to
+    /// `⌈steps / log₂(m+1)⌉` at an `m`-fold fatter payload — trading
+    /// β-bytes for α-rounds. Accepted splitters, realized boundaries,
+    /// and the degradation flag are identical for every value; only the
+    /// round count and cost change. Must be at least 1.
+    pub probes_per_round: usize,
     /// Intra-rank host-thread budget for hybrid rank×thread execution
     /// (default 1 = fully serial ranks). With a budget above 1, the
     /// local phases — initial local sort, per-round histogram counting
@@ -103,6 +113,8 @@ pub enum InvalidSortConfig {
     ZeroIterationCap,
     /// A thread budget of 0 leaves no thread to run the rank itself.
     ZeroThreads,
+    /// A probe budget of 0 would histogram nothing and never converge.
+    ZeroProbes,
 }
 
 impl fmt::Display for InvalidSortConfig {
@@ -116,6 +128,9 @@ impl fmt::Display for InvalidSortConfig {
             }
             InvalidSortConfig::ZeroThreads => {
                 write!(f, "threads_per_rank must be at least 1")
+            }
+            InvalidSortConfig::ZeroProbes => {
+                write!(f, "probes_per_round must be at least 1")
             }
         }
     }
@@ -135,6 +150,9 @@ impl SortConfig {
         }
         if self.threads_per_rank == 0 {
             return Err(InvalidSortConfig::ZeroThreads);
+        }
+        if self.probes_per_round == 0 {
+            return Err(InvalidSortConfig::ZeroProbes);
         }
         Ok(())
     }
@@ -223,6 +241,10 @@ impl SortOutcome {
 pub struct SortStats {
     /// Histogramming iterations (`ALLREDUCE` rounds).
     pub iterations: u32,
+    /// Candidate keys histogrammed across all iterations (see
+    /// [`crate::splitter::SplitterResult::probes`]); zero for
+    /// algorithms that do not histogram.
+    pub probes: u64,
     /// Initial local sort.
     pub local_sort_ns: u64,
     /// Splitter determination (histogramming).
@@ -412,10 +434,12 @@ where
     let sp = comm.span("histogram");
     let opts = SplitterOptions {
         max_iterations: cfg.max_splitter_iterations,
+        probes_per_round: cfg.probes_per_round,
         ..SplitterOptions::default()
     };
     let splitters = find_splitters_cfg(comm, &keys, &targets, slack, opts);
     stats.iterations = splitters.iterations;
+    stats.probes = splitters.probes;
     stats.outcome = outcome_of(&splitters, n_total, p);
     stats.histogram_ns = sp.finish();
 
@@ -479,10 +503,12 @@ fn run_pipeline<K: Key>(
     let sp = comm.span("histogram");
     let opts = SplitterOptions {
         max_iterations: cfg.max_splitter_iterations,
+        probes_per_round: cfg.probes_per_round,
         ..SplitterOptions::default()
     };
     let splitters = find_splitters_cfg(comm, sorted_local, targets, slack, opts);
     stats.iterations = splitters.iterations;
+    stats.probes = splitters.probes;
     stats.outcome = outcome_of(&splitters, n_total, comm.size());
     stats.histogram_ns = sp.finish();
 

@@ -1,8 +1,9 @@
 //! Splitter determination by iterative histogramming (paper §V-A,
-//! Algorithms 2 and 3).
+//! Algorithms 2 and 3), with two engineering upgrades over the paper's
+//! loop: **multi-probe bisection** and **shrinking index brackets**.
 //!
 //! Each of the `P-1` splitters is a key-space interval `[lo, hi]`
-//! bisected once per iteration. A single `ALLREDUCE` per iteration sums
+//! refined once per iteration. A single `ALLREDUCE` per iteration sums
 //! the local histograms (`lower_bound`/`upper_bound` positions obtained
 //! by binary search in the locally sorted data) of *all still-active*
 //! splitters; Algorithm 2 then either accepts a splitter — when the
@@ -11,12 +12,50 @@
 //!
 //! Convergence: the `t`-th smallest key always satisfies the acceptance
 //! condition, and the bisection keeps it inside `[lo, hi]` while
-//! halving the interval, so at most `K::BITS + 1` iterations are needed
-//! — the "number of iterations is bound by the key size" observation of
-//! §V-A. With coarse-grained keys (duplicates) the interval `[L, U]` is
-//! fat and acceptance comes *sooner*; boundary splitting of equal keys
-//! is then resolved exactly by the Algorithm 4 refinement in
-//! [`crate::exchange`].
+//! halving the interval, so at most `K::BITS + 1` probes are needed per
+//! splitter — the "number of iterations is bound by the key size"
+//! observation of §V-A. With coarse-grained keys (duplicates) the
+//! interval `[L, U]` is fat and acceptance comes *sooner*; boundary
+//! splitting of equal keys is then resolved exactly by the Algorithm 4
+//! refinement in [`crate::exchange`].
+//!
+//! ## Multi-probe bisection (α-for-β trade)
+//!
+//! Each refinement round costs one thin `ALLREDUCE` — pure latency (α)
+//! at scale, since the payload is a handful of counters. With
+//! [`SplitterOptions::probes_per_round`] `= m = 2^d - 1`, every
+//! still-active splitter probes the **full `d`-level bisection tree**
+//! of its interval (the root midpoint, both quarter points, … — for a
+//! wide interval these are the `m` equally spaced interior grid points
+//! at `j/(m+1)` of the interval), all folded into *one* allreduce of
+//! `2m` counters per splitter. After the reduction the splitter
+//! *descends* its tree: the root's verdict picks the half, the matching
+//! child's verdict picks the quarter, and so on — exactly the `d`
+//! probes classic bisection would have issued over `d` rounds. Rounds
+//! therefore drop from `O(BITS)` to `O(BITS / log₂(m+1))` while the
+//! per-round payload grows `m`-fold: β-bytes bought with α-rounds,
+//! precisely the trade the α–β cost model prices (and the same knob
+//! Histogram Sort with Sampling and AMS-sort turn, by other means).
+//!
+//! Because the descent replays the single-probe path verbatim, the
+//! accepted splitter keys, realized boundaries and the `degraded` flag
+//! are **identical for every `m`** — a finer grid can only accept the
+//! same key *earlier*. `m = 1` *is* the classic loop, bit for bit.
+//!
+//! ## Shrinking index brackets
+//!
+//! A splitter's key interval only ever narrows, so the local array
+//! positions its probes can land on narrow monotonically too: after a
+//! `TooHigh` verdict at probe `k`, every future probe is `< k` and its
+//! binary search cannot exit `[0, lower(k)]`; after `TooLow`, it cannot
+//! exit `[upper(k), n]`. Each splitter therefore carries a per-rank
+//! `[idx_lo, idx_hi]` bracket into the sorted local data; probes search
+//! only `sorted_local[idx_lo..idx_hi]` and the cost model charges
+//! [`Work::BinarySearches`] over the bracket width instead of
+//! `n_local` — a host-time *and* virtual-time win that compounds as
+//! the search converges. Bracket state is per-rank (it follows local
+//! counts), but it never influences which keys are probed, so all
+//! ranks still execute identical collective schedules.
 
 use dhs_runtime::{Comm, Work};
 
@@ -45,7 +84,14 @@ pub struct SplitterResult<K> {
     /// `P-1` splitters, ordered.
     pub splitters: Vec<SplitterInfo<K>>,
     /// Histogramming iterations executed (each = one `ALLREDUCE`).
+    /// With multi-probe bisection one iteration evaluates up to
+    /// `log₂(probes_per_round + 1)` bisection steps per splitter.
     pub iterations: u32,
+    /// Total candidate keys histogrammed across all iterations (2
+    /// counters each in the allreduce payload). At
+    /// `probes_per_round = 1` this equals the number of bisection
+    /// steps; larger grids spend more probes to buy fewer rounds.
+    pub probes: u64,
     /// `true` when an iteration cap stopped the search before every
     /// splitter met its slack: the unsettled splitters were frozen at
     /// their best-so-far probe, so realized boundaries may deviate from
@@ -186,6 +232,21 @@ pub struct SplitterOptions {
     /// `None` (default) bounds the search only by the convergence
     /// guarantee of the key width.
     pub max_iterations: Option<u32>,
+    /// Candidate keys histogrammed per still-active splitter per
+    /// round, folded into one allreduce (`m ≥ 1`; effectively rounded
+    /// down to `2^d - 1` where `d = ⌊log₂(m+1)⌋` — the probe grid is
+    /// the full `d`-level bisection tree of the interval). `1` (the
+    /// default) is the paper's single-midpoint bisection; larger grids
+    /// cut the round count to `⌈steps / d⌉` at `m`× the allreduce
+    /// payload. Accepted splitters are identical for every `m`.
+    pub probes_per_round: usize,
+    /// Carry a per-splitter `[idx_lo, idx_hi]` bracket into the sorted
+    /// local array across rounds (monotonically narrowing) and both
+    /// execute and charge the probe binary searches over the bracket
+    /// width instead of the full local array. On by default; the
+    /// switch exists for A/B measurement (`wallclock --splitter_ab`) —
+    /// results are identical either way, only the cost changes.
+    pub index_brackets: bool,
 }
 
 impl Default for SplitterOptions {
@@ -194,8 +255,55 @@ impl Default for SplitterOptions {
             init: InitialBounds::DataMinMax,
             strict_paper_rule: false,
             max_iterations: None,
+            probes_per_round: 1,
+            index_brackets: true,
         }
     }
+}
+
+/// Effective bisection-tree depth for `m` probes per round:
+/// `d = ⌊log₂(m+1)⌋` (so `m` is rounded down to the nearest `2^d - 1`).
+fn probe_depth(probes_per_round: usize) -> u32 {
+    (probes_per_round as u64 + 1).ilog2()
+}
+
+/// Emit the probe keys of the `depth`-level bisection tree of
+/// `[lo, hi]` in pre-order: root midpoint, left subtree over
+/// `[lo, mid-1]`, right subtree over `[mid+1, hi]`. Subtrees that fall
+/// off the interval are pruned, so at most `2^depth - 1` keys are
+/// emitted and every emitted key is distinct and inside `[lo, hi]`.
+fn tree_probes(lo: u128, hi: u128, depth: u32, out: &mut Vec<u128>) {
+    if depth == 0 || lo > hi {
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    out.push(mid);
+    if mid > lo {
+        tree_probes(lo, mid - 1, depth - 1, out);
+    }
+    if mid < hi {
+        tree_probes(mid + 1, hi, depth - 1, out);
+    }
+}
+
+/// Number of probes [`tree_probes`] emits for `[lo, hi]` at `depth`
+/// (used to index into the pre-order layout during descent).
+fn tree_size(lo: u128, hi: u128, depth: u32) -> usize {
+    if depth == 0 || lo > hi {
+        return 0;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let left = if mid > lo {
+        tree_size(lo, mid - 1, depth - 1)
+    } else {
+        0
+    };
+    let right = if mid < hi {
+        tree_size(mid + 1, hi, depth - 1)
+    } else {
+        0
+    };
+    1 + left + right
 }
 
 /// [`find_splitters`] with every knob exposed.
@@ -207,6 +315,10 @@ pub fn find_splitters_cfg<K: Key>(
     opts: SplitterOptions,
 ) -> SplitterResult<K> {
     let init = opts.init;
+    assert!(
+        opts.probes_per_round >= 1,
+        "probes_per_round must be at least 1"
+    );
     debug_assert!(
         sorted_local.windows(2).all(|w| w[0] <= w[1]),
         "local data must be sorted"
@@ -221,6 +333,7 @@ pub fn find_splitters_cfg<K: Key>(
         return SplitterResult {
             splitters: Vec::new(),
             iterations: 0,
+            probes: 0,
             degraded: false,
         };
     }
@@ -250,13 +363,25 @@ pub fn find_splitters_cfg<K: Key>(
         return SplitterResult {
             splitters: Vec::new(),
             iterations: 0,
+            probes: 0,
             degraded: false,
         };
     };
 
+    /// Per-splitter search state. Key interval and `done` are
+    /// replicated (driven by global counts); the index bracket is
+    /// per-rank (driven by local counts) and only affects where this
+    /// rank searches, never which keys are probed.
     struct State {
         lo_bits: u128,
         hi_bits: u128,
+        /// Local positions every remaining probe's binary searches are
+        /// confined to (see module docs: monotonically narrowing).
+        idx_lo: usize,
+        idx_hi: usize,
+        /// Last probe evaluated for this splitter, `(bits, L, U)` —
+        /// the freeze point for graceful degradation.
+        last: (u128, u64, u64),
         done: Option<(u128, u64, u64, u64)>, // (key bits, realized, L, U)
     }
     let data_lo = min_key.to_bits();
@@ -304,23 +429,30 @@ pub fn find_splitters_cfg<K: Key>(
                 .collect()
         }
     };
+    let n_local = sorted_local.len();
     let mut states: Vec<State> = brackets
         .into_iter()
         .map(|(lo_bits, hi_bits)| State {
             lo_bits,
             hi_bits,
+            idx_lo: 0,
+            idx_hi: n_local,
+            last: (lo_bits, 0, 0),
             done: None,
         })
         .collect();
 
-    let n = sorted_local.len() as u64;
+    let depth = probe_depth(opts.probes_per_round);
     let mut iterations = 0u32;
+    let mut probes_total = 0u64;
     let mut degraded = false;
-    // Sampled brackets can miss the splitter once and restart from the
-    // data min/max; allow head-room for that.
+    // Per-splitter bisection steps are bounded by the key width; one
+    // round evaluates up to `depth` of them. Sampled brackets can miss
+    // the splitter and restart from the data min/max (wasting the rest
+    // of that round's descent); allow head-room for that.
     let convergence_guard = match init {
         InitialBounds::SampledQuantiles { .. } => 3 * (K::BITS + 2),
-        _ => K::BITS + 2,
+        _ => (K::BITS + 2).div_ceil(depth),
     };
 
     loop {
@@ -336,100 +468,181 @@ pub fn find_splitters_cfg<K: Key>(
             "splitter search failed to converge in {convergence_guard} iterations"
         );
 
-        // Probe the bit-space midpoint of each active splitter and
-        // build the local histogram by binary search (Alg. 3 line 7).
-        let mids: Vec<(u128, K)> = active
+        // Probe grid: the full depth-level bisection tree of each
+        // active splitter's key interval, flattened per splitter in
+        // pre-order (Alg. 3 line 7, batched). The grid depends only on
+        // replicated interval state, so all ranks histogram the same
+        // candidate keys in the same order.
+        let mut probe_bits: Vec<u128> = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(active.len());
+        for &i in &active {
+            let s = &states[i];
+            let start = probe_bits.len();
+            tree_probes(s.lo_bits, s.hi_bits, depth, &mut probe_bits);
+            spans.push((start, probe_bits.len() - start));
+        }
+        probes_total += probe_bits.len() as u64;
+
+        // Charge the probe searches over each splitter's bracket width
+        // (full local array when brackets are disabled). Charges are
+        // pure functions of data sizes — never of the thread budget —
+        // which keeps the virtual clock byte-identical across budgets.
+        for (j, &i) in active.iter().enumerate() {
+            let s = &states[i];
+            comm.charge(Work::BinarySearches {
+                searches: 2 * spans[j].1 as u64,
+                n: (s.idx_hi - s.idx_lo) as u64,
+            });
+        }
+
+        // Build the local histogram: two binary searches per probe,
+        // confined to the splitter's index bracket. The bracket makes
+        // the sub-slice search return exactly the full-array positions
+        // (everything left of `idx_lo` is known `< probe`, everything
+        // right of `idx_hi` known `> probe`). Pooled counts buffer:
+        // every refinement round reuses the same allocation. With an
+        // intra-rank thread budget the per-splitter probe batches are
+        // counted in parallel; counts land in probe order either way,
+        // so the reduction input is identical for every budget.
+        let intra = comm.intra_span("histogram_probe");
+        let mut histogram: Vec<u64> = comm.pool().take_u64();
+        histogram.reserve(2 * probe_bits.len());
+        let units: Vec<(usize, usize, usize, usize)> = active
             .iter()
-            .map(|&i| {
+            .enumerate()
+            .map(|(j, &i)| {
                 let s = &states[i];
-                let mid_bits = s.lo_bits + (s.hi_bits - s.lo_bits) / 2;
-                (mid_bits, K::from_bits(mid_bits))
+                let (idx_lo, idx_hi) = if opts.index_brackets {
+                    (s.idx_lo, s.idx_hi)
+                } else {
+                    (0, n_local)
+                };
+                (spans[j].0, spans[j].1, idx_lo, idx_hi)
             })
             .collect();
-        comm.charge(Work::BinarySearches {
-            searches: 2 * active.len() as u64,
-            n,
-        });
-        // Pooled counts buffer: every refinement round reuses the same
-        // allocation instead of growing a fresh vector. With an
-        // intra-rank thread budget the probes are counted in parallel
-        // over chunks of `mids`; the counts land in probe order either
-        // way, so the reduction input is identical.
-        let mut histogram: Vec<u64> = comm.pool().take_u64();
-        histogram.reserve(2 * active.len());
+        let count_unit = |(start, len, idx_lo, idx_hi): (usize, usize, usize, usize),
+                          out: &mut Vec<u64>| {
+            let seg = &sorted_local[idx_lo..idx_hi];
+            for &bits in &probe_bits[start..start + len] {
+                let key = K::from_bits(bits);
+                out.push((idx_lo + seg.partition_point(|x| *x < key)) as u64);
+                out.push((idx_lo + seg.partition_point(|x| *x <= key)) as u64);
+            }
+        };
         let t = comm.threads().exec_budget();
-        if t > 1 && mids.len() >= 4 {
-            let chunk = mids.len().div_ceil(t);
-            let chunks: Vec<&[(u128, K)]> = mids.chunks(chunk).collect();
+        if t > 1 && units.len() >= 2 && probe_bits.len() >= 4 {
+            let chunk = units.len().div_ceil(t);
+            let chunks: Vec<&[(usize, usize, usize, usize)]> = units.chunks(chunk).collect();
             let counted = comm.threads().map(chunks, |part| {
-                let mut out = Vec::with_capacity(2 * part.len());
-                for &(_, mid) in part {
-                    out.push(sorted_local.partition_point(|x| *x < mid) as u64);
-                    out.push(sorted_local.partition_point(|x| *x <= mid) as u64);
+                let mut out = Vec::with_capacity(2 * part.iter().map(|u| u.1).sum::<usize>());
+                for &u in part {
+                    count_unit(u, &mut out);
                 }
                 out
             });
             histogram.extend(counted.into_iter().flatten());
         } else {
-            for &(_, mid) in &mids {
-                histogram.push(sorted_local.partition_point(|x| *x < mid) as u64);
-                histogram.push(sorted_local.partition_point(|x| *x <= mid) as u64);
+            for &u in &units {
+                count_unit(u, &mut histogram);
             }
         }
+        drop(intra);
 
-        // One global reduction per iteration (Alg. 3 line 8). The local
-        // histogram is viewed in place and the global result is one
-        // allocation shared by all ranks.
+        // One global reduction per round (Alg. 3 line 8), carrying all
+        // probes of all active splitters. The local histogram is viewed
+        // in place and the global result is one allocation shared by
+        // all ranks; the fatter payload is charged at its true width.
         let global = comm.allreduce_sum_shared(&histogram);
-        comm.pool().recycle_u64(histogram);
 
-        // Validate each active splitter (Alg. 3 line 9 / Alg. 2).
+        // Descend each splitter's probe tree along exactly the path
+        // single-probe bisection would walk (Alg. 3 line 9 / Alg. 2 at
+        // every level): the root midpoint's verdict selects the half,
+        // the matching child's verdict the quarter, and so on, until
+        // acceptance, a restart, or the round's depth is spent.
         for (j, &i) in active.iter().enumerate() {
-            let (lower, upper) = (global[2 * j], global[2 * j + 1]);
-            let (mid_bits, _) = mids[j];
+            let (base, _) = spans[j];
             let s = &mut states[i];
-            match validate_splitter(lower, upper, targets[i], slack, opts.strict_paper_rule) {
-                Validation::Accept { realized } => {
-                    s.done = Some((mid_bits, realized, lower, upper));
-                }
-                Validation::TooHigh => {
-                    if mid_bits == s.lo_bits {
-                        // Bracket exhausted without acceptance: only
-                        // possible when the initial bracket missed the
-                        // splitter (sampled quantiles). Restart wide.
-                        s.lo_bits = data_lo;
-                        s.hi_bits = data_hi;
-                    } else {
-                        s.hi_bits = mid_bits - 1;
+            let (mut lo, mut hi) = (s.lo_bits, s.hi_bits);
+            let mut node = base; // absolute probe index of the current tree node
+            let mut level = depth; // levels remaining, incl. the current node
+            loop {
+                let mid = lo + (hi - lo) / 2;
+                debug_assert_eq!(probe_bits[node], mid, "descent must follow the probe tree");
+                let (lower, upper) = (global[2 * node], global[2 * node + 1]);
+                s.last = (mid, lower, upper);
+                match validate_splitter(lower, upper, targets[i], slack, opts.strict_paper_rule) {
+                    Validation::Accept { realized } => {
+                        s.done = Some((mid, realized, lower, upper));
+                        break;
                     }
-                }
-                Validation::TooLow => {
-                    if mid_bits == s.hi_bits {
-                        s.lo_bits = data_lo;
-                        s.hi_bits = data_hi;
-                    } else {
-                        s.lo_bits = mid_bits + 1;
+                    Validation::TooHigh => {
+                        // Every future probe is < mid: its searches
+                        // cannot exit [idx_lo, local lower(mid)].
+                        s.idx_hi = s.idx_hi.min(histogram[2 * node] as usize);
+                        if mid == lo {
+                            // Bracket exhausted without acceptance:
+                            // only possible when the initial bracket
+                            // missed the splitter (sampled quantiles).
+                            // Restart wide; the index bracket proof no
+                            // longer holds, so it resets too.
+                            lo = data_lo;
+                            hi = data_hi;
+                            s.idx_lo = 0;
+                            s.idx_hi = n_local;
+                            break;
+                        }
+                        hi = mid - 1;
+                        if level > 1 {
+                            node += 1; // left child root, in pre-order
+                            level -= 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    Validation::TooLow => {
+                        s.idx_lo = s.idx_lo.max(histogram[2 * node + 1] as usize);
+                        if mid == hi {
+                            lo = data_lo;
+                            hi = data_hi;
+                            s.idx_lo = 0;
+                            s.idx_hi = n_local;
+                            break;
+                        }
+                        let left = if mid > lo {
+                            tree_size(lo, mid - 1, level - 1)
+                        } else {
+                            0
+                        };
+                        lo = mid + 1;
+                        if level > 1 {
+                            node += 1 + left; // skip the left subtree
+                            level -= 1;
+                        } else {
+                            break;
+                        }
                     }
                 }
             }
+            s.lo_bits = lo;
+            s.hi_bits = hi;
         }
 
         // Graceful degradation: out of iteration budget, freeze every
-        // unsettled splitter at this round's probe. The realized
+        // unsettled splitter at its last evaluated probe. The realized
         // boundary is the closest achievable position to the target,
         // which may overshoot the ε slack — the caller reports the
         // achieved imbalance instead of failing the sort.
         if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
-            for (j, &i) in active.iter().enumerate() {
+            for &i in &active {
                 let s = &mut states[i];
                 if s.done.is_none() {
-                    let (lower, upper) = (global[2 * j], global[2 * j + 1]);
-                    let (mid_bits, _) = mids[j];
+                    let (mid_bits, lower, upper) = s.last;
                     s.done = Some((mid_bits, targets[i].clamp(lower, upper), lower, upper));
                     degraded = true;
                 }
             }
         }
+        comm.pool().recycle_u64(histogram);
     }
 
     let splitters = states
@@ -449,6 +662,7 @@ pub fn find_splitters_cfg<K: Key>(
     SplitterResult {
         splitters,
         iterations,
+        probes: probes_total,
         degraded,
     }
 }
@@ -556,7 +770,7 @@ mod tests {
         let p = 4;
         let n = 4000;
         let runs = |slack: u64| {
-            let out = run(&ClusterConfig::small_cluster(p), |comm| {
+            let out = run(&ClusterConfig::small_cluster(p), move |comm| {
                 let local = keys_for(comm.rank(), n, u64::MAX);
                 let caps: Vec<usize> = comm.allgather(local.len());
                 find_splitters(comm, &local, &perfect_targets(&caps), slack)
@@ -616,6 +830,7 @@ mod tests {
         for (res, _) in out {
             assert!(res.splitters.is_empty());
             assert_eq!(res.iterations, 0);
+            assert_eq!(res.probes, 0);
         }
     }
 
@@ -681,6 +896,164 @@ mod tests {
                 assert_eq!(s.global_lower, all.partition_point(|&x| x < s.key) as u64);
                 assert_eq!(s.global_upper, all.partition_point(|&x| x <= s.key) as u64);
                 assert_eq!(s.realized, s.target);
+            }
+        }
+    }
+
+    /// Multi-probe rounds must accept the same splitters as classic
+    /// bisection while cutting the round count by the tree depth, and
+    /// an effective `m` between powers rounds down (5 behaves as 3).
+    fn splitters_for(
+        p: usize,
+        n: usize,
+        modulus: u64,
+        m: usize,
+        brackets: bool,
+    ) -> SplitterResult<u64> {
+        let opts = SplitterOptions {
+            probes_per_round: m,
+            index_brackets: brackets,
+            ..SplitterOptions::default()
+        };
+        let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+            let local = keys_for(comm.rank(), n, modulus);
+            let caps: Vec<usize> = comm.allgather(local.len());
+            find_splitters_cfg(comm, &local, &perfect_targets(&caps), 0, opts)
+        });
+        out.into_iter().next().expect("p >= 1").0
+    }
+
+    #[test]
+    fn multi_probe_accepts_identical_splitters_in_fewer_rounds() {
+        for &(p, n, modulus) in &[
+            (4usize, 1000usize, u64::MAX),
+            (7, 333, 1 << 30),
+            (5, 400, 50),
+        ] {
+            let base = splitters_for(p, n, modulus, 1, true);
+            for m in [3usize, 7, 15] {
+                let multi = splitters_for(p, n, modulus, m, true);
+                let d = (m as u64 + 1).ilog2();
+                assert_eq!(
+                    multi.splitters, base.splitters,
+                    "m={m}: splitters must be grid-invariant"
+                );
+                assert!(
+                    multi.iterations <= base.iterations.div_ceil(d),
+                    "m={m}: {} rounds vs {} single-probe steps",
+                    multi.iterations,
+                    base.iterations
+                );
+                assert!(multi.probes >= base.probes, "finer grids spend more probes");
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_probe_counts_round_down() {
+        let three = splitters_for(4, 600, 1 << 24, 3, true);
+        let five = splitters_for(4, 600, 1 << 24, 5, true);
+        assert_eq!(three.splitters, five.splitters);
+        assert_eq!(three.iterations, five.iterations);
+        assert_eq!(three.probes, five.probes);
+    }
+
+    #[test]
+    fn index_brackets_do_not_change_results() {
+        for m in [1usize, 7] {
+            let on = splitters_for(6, 500, 1 << 28, m, true);
+            let off = splitters_for(6, 500, 1 << 28, m, false);
+            assert_eq!(on.splitters, off.splitters);
+            assert_eq!(on.iterations, off.iterations);
+            assert_eq!(on.probes, off.probes);
+        }
+    }
+
+    #[test]
+    fn multi_probe_strict_rule_matches_single_probe() {
+        let go = |m: usize| {
+            let opts = SplitterOptions {
+                strict_paper_rule: true,
+                probes_per_round: m,
+                ..SplitterOptions::default()
+            };
+            let out = run(&ClusterConfig::small_cluster(4), move |comm| {
+                let local = keys_for(comm.rank(), 700, u64::MAX);
+                let caps: Vec<usize> = comm.allgather(local.len());
+                find_splitters_cfg(comm, &local, &perfect_targets(&caps), 0, opts)
+            });
+            out.into_iter().next().expect("non-empty").0
+        };
+        let base = go(1);
+        let multi = go(7);
+        assert_eq!(base.splitters, multi.splitters);
+        // Strict u64 probing runs to the key width: 3 steps per round
+        // must cut rounds to about a third.
+        assert!(multi.iterations <= base.iterations.div_ceil(3));
+    }
+
+    #[test]
+    fn multi_probe_sampled_restart_still_correct() {
+        // The skew workload of the sampled-quantile fallback test, at
+        // m = 7: restarts abandon the rest of a round's descent and
+        // must still land on the exact splitters.
+        let out = run(&ClusterConfig::small_cluster(4), |comm| {
+            let mut local: Vec<u64> = keys_for(comm.rank(), 500, 1 << 20)
+                .into_iter()
+                .map(|x| if x % 10 == 0 { x } else { x % 16 })
+                .collect();
+            local.sort_unstable();
+            let caps: Vec<usize> = comm.allgather(local.len());
+            let targets = perfect_targets(&caps);
+            let res = find_splitters_cfg(
+                comm,
+                &local,
+                &targets,
+                0,
+                SplitterOptions {
+                    init: InitialBounds::SampledQuantiles { per_rank: 2 },
+                    probes_per_round: 7,
+                    ..SplitterOptions::default()
+                },
+            );
+            (res, local)
+        });
+        let mut all: Vec<u64> = out.iter().flat_map(|((_, l), _)| l.clone()).collect();
+        all.sort_unstable();
+        for ((res, _), _) in &out {
+            for s in &res.splitters {
+                assert_eq!(s.global_lower, all.partition_point(|&x| x < s.key) as u64);
+                assert_eq!(s.global_upper, all.partition_point(|&x| x <= s.key) as u64);
+                assert_eq!(s.realized, s.target);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_tree_layout_is_consistent() {
+        // Pre-order sizes must agree with emission, and every probe
+        // stays inside the interval.
+        for &(lo, hi) in &[
+            (0u128, 100u128),
+            (5, 5),
+            (0, 1),
+            (10, 12),
+            (0, u64::MAX as u128),
+        ] {
+            for depth in 1..=4u32 {
+                let mut probes = Vec::new();
+                tree_probes(lo, hi, depth, &mut probes);
+                assert_eq!(
+                    probes.len(),
+                    tree_size(lo, hi, depth),
+                    "({lo},{hi})@{depth}"
+                );
+                assert!(probes.len() < (1 << depth));
+                assert!(probes.iter().all(|&b| lo <= b && b <= hi));
+                let mut sorted = probes.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), probes.len(), "probes must be distinct");
             }
         }
     }

@@ -7,6 +7,7 @@
 //! communicator instead of one clone per rank). [`BufferPool`] recycles
 //! scratch vectors across the O(log P) histogram rounds of a sort.
 
+use std::any::Any;
 use std::cell::RefCell;
 use std::ops::Deref;
 use std::sync::Arc;
@@ -157,7 +158,15 @@ impl<T: Clone> SharedSlice<T> {
 #[derive(Default)]
 pub struct BufferPool {
     u64s: RefCell<Vec<Vec<u64>>>,
+    /// Type-erased free list for every other element type (pairwise
+    /// exchange staging, merge scratch). Slots hold `Vec<T>` behind
+    /// `Box<dyn Any>`; [`Self::take`] scans for a matching type.
+    typed: RefCell<Vec<Box<dyn Any>>>,
 }
+
+/// Upper bound on retained typed slots; beyond it, recycled buffers are
+/// simply dropped (a pool, not a leak).
+const MAX_TYPED_SLOTS: usize = 16;
 
 impl BufferPool {
     /// Take a cleared `u64` scratch vector (capacity retained from
@@ -172,6 +181,32 @@ impl BufferPool {
     pub fn recycle_u64(&self, v: Vec<u64>) {
         if v.capacity() > 0 {
             self.u64s.borrow_mut().push(v);
+        }
+    }
+
+    /// Take a cleared scratch vector of any element type, reusing a
+    /// previously recycled allocation of the same type when available.
+    pub fn take<T: 'static>(&self) -> Vec<T> {
+        let mut slots = self.typed.borrow_mut();
+        match slots.iter().position(|slot| slot.is::<Vec<T>>()) {
+            Some(pos) => {
+                let slot = slots.swap_remove(pos);
+                let mut v = *slot.downcast::<Vec<T>>().expect("type checked above");
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Return a scratch vector of any element type to the pool.
+    pub fn recycle<T: 'static>(&self, v: Vec<T>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        let mut slots = self.typed.borrow_mut();
+        if slots.len() < MAX_TYPED_SLOTS {
+            slots.push(Box::new(v));
         }
     }
 }
@@ -220,5 +255,31 @@ mod tests {
         let v2 = pool.take_u64();
         assert!(v2.is_empty());
         assert_eq!(v2.capacity(), cap);
+    }
+
+    #[test]
+    fn typed_pool_recycles_per_type() {
+        let pool = BufferPool::default();
+        let mut ints: Vec<u32> = pool.take();
+        ints.extend_from_slice(&[1, 2, 3]);
+        let int_cap = ints.capacity();
+        let mut pairs: Vec<(u64, u64)> = pool.take();
+        pairs.push((4, 5));
+        let pair_cap = pairs.capacity();
+        pool.recycle(ints);
+        pool.recycle(pairs);
+        // Each type gets its own allocation back, cleared.
+        let ints2: Vec<u32> = pool.take();
+        assert!(ints2.is_empty());
+        assert_eq!(ints2.capacity(), int_cap);
+        let pairs2: Vec<(u64, u64)> = pool.take();
+        assert!(pairs2.is_empty());
+        assert_eq!(pairs2.capacity(), pair_cap);
+        // A type never recycled starts fresh.
+        let floats: Vec<f64> = pool.take();
+        assert_eq!(floats.capacity(), 0);
+        // Capacity-less vectors are not retained.
+        pool.recycle(Vec::<u8>::new());
+        assert_eq!(pool.take::<u8>().capacity(), 0);
     }
 }

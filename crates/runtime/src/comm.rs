@@ -1039,6 +1039,22 @@ impl Comm {
         self.recv(peer, tag)
     }
 
+    /// [`Self::exchange`] over a borrowed send segment. The payload is
+    /// staged into a pooled scratch buffer — the one copy that models
+    /// the wire transfer — so callers exchanging windows of a larger
+    /// array (pairwise-merge bucket rounds) need no owning clone of
+    /// their own, and steady-state rounds allocate nothing once the
+    /// pool is warm. Return the received buffer to
+    /// [`Self::pool`]`().recycle` when done with it.
+    pub fn exchange_slice<T>(&self, peer: usize, tag: u64, data: &[T]) -> Vec<T>
+    where
+        T: Copy + Send + 'static,
+    {
+        let mut staged: Vec<T> = self.pool().take();
+        staged.extend_from_slice(data);
+        self.exchange(peer, tag, staged)
+    }
+
     // ------------------------------------------------------------------
     // Communicator management
     // ------------------------------------------------------------------

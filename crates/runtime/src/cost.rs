@@ -250,6 +250,14 @@ pub enum Work {
         elem_bytes: u64,
     },
     /// `searches` binary searches over a sorted run of length `n`.
+    ///
+    /// `n` is the length of the run *actually searched*: callers that
+    /// confine a search to a known sub-range (the splitter search's
+    /// shrinking index brackets) pass the bracket width, and the charge
+    /// honestly drops to `⌈log₂ width⌉` probes per search — the
+    /// virtual-time counterpart of the host-time win. A degenerate run
+    /// (`n < 2`) still charges one probe per search: the search must
+    /// touch the run to learn it is exhausted.
     BinarySearches {
         /// Number of searches.
         searches: u64,
@@ -333,6 +341,26 @@ mod tests {
         let c = m.allgather_ns(LinkClass::InterNode, 64, per_rank);
         let volume = 63 * per_rank;
         assert!(c as f64 > volume as f64 * m.inter_node.beta_ns_per_byte);
+    }
+
+    #[test]
+    fn bracketed_binary_searches_charge_less() {
+        let m = CostModel::default();
+        let full = m.work_ns(Work::BinarySearches {
+            searches: 6,
+            n: 1 << 20,
+        });
+        let bracketed = m.work_ns(Work::BinarySearches {
+            searches: 6,
+            n: 1 << 5,
+        });
+        // 20 probe levels vs 5: a 4x virtual-time win per search.
+        assert_eq!(full, 4 * bracketed);
+        // Degenerate runs still pay one probe per search.
+        for n in [0u64, 1] {
+            let one = m.work_ns(Work::BinarySearches { searches: 6, n });
+            assert_eq!(one, m.work_ns(Work::RandomAccesses(6)));
+        }
     }
 
     #[test]

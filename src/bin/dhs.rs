@@ -39,6 +39,8 @@ fn main() {
                  \x20        few-distinct|all-equal --layout balanced|sparse|ramp\n\
                  \x20        --eps F --merge resort|tournament|binary|heap|funnel\n\
                  \x20        --local-sort comparison|radix --groups N --seed N --verify\n\
+                 \x20        --probes M (histogram probes per splitter per round)\n\
+                 \x20        --threads T (intra-rank thread budget)\n\
                  \x20        --trace out.json --trace-format chrome|summary\n\
                  select   --ranks N --nper N --k N --dist ... --seed N\n\
                  topology --ranks N"
@@ -108,6 +110,7 @@ fn sort_config(args: &Args) -> SortConfig {
             other => panic!("unknown local sort {other}"),
         })
         .unique_transform(args.has("unique"))
+        .probes_per_round(args.get("probes", 1))
         .threads_per_rank(args.get("threads", 1));
     if let Some(iters) = args.raw("max-iters") {
         let iters: u32 = iters
@@ -208,11 +211,12 @@ fn cmd_sort(args: &Args) {
     println!("output keys/rank   : {min_keys}..{max_keys}");
     if let Some(stats) = &out[0].0 .0 {
         println!(
-            "phases (rank 0)    : sort {:.3} ms | histogram {:.3} ms ({} iters) | \
+            "phases (rank 0)    : sort {:.3} ms | histogram {:.3} ms ({} iters, {} probes) | \
              exchange {:.3} ms | merge {:.3} ms | other {:.3} ms",
             stats.local_sort_ns as f64 / 1e6,
             stats.histogram_ns as f64 / 1e6,
             stats.iterations,
+            stats.probes,
             stats.exchange_ns as f64 / 1e6,
             stats.merge_ns as f64 / 1e6,
             stats.prepare_ns as f64 / 1e6,

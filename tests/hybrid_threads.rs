@@ -38,6 +38,37 @@ fn sort_with_threads(
     })
 }
 
+/// [`sort_with_threads`] with a multi-probe splitter search: the
+/// fatter histogram rounds dispatch per-splitter probe batches to the
+/// thread pool, so the m > 1 path needs its own budget-invariance
+/// coverage (output AND virtual makespan, via the `RankReport`s).
+fn sort_with_threads_probes(
+    cluster: &ClusterConfig,
+    p: usize,
+    n_per: usize,
+    seed: u64,
+    threads: usize,
+    probes: usize,
+) -> Vec<(Vec<u64>, RankReport)> {
+    let cfg = SortConfig::builder()
+        .threads_per_rank(threads)
+        .probes_per_round(probes)
+        .build()
+        .expect("valid config");
+    run(cluster, move |comm| {
+        let mut local = rank_local_keys(
+            Distribution::paper_uniform(),
+            Layout::Balanced,
+            p * n_per,
+            p,
+            comm.rank(),
+            seed,
+        );
+        histogram_sort(comm, &mut local, &cfg);
+        local
+    })
+}
+
 /// Record sort: `(key, provenance)` pairs ordered by key only, so the
 /// provenance tags witness the *stable* permutation byte-for-byte.
 fn sort_by_with_threads(
@@ -110,6 +141,37 @@ proptest! {
         }
     }
 
+    /// Multi-probe splitter rounds (`probes_per_round = 7`): the
+    /// threaded probe-counting kernel must keep sorted output and the
+    /// per-rank virtual clocks byte-identical across budgets, and the
+    /// simulation itself must match the single-probe one (same m ⇒
+    /// same collective schedule regardless of threads; any m ⇒ same
+    /// sorted output).
+    #[test]
+    fn multi_probe_identical_across_thread_budgets(
+        p in 2usize..7,
+        n_per in 50usize..400,
+        seed in 0u64..100_000,
+        with_faults in any::<bool>(),
+    ) {
+        let cluster = if with_faults {
+            faulty(p, seed)
+        } else {
+            ClusterConfig::small_cluster(p)
+        };
+        let serial = sort_with_threads_probes(&cluster, p, n_per, seed, 1, 7);
+        for threads in [2usize, 4] {
+            let hybrid = sort_with_threads_probes(&cluster, p, n_per, seed, threads, 7);
+            prop_assert_eq!(&serial, &hybrid, "threads={}", threads);
+        }
+        // Same sorted keys as the classic single-probe search (the
+        // virtual clocks legitimately differ: fewer, fatter rounds).
+        let classic = sort_with_threads(&cluster, p, n_per, seed, 1);
+        for ((keys_m, _), (keys_1, _)) in serial.iter().zip(&classic) {
+            prop_assert_eq!(keys_m, keys_1);
+        }
+    }
+
     /// `histogram_sort_by` (stable record path): the duplicate-heavy
     /// key space makes any stability violation visible in the tags.
     #[test]
@@ -149,5 +211,10 @@ fn large_local_blocks_identical_across_budgets() {
     for threads in [2usize, 4] {
         let hybrid = sort_by_with_threads(&cluster, p, n_per, 42, threads);
         assert_eq!(serial_by, hybrid, "threads={threads}");
+    }
+    let serial_m = sort_with_threads_probes(&cluster, p, n_per, 42, 1, 7);
+    for threads in [2usize, 4] {
+        let hybrid = sort_with_threads_probes(&cluster, p, n_per, 42, threads, 7);
+        assert_eq!(serial_m, hybrid, "threads={threads} probes=7");
     }
 }

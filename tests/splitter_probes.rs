@@ -1,0 +1,157 @@
+//! The multi-probe bisection contract (property-based): for any data,
+//! any rank count and any slack, the splitter search at
+//! `probes_per_round ∈ {3, 7}` must accept exactly the splitter keys,
+//! realized boundaries, and `degraded` flag of the classic
+//! single-probe loop — a finer probe grid replays the same bisection
+//! path, it can only accept *earlier* — while the round count drops to
+//! `⌈steps / log₂(m+1)⌉` (plus restart head-room).
+
+use dhs::core::{
+    find_splitters_cfg, perfect_targets, slack_for, InitialBounds, SplitterOptions, SplitterResult,
+};
+use dhs::runtime::{run, ClusterConfig};
+use proptest::prelude::*;
+
+fn keys_for(rank: usize, n: usize, modulus: u64, seed: u64) -> Vec<u64> {
+    let mut x = (rank as u64 + 1)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(seed)
+        | 1;
+    let mut v: Vec<u64> = (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % modulus
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn search(
+    p: usize,
+    n_per: usize,
+    modulus: u64,
+    seed: u64,
+    epsilon: f64,
+    opts: SplitterOptions,
+) -> SplitterResult<u64> {
+    let out = run(&ClusterConfig::small_cluster(p), move |comm| {
+        let local = keys_for(comm.rank(), n_per, modulus, seed);
+        let caps: Vec<usize> = comm.allgather(local.len());
+        let targets = perfect_targets(&caps);
+        let n_total: u64 = caps.iter().map(|&c| c as u64).sum();
+        let slack = slack_for(n_total, p, epsilon);
+        find_splitters_cfg(comm, &local, &targets, slack, opts)
+    });
+    out.into_iter().next().expect("p >= 1").0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Grid invariance: splitter keys, realized boundaries, and the
+    /// degraded flag are identical across m ∈ {1, 3, 7}, under both
+    /// acceptance rules, with duplicates, slack, and iteration caps in
+    /// play; and the m-round count respects the tree-depth bound.
+    #[test]
+    fn results_identical_across_probe_grids(
+        p in 2usize..8,
+        n_per in 20usize..300,
+        modulus_bits in 3u32..40,
+        seed in 0u64..1_000_000,
+        epsilon in prop_oneof![Just(0.0), Just(0.01), Just(0.1)],
+        strict in any::<bool>(),
+        cap in prop_oneof![Just(None), Just(Some(3u32)), Just(Some(8u32))],
+    ) {
+        let modulus = 1u64 << modulus_bits;
+        let base_opts = SplitterOptions {
+            strict_paper_rule: strict,
+            max_iterations: cap,
+            ..SplitterOptions::default()
+        };
+        let base = search(p, n_per, modulus, seed, epsilon, base_opts);
+        for m in [3usize, 7] {
+            let multi = search(p, n_per, modulus, seed, epsilon, SplitterOptions {
+                probes_per_round: m,
+                ..base_opts
+            });
+            let d = (m as u64 + 1).ilog2();
+            if base.degraded {
+                // The cap froze the classic search mid-descent. The
+                // finer grid gets d steps per round, so it may have
+                // legitimately converged (or frozen elsewhere); only
+                // the shape is comparable.
+                prop_assert_eq!(multi.splitters.len(), base.splitters.len());
+            } else {
+                // The classic search converged in `base.iterations`
+                // steps, so the grid converges in at most
+                // ⌈steps / d⌉ rounds — inside any cap the classic
+                // search met — onto the identical splitters.
+                prop_assert!(!multi.degraded, "m={} must converge too", m);
+                prop_assert_eq!(
+                    &multi.splitters, &base.splitters,
+                    "m={} must accept identical splitters", m
+                );
+                prop_assert!(
+                    multi.iterations <= base.iterations.div_ceil(d),
+                    "m={}: {} rounds vs {} steps", m, multi.iterations, base.iterations
+                );
+            }
+        }
+    }
+
+    /// The uncapped round count respects `⌈(BITS + 2) / d⌉` for
+    /// min/max initial bounds (no restarts possible), and index
+    /// brackets never change any result field.
+    #[test]
+    fn round_bound_and_bracket_neutrality(
+        p in 2usize..8,
+        n_per in 20usize..200,
+        modulus_bits in 3u32..40,
+        seed in 0u64..1_000_000,
+        m in prop_oneof![Just(1usize), Just(3), Just(7), Just(15)],
+    ) {
+        let modulus = 1u64 << modulus_bits;
+        let opts = SplitterOptions {
+            probes_per_round: m,
+            ..SplitterOptions::default()
+        };
+        let on = search(p, n_per, modulus, seed, 0.0, opts);
+        let d = (m as u64 + 1).ilog2();
+        prop_assert!(
+            on.iterations <= (64 + 2u32).div_ceil(d),
+            "m={}: {} rounds exceeds the tree-depth bound", m, on.iterations
+        );
+        let off = search(p, n_per, modulus, seed, 0.0, SplitterOptions {
+            index_brackets: false,
+            ..opts
+        });
+        prop_assert_eq!(on.splitters, off.splitters);
+        prop_assert_eq!(on.iterations, off.iterations);
+        prop_assert_eq!(on.probes, off.probes);
+        prop_assert_eq!(on.degraded, off.degraded);
+    }
+
+    /// Sampled-quantile starts can restart mid-descent; the
+    /// grid-invariance of the *final partition* must survive that.
+    #[test]
+    fn sampled_starts_agree_on_boundaries(
+        p in 2usize..7,
+        n_per in 30usize..200,
+        seed in 0u64..1_000_000,
+    ) {
+        let realized = |m: usize| {
+            let res = search(p, n_per, 1 << 20, seed, 0.0, SplitterOptions {
+                init: InitialBounds::SampledQuantiles { per_rank: 2 },
+                probes_per_round: m,
+                ..SplitterOptions::default()
+            });
+            res.splitters.iter().map(|s| s.realized).collect::<Vec<_>>()
+        };
+        let base = realized(1);
+        prop_assert_eq!(realized(3), base.clone());
+        prop_assert_eq!(realized(7), base);
+    }
+}
