@@ -11,19 +11,29 @@
 //! `<out>_phases.json`; the main grid's bytes are independent of phase
 //! attribution so existing consumers are unaffected.
 //!
+//! A recovery grid follows the fault sweep: seeded rank *crashes*
+//! (count × phase) against both [`RecoveryPolicy`] settings, written
+//! as `<out stem>_recovery.json`. Under `Abort` a crash kills the run
+//! (completion rate < 1); under `Shrink` the survivors agree, shrink,
+//! and finish with `SortOutcome::Recovered`. Crash deadlines are
+//! placed from a fault-free probe run's phase boundaries, so the grid
+//! hits the same phases at every scale.
+//!
 //! Flags: `--p <ranks>` (default 32), `--nper <keys/rank>` (default
 //! 2^12), `--threads <threads/rank>` (default 1), `--out <path>`,
-//! `--quick`. The `--threads` flag exercises hybrid rank×thread
+//! `--quick`, `--recovery <shrink|abort|both>` (run *only* the
+//! recovery grid, restricted to the given policies — the CI smoke
+//! subset). The `--threads` flag exercises hybrid rank×thread
 //! execution; by the determinism contract the emitted JSON is
 //! byte-identical for every value (only host wall-clock changes).
 
 use std::fmt::Write as _;
 
 use dhs_baselines::{HssConfig, SampleSortConfig};
-use dhs_bench::experiment::{run_distributed_sort, DistributedRun, SortAlgo};
+use dhs_bench::experiment::{run_distributed_sort, run_recovery_sort, DistributedRun, SortAlgo};
 use dhs_bench::table::{fmt_secs, Table};
 use dhs_bench::Args;
-use dhs_core::{ExchangeStrategy, SortConfig};
+use dhs_core::{ExchangeStrategy, RecoveryPolicy, SortConfig};
 use dhs_runtime::{ClusterConfig, FaultPlan, LinkClass, LinkFault, LossSpec};
 use dhs_workloads::{Distribution, Layout};
 
@@ -72,6 +82,7 @@ fn scenarios(p: usize) -> Vec<Scenario> {
             timeout_ns: 50_000,
             max_retries: 16,
             duplicate_rate: rate / 2.0,
+            backoff_factor: 1.0,
         });
         out.push(Scenario {
             name,
@@ -125,6 +136,155 @@ fn run_json(r: &DistributedRun) -> String {
     )
 }
 
+/// The crash grid: scenario name × (victim, deadline) list, with
+/// deadlines placed from the probe run's fault-free phase maxima so
+/// each scenario lands in the intended phase at any problem size. All
+/// deadlines are pre-commit (before the all-to-allv completes): a
+/// later deadline hits the exchange's commit point, where survivors
+/// finish without a restart and there is nothing to recover.
+fn crash_scenarios(p: usize, probe: &DistributedRun) -> Vec<(&'static str, Vec<(usize, u64)>)> {
+    let phase_s = |name: &str| {
+        probe
+            .phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0)
+    };
+    let ns = |s: f64| (s * 1e9).ceil() as u64;
+    let ls = phase_s("local-sort");
+    let hist = phase_s("histogram");
+    vec![
+        ("crash1-local-sort", vec![(p / 4, ns(ls * 0.5))]),
+        (
+            "crash1-histogram-early",
+            vec![(p / 4, ns(ls + hist * 0.25))],
+        ),
+        ("crash1-histogram-late", vec![(p / 4, ns(ls + hist * 0.9))]),
+        (
+            "crash2-staggered",
+            vec![(p / 4, ns(ls * 0.5)), (p / 2 + 1, ns(ls + hist * 0.5))],
+        ),
+    ]
+}
+
+/// Run the recovery grid and write `<out stem>_recovery.json`.
+fn recovery_grid(
+    p: usize,
+    n_per: usize,
+    threads: usize,
+    policies: &[(&'static str, RecoveryPolicy)],
+    out_path: &str,
+) {
+    let n_total = p * n_per;
+    let seed = 0x5EED;
+    let base = SortConfig::builder()
+        .threads_per_rank(threads)
+        .build()
+        .expect("valid config");
+    let probe = run_distributed_sort(
+        &ClusterConfig::supermuc_phase2(p),
+        &SortAlgo::Histogram(base),
+        Distribution::paper_uniform(),
+        Layout::Balanced,
+        n_total,
+        seed,
+    );
+
+    println!("\n# Recovery grid: rank crashes x policy");
+    let mut table = Table::new([
+        "scenario",
+        "policy",
+        "completed",
+        "recovered",
+        "restarts",
+        "overhead",
+        "makespan",
+    ]);
+    let scens = crash_scenarios(p, &probe);
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"ranks\": {p},");
+    let _ = writeln!(json, "  \"keys_per_rank\": {n_per},");
+    let _ = writeln!(json, "  \"grid\": [");
+    for (si, (name, crashes)) in scens.iter().enumerate() {
+        for (pi, (policy_name, policy)) in policies.iter().enumerate() {
+            let mut plan = FaultPlan::seeded(0xFA11);
+            for &(rank, at_ns) in crashes {
+                plan = plan.with_crash(rank, at_ns);
+            }
+            let cluster = ClusterConfig::supermuc_phase2(p).with_fault(plan);
+            let cfg = SortConfig::builder()
+                .threads_per_rank(threads)
+                .recovery(*policy)
+                .build()
+                .expect("valid config");
+            let r = run_recovery_sort(
+                &cluster,
+                &cfg,
+                Distribution::paper_uniform(),
+                Layout::Balanced,
+                n_total,
+                seed,
+            );
+            table.row([
+                name.to_string(),
+                policy_name.to_string(),
+                format!("{}/{}", r.completed_ranks, r.expected_survivors),
+                if r.recovered { "yes" } else { "no" }.to_string(),
+                r.restarts.to_string(),
+                fmt_secs(r.recovery_overhead_s),
+                fmt_secs(r.makespan_s),
+            ]);
+            let lost = r
+                .lost_ranks
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                json,
+                "    {{\"scenario\": \"{}\", \"crashes\": {}, \"policy\": \"{}\", \"result\": \
+                 {{\"completed\": {}, \"completed_ranks\": {}, \"expected_survivors\": {}, \
+                 \"recovered\": {}, \"restarts\": {}, \"lost_ranks\": [{}], \
+                 \"makespan_s\": {:.9}, \"recovery_overhead_s\": {:.9}, \"sorted_ok\": {}}}}}{}",
+                json_escape(name),
+                crashes.len(),
+                json_escape(policy_name),
+                r.completed,
+                r.completed_ranks,
+                r.expected_survivors,
+                r.recovered,
+                r.restarts,
+                lost,
+                r.makespan_s,
+                r.recovery_overhead_s,
+                r.sorted_ok,
+                if si + 1 < scens.len() || pi + 1 < policies.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    table.print();
+
+    let recovery_path = out_path
+        .strip_suffix(".json")
+        .map(|stem| format!("{stem}_recovery.json"))
+        .unwrap_or_else(|| format!("{out_path}_recovery.json"));
+    if let Some(dir) = std::path::Path::new(&recovery_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&recovery_path, &json).expect("write recovery grid JSON");
+    println!("\nwrote {recovery_path}");
+}
+
 fn main() {
     let args = Args::parse();
     let p: usize = if args.quick() { 8 } else { args.get("p", 32) };
@@ -140,6 +300,24 @@ fn main() {
         .to_string();
     let n_total = p * n_per;
     let seed = 0x5EED;
+
+    // `--recovery <policy>` runs only the recovery grid (the CI smoke
+    // subset); without it the full sweep runs and the grid follows.
+    if let Some(which) = args.raw("recovery") {
+        let policies: Vec<(&'static str, RecoveryPolicy)> = match which {
+            "shrink" => vec![("shrink", RecoveryPolicy::Shrink)],
+            "abort" => vec![("abort", RecoveryPolicy::Abort)],
+            "both" => vec![
+                ("abort", RecoveryPolicy::Abort),
+                ("shrink", RecoveryPolicy::Shrink),
+            ],
+            other => panic!("unknown recovery policy {other} (expected shrink|abort|both)"),
+        };
+        println!("# Chaos sweep (recovery subset)");
+        println!("# P = {p}, {n_per} keys/rank, uniform keys, plan seeds fixed");
+        recovery_grid(p, n_per, threads, &policies, &out_path);
+        return;
+    }
 
     // The pairwise-merge variant routes its exchange through the
     // point-to-point transport, which is where message loss bites; the
@@ -316,4 +494,15 @@ fn main() {
     let _ = writeln!(pj, "]");
     std::fs::write(&phases_path, &pj).expect("write chaos phase JSON");
     println!("wrote {phases_path}");
+
+    recovery_grid(
+        p,
+        n_per,
+        threads,
+        &[
+            ("abort", RecoveryPolicy::Abort),
+            ("shrink", RecoveryPolicy::Shrink),
+        ],
+        &out_path,
+    );
 }

@@ -6,8 +6,8 @@ use dhs_baselines::{
     ams_sort, bitonic_sort, hss_sort, hyksort, psrs, sample_sort, AmsConfig, HssConfig,
     HyksortConfig, PsrsConfig, SampleSortConfig,
 };
-use dhs_core::{histogram_sort, SortConfig};
-use dhs_runtime::{run, ClusterConfig};
+use dhs_core::{histogram_sort, SortConfig, SortOutcome};
+use dhs_runtime::{run, try_run_partial, ClusterConfig};
 use dhs_workloads::{rank_local_keys, Distribution, Layout};
 
 /// Which sorter to run, with its configuration.
@@ -185,6 +185,113 @@ pub fn run_distributed_sort(
         converged,
         p2p_retries: retries,
         p2p_duplicates: duplicates,
+    }
+}
+
+/// Outcome of one histogram-sort run under injected rank failures —
+/// the unit of the chaos-sweep recovery grid. All times are virtual.
+#[derive(Debug, Clone)]
+pub struct RecoveryRun {
+    /// Ranks that returned a result (survivors, plus any planned
+    /// victim whose deadline fell past its completion).
+    pub completed_ranks: usize,
+    /// Ranks the fault plan did *not* schedule to crash.
+    pub expected_survivors: usize,
+    /// Every expected survivor completed.
+    pub completed: bool,
+    /// At least one completer reported [`SortOutcome::Recovered`]
+    /// (i.e. the sort actually shrank past a failure).
+    pub recovered: bool,
+    /// Shrink-and-restart cycles (max over completers).
+    pub restarts: u32,
+    /// Ranks declared dead by the survivor agreement, ascending.
+    pub lost_ranks: Vec<usize>,
+    /// Max completer end-to-end virtual time, in seconds.
+    pub makespan_s: f64,
+    /// Max completer recovery overhead (failed attempts + agreement +
+    /// rollback), in seconds.
+    pub recovery_overhead_s: f64,
+    /// The completers' concatenated output is globally sorted and is
+    /// exactly the multiset of their inputs.
+    pub sorted_ok: bool,
+}
+
+/// Execute one histogram sort of `n_total` keys on a cluster whose
+/// fault plan may kill ranks, tolerating partial completion. The
+/// planned crash victims are read from the cluster's fault plan;
+/// everything else mirrors [`run_distributed_sort`]. Deterministic in
+/// `seed`.
+pub fn run_recovery_sort(
+    cluster: &ClusterConfig,
+    cfg: &SortConfig,
+    dist: Distribution,
+    layout: Layout,
+    n_total: usize,
+    seed: u64,
+) -> RecoveryRun {
+    let p = cluster.ranks();
+    let victims: Vec<usize> = cluster.fault.crashes.iter().map(|c| c.rank).collect();
+    let cfg = cfg.clone();
+    let out = try_run_partial(cluster, move |comm| {
+        let mut local = rank_local_keys(dist, layout, n_total, p, comm.rank(), seed);
+        let stats = histogram_sort(comm, &mut local, &cfg);
+        (local, stats)
+    });
+
+    let mut completed_ranks = 0usize;
+    let mut completed = true;
+    let mut recovered = false;
+    let mut restarts = 0u32;
+    let mut lost_ranks: Vec<usize> = Vec::new();
+    let mut makespan_ns = 0u64;
+    let mut overhead_ns = 0u64;
+    let mut got: Vec<u64> = Vec::new();
+    let mut expect: Vec<u64> = Vec::new();
+    for (rank, res) in out.ranks.iter().enumerate() {
+        match res {
+            Ok(((local, stats), _)) => {
+                completed_ranks += 1;
+                makespan_ns = makespan_ns.max(stats.total_ns());
+                if let SortOutcome::Recovered {
+                    lost_ranks: lost,
+                    restarts: r,
+                    recovery_ns,
+                } = &stats.outcome
+                {
+                    recovered = true;
+                    restarts = restarts.max(*r);
+                    overhead_ns = overhead_ns.max(*recovery_ns);
+                    if lost.len() > lost_ranks.len() {
+                        lost_ranks = lost.clone();
+                    }
+                }
+                got.extend_from_slice(local);
+                expect.extend(rank_local_keys(dist, layout, n_total, p, rank, seed));
+            }
+            Err(_) => {
+                if !victims.contains(&rank) {
+                    completed = false;
+                }
+            }
+        }
+    }
+    expect.sort_unstable();
+    // A post-commit crash legitimately leaves the victim's keys in the
+    // completers' outputs (the exchange had already delivered them),
+    // so the exact multiset check only applies to recovered runs; the
+    // global-order invariant applies always.
+    let sorted = got.windows(2).all(|w| w[0] <= w[1]);
+    let sorted_ok = sorted && (!recovered || got == expect);
+    RecoveryRun {
+        completed_ranks,
+        expected_survivors: p - victims.len(),
+        completed,
+        recovered,
+        restarts,
+        lost_ranks,
+        makespan_s: makespan_ns as f64 * 1e-9,
+        recovery_overhead_s: overhead_ns as f64 * 1e-9,
+        sorted_ok,
     }
 }
 

@@ -9,7 +9,9 @@
 
 use dhs_merge::MergeAlgo;
 
-use crate::sort::{ExchangeStrategy, InvalidSortConfig, LocalSort, Partitioning, SortConfig};
+use crate::sort::{
+    ExchangeStrategy, InvalidSortConfig, LocalSort, Partitioning, RecoveryPolicy, SortConfig,
+};
 
 /// Typed, chainable constructor for [`SortConfig`].
 ///
@@ -105,6 +107,16 @@ impl SortConfigBuilder {
         self
     }
 
+    /// Response to a mid-sort rank failure: abort the run (the
+    /// default) or shrink onto the survivors and restart from the
+    /// retained checkpoint. `build()` rejects
+    /// [`RecoveryPolicy::Shrink`] combined with a pairwise exchange
+    /// schedule.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.cfg.recovery = recovery;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<SortConfig, InvalidSortConfig> {
         self.cfg.validate()?;
@@ -133,6 +145,7 @@ impl Default for SortConfig {
             max_splitter_iterations: None,
             probes_per_round: 1,
             threads_per_rank: 1,
+            recovery: RecoveryPolicy::Abort,
         }
     }
 }
@@ -154,8 +167,28 @@ mod tests {
         assert_eq!(built.max_splitter_iterations, def.max_splitter_iterations);
         assert_eq!(built.probes_per_round, def.probes_per_round);
         assert_eq!(built.threads_per_rank, def.threads_per_rank);
+        assert_eq!(built.recovery, def.recovery);
         assert_eq!(def.threads_per_rank, 1, "default must be fully serial");
         assert_eq!(def.probes_per_round, 1, "default must be classic bisection");
+        assert_eq!(def.recovery, RecoveryPolicy::Abort, "abort is the default");
+    }
+
+    #[test]
+    fn builder_rejects_shrink_with_pairwise_exchange() {
+        let err = SortConfig::builder()
+            .recovery(RecoveryPolicy::Shrink)
+            .exchange(ExchangeStrategy::PairwiseMerge { overlap: false })
+            .build();
+        assert!(matches!(err, Err(InvalidSortConfig::ShrinkNeedsAllToAllv)));
+    }
+
+    #[test]
+    fn builder_recovery_roundtrip() {
+        let cfg = SortConfig::builder()
+            .recovery(RecoveryPolicy::Shrink)
+            .build()
+            .expect("shrink over all-to-allv is valid");
+        assert_eq!(cfg.recovery, RecoveryPolicy::Shrink);
     }
 
     #[test]

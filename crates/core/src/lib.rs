@@ -48,11 +48,12 @@ pub use multilevel::histogram_sort_two_level;
 pub use overlap::{exchange_and_merge, one_factor_partner, one_factor_rounds, OverlapStats};
 pub use sort::{
     histogram_sort, histogram_sort_by, ExchangeStrategy, InvalidSortConfig, LocalSort,
-    Partitioning, SortConfig, SortOutcome, SortStats,
+    Partitioning, RecoveryPolicy, SortConfig, SortOutcome, SortStats,
 };
 pub use splitter::{
-    balanced_targets, find_splitters, find_splitters_cfg, find_splitters_opts, perfect_targets,
-    slack_for, InitialBounds, SplitterInfo, SplitterOptions, SplitterResult,
+    balanced_targets, find_splitters, find_splitters_cfg, find_splitters_opts,
+    find_splitters_seeded, perfect_targets, slack_for, InitialBounds, SplitterInfo,
+    SplitterOptions, SplitterResult,
 };
 pub use verify::{global_fingerprint, multiset_fingerprint, verify_sorted, SortViolation};
 

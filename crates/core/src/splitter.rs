@@ -314,6 +314,38 @@ pub fn find_splitters_cfg<K: Key>(
     slack: u64,
     opts: SplitterOptions,
 ) -> SplitterResult<K> {
+    find_splitters_impl(comm, sorted_local, targets, slack, opts, None)
+}
+
+/// [`find_splitters_cfg`] warm-started from a previous search's
+/// accepted splitter keys (HSS-style seeding, used when re-running the
+/// search over fewer ranks after a shrink-and-recover). `warm` must be
+/// globally replicated and ascending; each new target's initial
+/// interval brackets its quantile position in the warm ladder with one
+/// key of margin, so stationary data re-converges in a handful of
+/// rounds instead of `O(BITS)`. An empty `warm` falls back to
+/// `opts.init` exactly; accepted splitters may differ from a cold
+/// search, but realized boundaries satisfy the same `slack` contract.
+pub fn find_splitters_seeded<K: Key>(
+    comm: &Comm,
+    sorted_local: &[K],
+    targets: &[u64],
+    slack: u64,
+    opts: SplitterOptions,
+    warm: &[K],
+) -> SplitterResult<K> {
+    let warm = (!warm.is_empty()).then_some(warm);
+    find_splitters_impl(comm, sorted_local, targets, slack, opts, warm)
+}
+
+fn find_splitters_impl<K: Key>(
+    comm: &Comm,
+    sorted_local: &[K],
+    targets: &[u64],
+    slack: u64,
+    opts: SplitterOptions,
+    warm: Option<&[K]>,
+) -> SplitterResult<K> {
     let init = opts.init;
     assert!(
         opts.probes_per_round >= 1,
@@ -391,42 +423,69 @@ pub fn find_splitters_cfg<K: Key>(
     } else {
         (1u128 << K::BITS) - 1
     };
-    let brackets: Vec<(u128, u128)> = match init {
-        InitialBounds::DataMinMax => vec![(data_lo, data_hi); targets.len()],
-        InitialBounds::FullDomain => vec![(0, domain_hi); targets.len()],
-        InitialBounds::SampledQuantiles { per_rank } => {
-            // Regular probes of the sorted local data, gathered once.
-            let probes: Vec<K> = if sorted_local.is_empty() {
-                Vec::new()
-            } else {
-                (0..per_rank.max(1))
-                    .map(|i| {
-                        sorted_local[((i + 1) * sorted_local.len() / (per_rank.max(1) + 1))
-                            .min(sorted_local.len() - 1)]
+    // Warm-start brackets from a previous search's accepted splitters
+    // take precedence over `init`: the old ladder already localizes
+    // every quantile of (nearly) stationary data.
+    let warm_brackets = warm.map(|pool| {
+        debug_assert!(pool.windows(2).all(|w| w[0] <= w[1]), "warm keys ascending");
+        let n_total: u64 = *targets.last().expect("non-empty").max(&1);
+        targets
+            .iter()
+            .map(|&t| {
+                // Bracket the target's quantile in the warm ladder with
+                // one key of margin on each side, clamped to the data
+                // range (same construction as SampledQuantiles).
+                let idx = ((t as f64 / n_total as f64) * (pool.len() - 1) as f64) as usize;
+                let lo = pool[idx.saturating_sub(1)].to_bits().max(data_lo);
+                let hi = pool[(idx + 1).min(pool.len() - 1)].to_bits().min(data_hi);
+                if lo <= hi {
+                    (lo, hi)
+                } else {
+                    (data_lo, data_hi)
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    let brackets: Vec<(u128, u128)> = if let Some(b) = warm_brackets {
+        b
+    } else {
+        match init {
+            InitialBounds::DataMinMax => vec![(data_lo, data_hi); targets.len()],
+            InitialBounds::FullDomain => vec![(0, domain_hi); targets.len()],
+            InitialBounds::SampledQuantiles { per_rank } => {
+                // Regular probes of the sorted local data, gathered once.
+                let probes: Vec<K> = if sorted_local.is_empty() {
+                    Vec::new()
+                } else {
+                    (0..per_rank.max(1))
+                        .map(|i| {
+                            sorted_local[((i + 1) * sorted_local.len() / (per_rank.max(1) + 1))
+                                .min(sorted_local.len() - 1)]
+                        })
+                        .collect()
+                };
+                let mut pool: Vec<K> = comm.allgatherv(probes).into_iter().flatten().collect();
+                pool.sort_unstable();
+                let n_total: u64 = *targets.last().expect("non-empty").max(&1);
+                targets
+                    .iter()
+                    .map(|&t| {
+                        if pool.is_empty() {
+                            return (data_lo, data_hi);
+                        }
+                        // Bracket the target's quantile with one sample of
+                        // margin on each side.
+                        let idx = ((t as f64 / n_total as f64) * (pool.len() - 1) as f64) as usize;
+                        let lo = pool[idx.saturating_sub(1)].to_bits().max(data_lo);
+                        let hi = pool[(idx + 1).min(pool.len() - 1)].to_bits().min(data_hi);
+                        if lo <= hi {
+                            (lo, hi)
+                        } else {
+                            (data_lo, data_hi)
+                        }
                     })
                     .collect()
-            };
-            let mut pool: Vec<K> = comm.allgatherv(probes).into_iter().flatten().collect();
-            pool.sort_unstable();
-            let n_total: u64 = *targets.last().expect("non-empty").max(&1);
-            targets
-                .iter()
-                .map(|&t| {
-                    if pool.is_empty() {
-                        return (data_lo, data_hi);
-                    }
-                    // Bracket the target's quantile with one sample of
-                    // margin on each side.
-                    let idx = ((t as f64 / n_total as f64) * (pool.len() - 1) as f64) as usize;
-                    let lo = pool[idx.saturating_sub(1)].to_bits().max(data_lo);
-                    let hi = pool[(idx + 1).min(pool.len() - 1)].to_bits().min(data_hi);
-                    if lo <= hi {
-                        (lo, hi)
-                    } else {
-                        (data_lo, data_hi)
-                    }
-                })
-                .collect()
+            }
         }
     };
     let n_local = sorted_local.len();
@@ -447,12 +506,17 @@ pub fn find_splitters_cfg<K: Key>(
     let mut probes_total = 0u64;
     let mut degraded = false;
     // Per-splitter bisection steps are bounded by the key width; one
-    // round evaluates up to `depth` of them. Sampled brackets can miss
-    // the splitter and restart from the data min/max (wasting the rest
-    // of that round's descent); allow head-room for that.
-    let convergence_guard = match init {
-        InitialBounds::SampledQuantiles { .. } => 3 * (K::BITS + 2),
-        _ => (K::BITS + 2).div_ceil(depth),
+    // round evaluates up to `depth` of them. Sampled and warm-seeded
+    // brackets can miss the splitter and restart from the data min/max
+    // (wasting the rest of that round's descent); allow head-room for
+    // that.
+    let convergence_guard = if warm.is_some() {
+        3 * (K::BITS + 2)
+    } else {
+        match init {
+            InitialBounds::SampledQuantiles { .. } => 3 * (K::BITS + 2),
+            _ => (K::BITS + 2).div_ceil(depth),
+        }
     };
 
     loop {

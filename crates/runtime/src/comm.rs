@@ -216,10 +216,15 @@ impl Comm {
                 if let Some(sink) = self.sink() {
                     sink.event("crash", self.local().now_ns(), None, 0, deadline);
                 }
-                std::panic::panic_any(RankAbort(RankError::Crashed {
+                let err = RankError::Crashed {
                     rank: self.state.global_ranks[self.rank],
                     at_ns: deadline,
-                }));
+                };
+                // Register the death so armed survivors can detect it
+                // and recover (harmless when recovery is not armed).
+                self.world()
+                    .mark_rank_failed(self.state.global_ranks[self.rank], err.clone());
+                std::panic::panic_any(RankAbort(err));
             }
         }
     }
@@ -907,12 +912,15 @@ impl Comm {
     /// Post a message to `dst` (non-blocking at the sender).
     ///
     /// Under an active [`crate::fault::LossSpec`], attempts may be
-    /// dropped by seeded draws: each lost attempt charges the sender a
-    /// retransmission timeout plus the posting overhead and bumps the
-    /// retry counter; the surviving attempt (guaranteed within
-    /// `max_retries`) is the one delivered. A further draw may inject a
-    /// stray duplicate, which the receiving mailbox discards by
-    /// sequence number.
+    /// dropped by seeded draws: each lost attempt charges the sender an
+    /// exponentially backed-off retransmission timeout plus the posting
+    /// overhead and bumps the retry counter. If *all* `max_retries`
+    /// attempts are lost the sender suspects the peer dead and panics
+    /// with [`RankError::RetriesExhausted`] (or a
+    /// [`crate::recover::RecoveryInterrupt`] when recovery is armed)
+    /// instead of retrying forever. A further draw may inject a stray
+    /// duplicate, which the receiving mailbox discards by sequence
+    /// number.
     pub fn send<T>(&self, dst: usize, tag: u64, data: Vec<T>)
     where
         T: Send + 'static,
@@ -947,7 +955,17 @@ impl Comm {
                 retries += 1;
             }
             if retries > 0 {
-                let penalty = retries * (loss.timeout_ns + post_ns);
+                // Each lost attempt waits out an exponentially backed-off
+                // retransmission timeout (plus reposting overhead). With
+                // the default `backoff_factor` of 1.0 this is exactly
+                // `retries * (timeout_ns + post_ns)`.
+                let penalty: u64 = (0..retries)
+                    .map(|attempt| {
+                        let wait =
+                            loss.timeout_ns as f64 * loss.backoff_factor.powi(attempt as i32);
+                        wait.ceil() as u64 + post_ns
+                    })
+                    .sum();
                 me.advance_ns(penalty);
                 me.counters.comm_ns.fetch_add(penalty, Ordering::Relaxed);
                 me.counters
@@ -956,6 +974,22 @@ impl Comm {
                 if let Some(sink) = self.sink() {
                     sink.event("retry", me.now_ns(), Some(link), bytes, retries);
                 }
+            }
+            if loss.max_retries > 0 && retries == loss.max_retries as u64 {
+                // Retransmission budget exhausted: suspect the peer dead
+                // rather than retrying forever. The suspicion feeds the
+                // failure detector; armed survivors unwind into the
+                // recovery layer, otherwise the rank aborts with a typed
+                // root cause.
+                let err = RankError::RetriesExhausted {
+                    peer: dst_g,
+                    attempts: loss.max_retries,
+                };
+                world.mark_rank_failed(dst_g, err.clone());
+                if world.recovery_armed() {
+                    crate::recover::interrupt();
+                }
+                std::panic::panic_any(RankAbort(err));
             }
             // Attempt id u64::MAX salts the duplicate draw so it is
             // independent of the loss draws.
@@ -1003,7 +1037,13 @@ impl Comm {
         self.check_crash();
         assert!(src < self.size());
         let me_g = self.state.global_ranks[self.rank];
-        let msg = self.state.mailboxes[self.rank].pop(self.world(), me_g, src, tag);
+        let msg = self.state.mailboxes[self.rank].pop(
+            self.world(),
+            &self.state.global_ranks,
+            me_g,
+            src,
+            tag,
+        );
         let me = self.local();
         let before = me.now_ns();
         me.advance_to_ns(msg.arrival_ns);
@@ -1097,6 +1137,55 @@ impl Comm {
             ((states), EndTimes::Uniform(ctx.enter_max_ns))
         });
         Comm::new(state[&color].clone(), new_rank)
+    }
+
+    /// Arm shrink-and-recover for the lifetime of the returned guard:
+    /// while any rank holds a live guard, a registered rank failure
+    /// interrupts blocked survivors with a
+    /// [`crate::recover::RecoveryInterrupt`] (instead of poisoning the
+    /// whole run) so they can [`Comm::shrink`] and retry. A rank that
+    /// dies while armed intentionally leaks its arm — the world stays
+    /// armed throughout its survivors' recovery.
+    pub fn arm_recovery(&self) -> crate::recover::RecoveryGuard {
+        crate::recover::RecoveryGuard::new(self.world().clone())
+    }
+
+    /// ULFM-style shrink: run the fault-aware survivor agreement for
+    /// restart round `epoch` (the caller's count of prior shrinks on
+    /// this run) and renumber this rank into a fresh communicator over
+    /// the survivors, compacted in old-global-rank order.
+    ///
+    /// Panics with the caller's own root cause if the caller itself is
+    /// dead (crash deadline passed) or suspected dead by a peer. The
+    /// old communicator is *revoked* afterwards: its collective cell
+    /// and mailboxes may be wedged mid-generation, so no further
+    /// operations may be issued on it.
+    pub fn shrink(&self, epoch: u64) -> crate::recover::Shrunk {
+        let me_g = self.state.global_ranks[self.rank];
+        let enter_ns = self.local().now_ns();
+        let agreement =
+            crate::recover::agree_survivors(self.world(), &self.state.global_ranks, me_g, epoch);
+        let new_rank = agreement
+            .survivors
+            .binary_search(&me_g)
+            .expect("agreement always includes the live caller");
+        if let Some(sink) = self.sink() {
+            sink.complete(
+                Cow::Borrowed("shrink"),
+                "collective",
+                enter_ns,
+                self.local().now_ns(),
+                0,
+            );
+        }
+        let comm = Comm::new(agreement.state.clone(), new_rank);
+        // Carry the intra-rank thread budget across the shrink.
+        comm.threads.configure(self.threads.budget());
+        crate::recover::Shrunk {
+            comm,
+            survivors: agreement.survivors.clone(),
+            lost: agreement.dead.clone(),
+        }
     }
 
     /// Account `bytes` of collective traffic at the communicator's

@@ -56,21 +56,30 @@ pub struct LinkFault {
 
 /// Message-loss model for point-to-point sends. The runtime implements
 /// a reliable-delivery layer on top: every attempt that the seeded
-/// draw declares lost costs the sender one retransmission timeout plus
-/// the posting overhead, and the attempt after `max_retries` always
-/// succeeds so progress is guaranteed.
+/// draw declares lost costs the sender one (exponentially backed-off)
+/// retransmission timeout plus the posting overhead. A message whose
+/// `max_retries` attempts are *all* lost is not retried forever: the
+/// sender suspects the peer dead and fails with
+/// [`RankError::RetriesExhausted`], feeding the recovery layer's
+/// failure detector (see `dhs_runtime::recover`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LossSpec {
     /// Per-attempt drop probability in `[0, 1)`.
     pub rate: f64,
-    /// Virtual time the sender waits before retransmitting.
+    /// Virtual time the sender waits before the first retransmission.
     pub timeout_ns: u64,
-    /// Maximum retransmissions per message.
+    /// Maximum retransmissions per message before the sender declares
+    /// the peer unreachable.
     pub max_retries: u32,
     /// Probability that a delivered message is followed by a stray
     /// duplicate (late retransmission); duplicates are discarded by
     /// the receiver's sequence-number filter.
     pub duplicate_rate: f64,
+    /// Multiplier applied to the retransmission timeout after each
+    /// lost attempt (attempt `i` waits `timeout_ns * backoff_factor^i`).
+    /// Must be finite and >= 1; the default of 1.0 keeps the flat
+    /// historical timing.
+    pub backoff_factor: f64,
 }
 
 impl Default for LossSpec {
@@ -80,6 +89,7 @@ impl Default for LossSpec {
             timeout_ns: 20_000,
             max_retries: 16,
             duplicate_rate: 0.0,
+            backoff_factor: 1.0,
         }
     }
 }
@@ -154,52 +164,73 @@ impl FaultPlan {
             && self.crashes.is_empty()
     }
 
-    /// Panic with a clear message if the plan references ranks outside
-    /// `[0, ranks)` or carries nonsensical parameters.
-    pub fn validate(&self, ranks: usize) {
+    /// Check that the plan references only ranks in `[0, ranks)` and
+    /// carries sensible parameters; returns the first violation as a
+    /// typed [`FaultPlanError`].
+    pub fn validate(&self, ranks: usize) -> Result<(), FaultPlanError> {
         for s in &self.stragglers {
-            assert!(
-                s.rank < ranks,
-                "straggler rank {} out of range (cluster has {ranks})",
-                s.rank
-            );
-            assert!(
-                s.factor.is_finite() && s.factor >= 1.0,
-                "straggler factor {} must be finite and >= 1",
-                s.factor
-            );
+            if s.rank >= ranks {
+                return Err(FaultPlanError::StragglerRankOutOfRange {
+                    rank: s.rank,
+                    ranks,
+                });
+            }
+            if !(s.factor.is_finite() && s.factor >= 1.0) {
+                return Err(FaultPlanError::BadStragglerFactor {
+                    rank: s.rank,
+                    factor: s.factor,
+                });
+            }
         }
         for w in &self.link_faults {
-            assert!(
-                w.extra_alpha_ns.is_finite() && w.extra_alpha_ns >= 0.0,
-                "link fault extra_alpha_ns {} must be finite and >= 0",
-                w.extra_alpha_ns
-            );
-            assert!(
-                w.beta_factor.is_finite() && w.beta_factor >= 1.0,
-                "link fault beta_factor {} must be finite and >= 1",
-                w.beta_factor
-            );
-            assert!(w.from_ns < w.until_ns, "link fault window is empty");
+            if !(w.extra_alpha_ns.is_finite() && w.extra_alpha_ns >= 0.0) {
+                return Err(FaultPlanError::BadLinkAlpha {
+                    extra_alpha_ns: w.extra_alpha_ns,
+                });
+            }
+            if !(w.beta_factor.is_finite() && w.beta_factor >= 1.0) {
+                return Err(FaultPlanError::BadLinkBeta {
+                    beta_factor: w.beta_factor,
+                });
+            }
+            if w.from_ns >= w.until_ns {
+                return Err(FaultPlanError::EmptyLinkWindow {
+                    from_ns: w.from_ns,
+                    until_ns: w.until_ns,
+                });
+            }
         }
         if let Some(l) = self.loss {
-            assert!(
-                (0.0..1.0).contains(&l.rate),
-                "loss rate {} must be in [0, 1)",
-                l.rate
-            );
-            assert!(
-                (0.0..1.0).contains(&l.duplicate_rate),
-                "duplicate rate {} must be in [0, 1)",
-                l.duplicate_rate
-            );
+            if !(0.0..1.0).contains(&l.rate) {
+                return Err(FaultPlanError::BadLossRate { rate: l.rate });
+            }
+            if !(0.0..1.0).contains(&l.duplicate_rate) {
+                return Err(FaultPlanError::BadDuplicateRate {
+                    rate: l.duplicate_rate,
+                });
+            }
+            if !(l.backoff_factor.is_finite() && l.backoff_factor >= 1.0) {
+                return Err(FaultPlanError::BadLossBackoff {
+                    backoff_factor: l.backoff_factor,
+                });
+            }
         }
         for c in &self.crashes {
-            assert!(
-                c.rank < ranks,
-                "crash rank {} out of range (cluster has {ranks})",
-                c.rank
-            );
+            if c.rank >= ranks {
+                return Err(FaultPlanError::CrashRankOutOfRange {
+                    rank: c.rank,
+                    ranks,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking shim over [`FaultPlan::validate`] for benches and call
+    /// sites that treat a bad plan as a programming error.
+    pub fn validate_or_panic(&self, ranks: usize) {
+        if let Err(e) = self.validate(ranks) {
+            panic!("invalid fault plan: {e}"); // lint: allow-panic (validation shim)
         }
     }
 
@@ -259,6 +290,110 @@ impl FaultPlan {
     }
 }
 
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`].
+///
+/// Display messages keep the historical assertion wording so callers
+/// (and the panicking shim) stay grep- and test-compatible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// A straggler entry names a rank outside `[0, ranks)`.
+    StragglerRankOutOfRange {
+        /// Offending rank id.
+        rank: usize,
+        /// Cluster size the plan was validated against.
+        ranks: usize,
+    },
+    /// A straggler factor is not finite or is below 1.
+    BadStragglerFactor {
+        /// Rank the straggler entry applies to.
+        rank: usize,
+        /// Offending factor.
+        factor: f64,
+    },
+    /// A link fault's extra latency is not finite or is negative.
+    BadLinkAlpha {
+        /// Offending extra alpha.
+        extra_alpha_ns: f64,
+    },
+    /// A link fault's beta multiplier is not finite or is below 1.
+    BadLinkBeta {
+        /// Offending beta factor.
+        beta_factor: f64,
+    },
+    /// A link fault window with `from_ns >= until_ns` matches nothing.
+    EmptyLinkWindow {
+        /// Window start.
+        from_ns: u64,
+        /// Window end.
+        until_ns: u64,
+    },
+    /// Loss rate outside `[0, 1)`.
+    BadLossRate {
+        /// Offending rate.
+        rate: f64,
+    },
+    /// Duplicate rate outside `[0, 1)`.
+    BadDuplicateRate {
+        /// Offending rate.
+        rate: f64,
+    },
+    /// A retransmission backoff factor that is not finite or is below 1.
+    BadLossBackoff {
+        /// Offending factor.
+        backoff_factor: f64,
+    },
+    /// A crash entry names a rank outside `[0, ranks)`.
+    CrashRankOutOfRange {
+        /// Offending rank id.
+        rank: usize,
+        /// Cluster size the plan was validated against.
+        ranks: usize,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::StragglerRankOutOfRange { rank, ranks } => {
+                write!(
+                    f,
+                    "straggler rank {rank} out of range (cluster has {ranks})"
+                )
+            }
+            FaultPlanError::BadStragglerFactor { rank, factor } => write!(
+                f,
+                "straggler factor {factor} on rank {rank} must be finite and >= 1"
+            ),
+            FaultPlanError::BadLinkAlpha { extra_alpha_ns } => write!(
+                f,
+                "link fault extra_alpha_ns {extra_alpha_ns} must be finite and >= 0"
+            ),
+            FaultPlanError::BadLinkBeta { beta_factor } => write!(
+                f,
+                "link fault beta_factor {beta_factor} must be finite and >= 1"
+            ),
+            FaultPlanError::EmptyLinkWindow { from_ns, until_ns } => {
+                write!(f, "link fault window is empty ({from_ns}..{until_ns})")
+            }
+            FaultPlanError::BadLossRate { rate } => {
+                write!(f, "loss rate {rate} must be in [0, 1)")
+            }
+            FaultPlanError::BadDuplicateRate { rate } => {
+                write!(f, "duplicate rate {rate} must be in [0, 1)")
+            }
+            FaultPlanError::BadLossBackoff { backoff_factor } => write!(
+                f,
+                "loss backoff_factor {backoff_factor} must be finite and >= 1"
+            ),
+            FaultPlanError::CrashRankOutOfRange { rank, ranks } => {
+                write!(f, "crash rank {rank} out of range (cluster has {ranks})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// One uniform draw in `[0, 1)`, a pure function of the plan seed and
 /// a stable coordinate tuple (SplitMix64 over the folded coordinates).
 pub fn unit_draw(seed: u64, coords: &[u64]) -> f64 {
@@ -299,6 +434,16 @@ pub enum RankError {
         /// The aborting rank (not the root cause).
         rank: usize,
     },
+    /// A sender exhausted its retransmission budget talking to a peer;
+    /// the peer is suspected dead. This is what the failure detector
+    /// consumes when loss, rather than a crash deadline, reveals a
+    /// dead rank.
+    RetriesExhausted {
+        /// The unreachable peer the failure is attributed to.
+        peer: usize,
+        /// Retransmission attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl RankError {
@@ -308,6 +453,7 @@ impl RankError {
             RankError::Crashed { rank, .. }
             | RankError::Panicked { rank, .. }
             | RankError::PeerFailed { rank } => rank,
+            RankError::RetriesExhausted { peer, .. } => peer,
         }
     }
 
@@ -329,6 +475,12 @@ impl fmt::Display for RankError {
             }
             RankError::PeerFailed { rank } => {
                 write!(f, "rank {rank} aborted because a peer rank failed")
+            }
+            RankError::RetriesExhausted { peer, attempts } => {
+                write!(
+                    f,
+                    "peer rank {peer} unreachable after {attempts} retransmissions"
+                )
             }
         }
     }
@@ -403,14 +555,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn validate_rejects_out_of_range_rank() {
-        FaultPlan::default().with_crash(8, 0).validate(8);
+        assert_eq!(
+            FaultPlan::default().with_crash(8, 0).validate(8),
+            Err(FaultPlanError::CrashRankOutOfRange { rank: 8, ranks: 8 })
+        );
+        assert_eq!(
+            FaultPlan::default().with_straggler(9, 2.0).validate(8),
+            Err(FaultPlanError::StragglerRankOutOfRange { rank: 9, ranks: 8 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "must be finite and >= 1")]
     fn validate_rejects_speedup_straggler() {
-        FaultPlan::default().with_straggler(0, 0.5).validate(4);
+        assert_eq!(
+            FaultPlan::default().with_straggler(0, 0.5).validate(4),
+            Err(FaultPlanError::BadStragglerFactor {
+                rank: 0,
+                factor: 0.5
+            })
+        );
+    }
+
+    #[test]
+    fn validate_accepts_sane_plans() {
+        assert_eq!(FaultPlan::default().validate(1), Ok(()));
+        let plan = FaultPlan::seeded(1)
+            .with_straggler(0, 2.0)
+            .with_crash(3, 100)
+            .with_loss(LossSpec::default());
+        assert_eq!(plan.validate(4), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validate_or_panic_keeps_historical_messages() {
+        FaultPlan::default().with_crash(8, 0).validate_or_panic(8);
     }
 }

@@ -28,6 +28,7 @@ pub mod buffer;
 pub mod comm;
 pub mod cost;
 pub mod fault;
+pub mod recover;
 pub mod runner;
 pub mod state;
 pub mod stats;
@@ -38,9 +39,11 @@ pub mod trace;
 pub use buffer::{BufferPool, RecvRuns, SharedSlice};
 pub use comm::{AllToAllAlgo, Comm};
 pub use cost::{log2_ceil, CostModel, LinkCost, Work};
-pub use fault::{Crash, FaultPlan, LinkFault, LossSpec, RankError, Straggler};
+pub use fault::{Crash, FaultPlan, FaultPlanError, LinkFault, LossSpec, RankError, Straggler};
+pub use recover::{RecoveryGuard, RecoveryInterrupt, Shrunk};
 pub use runner::{
-    run, run_summarized, run_traced, try_run, try_run_traced, ClusterConfig, RunError, TracedRun,
+    run, run_summarized, run_traced, try_run, try_run_partial, try_run_traced, ClusterConfig,
+    PartialRun, RunError, TracedRun,
 };
 pub use stats::{CounterSnapshot, RankReport, RunSummary};
 pub use threads::ThreadPool;

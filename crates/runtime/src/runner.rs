@@ -174,6 +174,70 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Send + Sync,
 {
+    let partial = try_run_partial(cfg, f);
+    let mut ok = Vec::with_capacity(partial.ranks.len());
+    let mut failed = Vec::new();
+    let mut completed_reports = Vec::new();
+    for r in partial.ranks {
+        match r {
+            Ok((v, report)) => {
+                completed_reports.push(report.clone());
+                ok.push((v, report));
+            }
+            Err(e) => failed.push(e),
+        }
+    }
+    if failed.is_empty() {
+        Ok(TracedRun {
+            ranks: ok,
+            trace: partial.trace,
+        })
+    } else {
+        failed.sort_by_key(|e| e.rank());
+        Err(RunError {
+            failed,
+            completed_reports,
+        })
+    }
+}
+
+/// A run in which some ranks may have failed while others completed:
+/// the per-rank outcomes, ordered by rank, plus the aggregated trace.
+/// This is the shape shrink-and-recover runs need —
+/// [`RunError`] would discard the survivors' values.
+#[derive(Debug)]
+pub struct PartialRun<R> {
+    /// One entry per rank, ordered by rank id: `Ok((value, report))`
+    /// for ranks that returned, the structured [`RankError`] otherwise.
+    pub ranks: Vec<Result<(R, RankReport), RankError>>,
+    /// The recorded trace (empty when tracing was off).
+    pub trace: RunTrace,
+}
+
+impl<R> PartialRun<R> {
+    /// `(rank, value, report)` for every rank that completed.
+    pub fn completed(&self) -> impl Iterator<Item = (usize, &R, &RankReport)> {
+        self.ranks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().ok().map(|(v, rep)| (i, v, rep)))
+    }
+
+    /// Errors of every rank that failed, ordered by rank id.
+    pub fn failures(&self) -> impl Iterator<Item = &RankError> {
+        self.ranks.iter().filter_map(|r| r.as_ref().err())
+    }
+}
+
+/// Run `f` once per rank and report *every* rank's individual outcome,
+/// keeping survivor values even when other ranks failed. Used by
+/// recovery-policy sorts, where losing a rank is an expected outcome
+/// rather than a run-level error.
+pub fn try_run_partial<R, F>(cfg: &ClusterConfig, f: F) -> PartialRun<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
     let world = World::with_config(
         cfg.topology.clone(),
         cfg.cost.clone(),
@@ -202,8 +266,21 @@ where
                                 Ok((v, report))
                             }
                             Err(e) => {
-                                world.poison_now();
-                                Err(classify_panic(rank, e))
+                                let err = classify_panic(rank, e);
+                                // With recovery armed, a crashed or
+                                // unreachable rank is handled by its
+                                // survivors (shrink-and-recover); only
+                                // unrecoverable failures poison the run.
+                                let recoverable = world.recovery_armed()
+                                    && matches!(
+                                        err,
+                                        RankError::Crashed { .. }
+                                            | RankError::RetriesExhausted { .. }
+                                    );
+                                if !recoverable {
+                                    world.poison_now();
+                                }
+                                Err(err)
                             }
                         }
                     })
@@ -216,29 +293,9 @@ where
             .collect()
     });
 
-    let mut ok = Vec::with_capacity(p);
-    let mut failed = Vec::new();
-    let mut completed_reports = Vec::new();
-    for r in results {
-        match r {
-            Ok((v, report)) => {
-                completed_reports.push(report.clone());
-                ok.push((v, report));
-            }
-            Err(e) => failed.push(e),
-        }
-    }
-    if failed.is_empty() {
-        Ok(TracedRun {
-            ranks: ok,
-            trace: RunTrace::collect(&world),
-        })
-    } else {
-        failed.sort_by_key(|e| e.rank());
-        Err(RunError {
-            failed,
-            completed_reports,
-        })
+    PartialRun {
+        ranks: results,
+        trace: RunTrace::collect(&world),
     }
 }
 
@@ -403,6 +460,7 @@ mod tests {
                 timeout_ns: 50_000,
                 max_retries: 16,
                 duplicate_rate: 0.1,
+                backoff_factor: 1.0,
             });
         let go = || {
             let cfg = ClusterConfig::supermuc_phase2(32).with_fault(plan.clone());

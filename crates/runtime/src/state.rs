@@ -6,8 +6,8 @@
 //! type-erased so a single cell serves collectives of any element type.
 
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,13 +15,14 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::cost::CostModel;
 use crate::fault::{FaultPlan, RankAbort, RankError};
+use crate::recover::AgreeCell;
 use crate::stats::RankLocal;
 use crate::topology::Topology;
 use crate::trace::{TraceConfig, TraceSink};
 
 /// How long a blocked rank sleeps between poison checks. Purely a
 /// liveness bound for error propagation; correctness never depends on it.
-const POISON_POLL: Duration = Duration::from_millis(25);
+pub(crate) const POISON_POLL: Duration = Duration::from_millis(25);
 
 /// Poison polls a zero-copy collective waits for an in-flight combine
 /// before concluding the combiner itself died (see
@@ -45,6 +46,18 @@ pub struct World {
     /// Per-global-rank trace sinks; `None` when tracing is off, so the
     /// record paths reduce to one `Option` check.
     pub traces: Option<Vec<TraceSink>>,
+    /// Number of ranks currently inside a recoverable (shrink-policy)
+    /// section. While > 0, a registered rank failure interrupts blocked
+    /// survivors with a [`crate::recover::RecoveryInterrupt`] instead of
+    /// poisoning the run.
+    recovery_armed: AtomicUsize,
+    /// Global ranks known (or suspected) dead, with their root causes.
+    /// Written by the failing rank itself (crash deadlines) or by a
+    /// sender whose retransmission budget to that peer ran out.
+    failed: Mutex<BTreeMap<usize, RankError>>,
+    /// Rendezvous state for the fault-aware survivor agreement
+    /// (see [`crate::recover`]).
+    pub(crate) agree: AgreeCell,
 }
 
 impl World {
@@ -65,7 +78,8 @@ impl World {
         fault: FaultPlan,
         trace: TraceConfig,
     ) -> Arc<Self> {
-        fault.validate(topology.ranks());
+        fault.validate_or_panic(topology.ranks());
+        crate::recover::install_quiet_panic_hook();
         let locals = (0..topology.ranks())
             .map(|_| Arc::new(RankLocal::default()))
             .collect();
@@ -81,6 +95,9 @@ impl World {
             poison: AtomicBool::new(false),
             locals,
             traces,
+            recovery_armed: AtomicUsize::new(0),
+            failed: Mutex::new(BTreeMap::new()),
+            agree: AgreeCell::default(),
         })
     }
 
@@ -99,6 +116,41 @@ impl World {
     /// recognizes as collateral damage rather than a root cause.
     pub(crate) fn abort_peer_failed(&self, me_global: usize) -> ! {
         std::panic::panic_any(RankAbort(RankError::PeerFailed { rank: me_global }))
+    }
+
+    /// Whether any rank is currently inside a recoverable section.
+    pub fn recovery_armed(&self) -> bool {
+        self.recovery_armed.load(Ordering::Relaxed) > 0
+    }
+
+    pub(crate) fn arm_recovery(&self) {
+        self.recovery_armed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn disarm_recovery(&self) {
+        self.recovery_armed.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record a rank failure (idempotent: the first registered root
+    /// cause wins). Safe to call whether or not recovery is armed.
+    pub fn mark_rank_failed(&self, rank: usize, err: RankError) {
+        self.failed.lock().entry(rank).or_insert(err);
+    }
+
+    /// The registered root cause for `rank`, if it has failed.
+    pub(crate) fn rank_failed(&self, rank: usize) -> Option<RankError> {
+        self.failed.lock().get(&rank).cloned()
+    }
+
+    /// Whether a blocked wait over `members` should unwind into the
+    /// recovery layer: recovery is armed and a member of this
+    /// communicator has failed.
+    pub(crate) fn recovery_interrupt(&self, members: &[usize]) -> bool {
+        if !self.recovery_armed() {
+            return false;
+        }
+        let failed = self.failed.lock();
+        members.iter().any(|r| failed.contains_key(r))
     }
 }
 
@@ -139,8 +191,17 @@ impl Mailbox {
     /// `tag`. Duplicate deliveries (same stream, already-consumed
     /// sequence number) are discarded idempotently. Aborts with a
     /// [`RankError::PeerFailed`] panic if the world is poisoned while
-    /// waiting; `me_global` attributes that abort to the caller.
-    pub fn pop(&self, world: &World, me_global: usize, src: usize, tag: u64) -> Message {
+    /// waiting, or with a [`crate::recover::RecoveryInterrupt`] if
+    /// recovery is armed and a member of `members` has failed;
+    /// `me_global` attributes a poison abort to the caller.
+    pub fn pop(
+        &self,
+        world: &World,
+        members: &[usize],
+        me_global: usize,
+        src: usize,
+        tag: u64,
+    ) -> Message {
         let mut st = self.state.lock();
         loop {
             let mut ix = 0;
@@ -164,6 +225,10 @@ impl Mailbox {
             if world.poisoned() {
                 drop(st);
                 world.abort_peer_failed(me_global);
+            }
+            if world.recovery_interrupt(members) {
+                drop(st);
+                crate::recover::interrupt();
             }
             self.cv.wait_for(&mut st, POISON_POLL);
         }
@@ -289,6 +354,10 @@ impl CommState {
                 drop(st);
                 world.abort_peer_failed(me_global);
             }
+            if world.recovery_interrupt(&self.global_ranks) {
+                drop(st);
+                crate::recover::interrupt();
+            }
             self.cv_wait(&mut st);
         }
         debug_assert!(st.inputs[rank].is_none(), "double entry into collective");
@@ -336,6 +405,16 @@ impl CommState {
                 if world.poisoned() {
                     drop(st);
                     world.abort_peer_failed(me_global);
+                }
+                // A failed member means this rendezvous can never
+                // complete (arrived < size and the missing rank is
+                // dead). Retract our deposit and unwind into the
+                // recovery layer; the communicator is abandoned.
+                if st.arrived < size && world.recovery_interrupt(&self.global_ranks) {
+                    st.inputs[rank] = None;
+                    st.arrived -= 1;
+                    drop(st);
+                    crate::recover::interrupt();
                 }
                 self.cv_wait(&mut st);
             }
@@ -426,6 +505,10 @@ impl CommState {
                 drop(st);
                 world.abort_peer_failed(me_global);
             }
+            if world.recovery_interrupt(&self.global_ranks) {
+                drop(st);
+                crate::recover::interrupt();
+            }
             self.cv_wait(&mut st);
         }
         debug_assert!(st.inputs[rank].is_none(), "double entry into collective");
@@ -484,6 +567,16 @@ impl CommState {
                         drop(st);
                         world.abort_peer_failed(me_global);
                     }
+                }
+                // Recovery interrupt only while the combine cannot have
+                // started: retract our views first, exactly as above. A
+                // dead combiner (arrived == size, no output) is a real
+                // panic and reaches us through the poison path instead.
+                if st.arrived < size && world.recovery_interrupt(&self.global_ranks) {
+                    st.inputs[rank] = None;
+                    st.arrived -= 1;
+                    drop(st);
+                    crate::recover::interrupt();
                 }
                 self.cv_wait(&mut st);
             }
@@ -629,9 +722,9 @@ mod tests {
             payload: Box::new(2u8),
             arrival_ns: 0,
         });
-        let m = mb.pop(&w, 0, 0, 7);
+        let m = mb.pop(&w, &[0, 1], 0, 0, 7);
         assert_eq!(*m.payload.downcast::<u8>().unwrap(), 2);
-        let m = mb.pop(&w, 0, 1, 7);
+        let m = mb.pop(&w, &[0, 1], 0, 1, 7);
         assert_eq!(*m.payload.downcast::<u8>().unwrap(), 1);
     }
 
@@ -661,9 +754,9 @@ mod tests {
             payload: Box::new(11u8),
             arrival_ns: 12,
         });
-        let m = mb.pop(&w, 0, 1, 3);
+        let m = mb.pop(&w, &[0, 1], 0, 1, 3);
         assert_eq!(*m.payload.downcast::<u8>().unwrap(), 10);
-        let m = mb.pop(&w, 0, 1, 3);
+        let m = mb.pop(&w, &[0, 1], 0, 1, 3);
         assert_eq!(
             *m.payload.downcast::<u8>().unwrap(),
             11,
@@ -684,7 +777,7 @@ mod tests {
                 wref.poison_now();
             });
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                mbref.pop(wref, 0, 1, 0);
+                mbref.pop(wref, &[0, 1], 0, 1, 0);
             }))
             .expect_err("poison must abort the blocked receiver")
         });

@@ -41,6 +41,7 @@ fn main() {
                  \x20        --local-sort comparison|radix --groups N --seed N --verify\n\
                  \x20        --probes M (histogram probes per splitter per round)\n\
                  \x20        --threads T (intra-rank thread budget)\n\
+                 \x20        --recovery abort|shrink (response to rank failures)\n\
                  \x20        --trace out.json --trace-format chrome|summary\n\
                  select   --ranks N --nper N --k N --dist ... --seed N\n\
                  topology --ranks N"
@@ -111,7 +112,12 @@ fn sort_config(args: &Args) -> SortConfig {
         })
         .unique_transform(args.has("unique"))
         .probes_per_round(args.get("probes", 1))
-        .threads_per_rank(args.get("threads", 1));
+        .threads_per_rank(args.get("threads", 1))
+        .recovery(match args.raw("recovery").unwrap_or("abort") {
+            "abort" => RecoveryPolicy::Abort,
+            "shrink" => RecoveryPolicy::Shrink,
+            other => panic!("unknown recovery policy {other} (expected abort|shrink)"),
+        });
     if let Some(iters) = args.raw("max-iters") {
         let iters: u32 = iters
             .parse()
@@ -221,7 +227,7 @@ fn cmd_sort(args: &Args) {
             stats.merge_ns as f64 / 1e6,
             stats.prepare_ns as f64 / 1e6,
         );
-        match stats.outcome {
+        match &stats.outcome {
             SortOutcome::Exact => println!("partitioning       : exact"),
             SortOutcome::Degraded {
                 achieved_epsilon,
@@ -229,6 +235,15 @@ fn cmd_sort(args: &Args) {
             } => println!(
                 "partitioning       : degraded (achieved eps {achieved_epsilon:.4} \
                  after iteration cap at {iterations})"
+            ),
+            SortOutcome::Recovered {
+                lost_ranks,
+                restarts,
+                recovery_ns,
+            } => println!(
+                "partitioning       : recovered (lost ranks {lost_ranks:?}, {restarts} \
+                 restart(s), {:.3} ms recovery overhead)",
+                *recovery_ns as f64 / 1e6
             ),
         }
     }

@@ -31,13 +31,13 @@ pub mod prelude {
     pub use dhs_core::{
         histogram_sort, histogram_sort_by, histogram_sort_two_level, is_sorted, median,
         nth_element, sort, sort_array, sort_by_key, verify_sorted, ExchangeStrategy,
-        InvalidSortConfig, LocalSort, MergeAlgo, OrderOutOfRange, Partitioning, SortConfig,
-        SortConfigBuilder, SortOutcome, SortStats,
+        InvalidSortConfig, LocalSort, MergeAlgo, OrderOutOfRange, Partitioning, RecoveryPolicy,
+        SortConfig, SortConfigBuilder, SortOutcome, SortStats,
     };
     pub use dhs_pgas::GlobalArray;
     pub use dhs_runtime::{
-        run, run_summarized, run_traced, try_run, try_run_traced, ClusterConfig, Comm, RankReport,
-        RunSummary, RunTrace, TraceConfig, TracedRun,
+        run, run_summarized, run_traced, try_run, try_run_partial, try_run_traced, ClusterConfig,
+        Comm, PartialRun, RankReport, RunSummary, RunTrace, TraceConfig, TracedRun,
     };
     pub use dhs_select::{dmedian, dselect};
     pub use dhs_workloads::{rank_local_keys, Distribution, Layout};

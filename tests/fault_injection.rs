@@ -82,6 +82,7 @@ proptest! {
                 timeout_ns: 10_000,
                 max_retries: 16,
                 duplicate_rate: loss_pct as f64 / 200.0,
+                backoff_factor: 1.0,
             });
         let faulty = clean.clone().with_fault(plan);
         prop_assert_eq!(collective_suite(&clean, seed), collective_suite(&faulty, seed));
@@ -124,6 +125,7 @@ proptest! {
             timeout_ns: 20_000,
             max_retries: 16,
             duplicate_rate: loss_pct as f64 / 100.0,
+            backoff_factor: 1.0,
         }));
         prop_assert_eq!(sort_under(&clean), sort_under(&faulty));
     }
@@ -210,6 +212,7 @@ fn faulty_sort_run_is_reproducible() {
             timeout_ns: 30_000,
             max_retries: 16,
             duplicate_rate: 0.05,
+            backoff_factor: 1.0,
         });
     let go = || {
         let cluster = ClusterConfig::supermuc_phase2(p).with_fault(plan.clone());
