@@ -8,7 +8,7 @@
 
 use dhs_core::Key;
 use dhs_merge::MergeAlgo;
-use dhs_runtime::{Comm, Work};
+use dhs_runtime::{AllToAllAlgo, Comm, Work};
 use dhs_workloads::SplitMix64;
 
 use crate::stats::AlgoStats;
@@ -169,19 +169,19 @@ fn ams_level<K: Key>(
         let peer = gs + (rank + b) % size_g;
         send[peer].extend_from_slice(&local[cuts[b]..cuts[b + 1]]);
     }
-    let received = cur.alltoallv(send);
+    let received = cur.exchange(send, AllToAllAlgo::OneFactor);
     stats.exchange_ns += sp_t1.finish();
 
     // 5. Merge received runs. Each source's payload may concatenate
     //    several buckets, which stay internally sorted only per bucket;
     //    re-sort is the safe merge here.
     let sp_t2 = cur.span("sort_merge");
-    let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
+    let n_recv: u64 = received.total_len() as u64;
     cur.charge(Work::SortElems {
         n: n_recv,
         elem_bytes: elem,
     });
-    let mut merged: Vec<K> = received.into_iter().flatten().collect();
+    let mut merged: Vec<K> = received.into_data();
     merged.sort_unstable();
     *local = merged;
     stats.sort_merge_ns += sp_t2.finish();

@@ -62,7 +62,7 @@ pub fn bitonic_sort<K: Key>(comm: &Comm, local: &mut Vec<K>) -> AlgoStats {
             // Full-volume compare-split with the partner.
             let sp_t1 = comm.span("exchange");
             tag += 1;
-            let theirs = comm.exchange(partner, tag, local.clone());
+            let theirs = comm.exchange_pair(partner, tag, local.clone());
             stats.exchange_ns += sp_t1.finish();
 
             let sp_t2 = comm.span("sort_merge");

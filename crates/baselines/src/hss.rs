@@ -14,7 +14,7 @@
 use dhs_core::splitter::{SplitterInfo, SplitterResult};
 use dhs_core::{exchange, Key};
 use dhs_merge::{kway_merge, MergeAlgo};
-use dhs_runtime::{Comm, Work};
+use dhs_runtime::{AllToAllAlgo, Comm, Work};
 use dhs_workloads::SplitMix64;
 
 use crate::stats::AlgoStats;
@@ -99,7 +99,7 @@ pub fn hss_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &HssConfig) -> Alg
     // the equal-key boundary refinement for both algorithms).
     let sp_t2 = comm.span("exchange");
     let plan = exchange::plan_exchange(comm, local, &result);
-    let received = exchange::exchange_data(comm, local, &plan);
+    let received = exchange::exchange_data(comm, local, &plan, AllToAllAlgo::OneFactor);
     stats.exchange_ns = sp_t2.finish();
 
     let sp_t3 = comm.span("sort_merge");

@@ -11,7 +11,7 @@
 use dhs_core::splitter::find_splitters;
 use dhs_core::Key;
 use dhs_merge::{kway_merge, MergeAlgo};
-use dhs_runtime::{Comm, Work};
+use dhs_runtime::{AllToAllAlgo, Comm, Work};
 
 use crate::stats::AlgoStats;
 
@@ -155,19 +155,19 @@ fn hyksort_level<K: Key>(
         let peer = gs + rank % size_g.max(1);
         send[peer] = local[cuts[g]..cuts[g + 1]].to_vec();
     }
-    let received = cur.alltoallv(send);
+    let received = cur.exchange(send, AllToAllAlgo::OneFactor);
     stats.exchange_ns += sp_t1.finish();
 
     // Merge what arrived.
     let sp_t2 = cur.span("sort_merge");
-    let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
-    let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
+    let n_recv: u64 = received.total_len() as u64;
+    let ways = received.runs().filter(|r| !r.is_empty()).count() as u64;
     cur.charge(Work::MergeElems {
         n: n_recv,
         ways: ways.max(2),
         elem_bytes: elem,
     });
-    *local = kway_merge(cfg.merge, &received);
+    *local = kway_merge(cfg.merge, &received.as_slices());
     stats.sort_merge_ns += sp_t2.finish();
 
     // The communicator split the paper calls out as a blocking,

@@ -5,7 +5,7 @@
 
 use dhs_core::Key;
 use dhs_merge::{kway_merge, MergeAlgo};
-use dhs_runtime::{Comm, Work};
+use dhs_runtime::{AllToAllAlgo, Comm, Work};
 
 use crate::stats::AlgoStats;
 
@@ -90,13 +90,13 @@ pub fn psrs<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &PsrsConfig) -> AlgoSt
         buckets.resize_with(p, Vec::new);
     }
     comm.charge(Work::MoveBytes(local.len() as u64 * elem));
-    let received = comm.alltoallv(buckets);
+    let received = comm.exchange(buckets, AllToAllAlgo::OneFactor);
     stats.exchange_ns = sp_t2.finish();
 
     // Step 4: k-way merge of sorted runs.
     let sp_t3 = comm.span("sort_merge");
-    let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
-    let ways = received.iter().filter(|r| !r.is_empty()).count() as u64;
+    let n_recv: u64 = received.total_len() as u64;
+    let ways = received.runs().filter(|r| !r.is_empty()).count() as u64;
     match cfg.merge {
         MergeAlgo::Resort => comm.charge(Work::SortElems {
             n: n_recv,
@@ -108,7 +108,7 @@ pub fn psrs<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &PsrsConfig) -> AlgoSt
             elem_bytes: elem,
         }),
     }
-    *local = kway_merge(cfg.merge, &received);
+    *local = kway_merge(cfg.merge, &received.as_slices());
     stats.sort_merge_ns = sort_in_ns + (sp_t3.finish());
     stats.n_out = local.len();
     stats

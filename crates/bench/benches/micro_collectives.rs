@@ -3,7 +3,7 @@
 //! simulator's own overhead, relevant for sizing the figure sweeps.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dhs_runtime::{run, ClusterConfig};
+use dhs_runtime::{run, AllToAllAlgo, ClusterConfig};
 
 fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime-collectives");
@@ -20,13 +20,13 @@ fn bench_collectives(c: &mut Criterion) {
                 })
             })
         });
-        group.bench_function(format!("alltoallv-p{p}-x10"), |b| {
+        group.bench_function(format!("exchange-p{p}-x10"), |b| {
             b.iter(|| {
                 run(&ClusterConfig::small_cluster(p), |comm| {
                     for _ in 0..10 {
                         let send: Vec<Vec<u64>> =
                             (0..comm.size()).map(|d| vec![d as u64; 64]).collect();
-                        let _ = comm.alltoallv(send);
+                        let _ = comm.exchange(send, AllToAllAlgo::OneFactor);
                     }
                 })
             })

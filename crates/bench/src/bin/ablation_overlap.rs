@@ -41,7 +41,7 @@ fn merged_exchange_time(p: usize, n_per: usize, seed: u64, strategy: &str) -> f6
         let t0 = comm.now_ns();
         match strategy.as_str() {
             "alltoallv+resort" | "alltoallv+tournament" => {
-                let received = exchange_data(comm, &local, &plan);
+                let received = exchange_data(comm, &local, &plan, AllToAllAlgo::OneFactor);
                 let n = received.total_len() as u64;
                 let ways = received.runs().filter(|r| !r.is_empty()).count() as u64;
                 if strategy.ends_with("resort") {
@@ -89,7 +89,7 @@ fn schedule_time(p: usize, n_per: usize, seed: u64, algo: AllToAllAlgo) -> f64 {
             .take(p)
             .collect();
         let t0 = comm.now_ns();
-        let _ = comm.alltoallv_with(buckets, algo);
+        let _ = comm.exchange(buckets, algo);
         comm.now_ns() - t0
     });
     out.iter().map(|(t, _)| *t).max().expect("non-empty") as f64 * 1e-9
@@ -124,7 +124,14 @@ fn main() {
     t.print();
 
     println!("\n## all-to-all schedule crossover (pure exchange, varying N/P)");
-    let mut t2 = Table::new(["keys/rank", "1-factor", "bruck", "leaders", "winner"]);
+    let mut t2 = Table::new([
+        "keys/rank",
+        "1-factor",
+        "bruck",
+        "leaders",
+        "staged:8",
+        "winner",
+    ]);
     for shift in [2usize, 6, 10, 14, 18] {
         let nper = 1usize << shift;
         let mut medians = Vec::new();
@@ -132,13 +139,14 @@ fn main() {
             AllToAllAlgo::OneFactor,
             AllToAllAlgo::Bruck,
             AllToAllAlgo::HierarchicalLeaders,
+            AllToAllAlgo::StagedKWay { k: 8 },
         ] {
             let times: Vec<f64> = (0..reps)
                 .map(|r| schedule_time(p, nper, r as u64, algo))
                 .collect();
             medians.push(median_ci(&times).median);
         }
-        let names = ["1-factor", "bruck", "leaders"];
+        let names = ["1-factor", "bruck", "leaders", "staged:8"];
         let winner = names[medians
             .iter()
             .enumerate()
@@ -150,6 +158,7 @@ fn main() {
             fmt_secs(medians[0]),
             fmt_secs(medians[1]),
             fmt_secs(medians[2]),
+            fmt_secs(medians[3]),
             winner.to_string(),
         ]);
     }

@@ -4,8 +4,8 @@
 //! performance trajectory the zero-copy work is judged against, and
 //! that every later perf PR extends.
 //!
-//! Six benchmark groups, written to `BENCH_wallclock.json`
-//! (schema `dhs-wallclock/v3`) at the repo root:
+//! Seven benchmark groups, written to `BENCH_wallclock.json`
+//! (schema `dhs-wallclock/v4`) at the repo root:
 //!
 //! * `full_sort` — end-to-end histogram sort at several (p, n/p)
 //!   points: host seconds per run, plus the (unchanged) virtual
@@ -27,6 +27,17 @@
 //! * `local_merge_ab` — the post-exchange merge A/B: the serial
 //!   `MergeAlgo::Resort` path (flatten + `sort_unstable`) versus the
 //!   hybrid `flat_tree_merge` over the received sorted runs.
+//! * `exchange_algo_ab` — the exchange *schedule* A/B, measured on the
+//!   **virtual** clock (the one place in this harness where the metric
+//!   is simulated α–β time, not host seconds — schedule quality is a
+//!   property of the cost model, not the host): the single-stage
+//!   one-factor exchange versus the staged k-way exchange
+//!   (`AllToAllAlgo::StagedKWay`) at latency-bound scale points. At
+//!   small per-peer payloads the staged schedule pays `⌈log_k p⌉·k`
+//!   latencies instead of `p-1`, so the speedup column must exceed 1
+//!   at `p = 256` — that is the acceptance check for the staged
+//!   exchange. Virtual time is deterministic, so a single rep is
+//!   exact; both sides are asserted byte-identical.
 //! * `splitter_ab` — the splitter search A/B: the classic loop
 //!   (`probes_per_round = 1`, index brackets off — one midpoint per
 //!   round, every probe binary-searching the full local array) versus
@@ -52,7 +63,7 @@ use dhs_bench::experiment::{run_distributed_sort, SortAlgo};
 use dhs_bench::Args;
 use dhs_core::exchange::{exchange_data, exchange_data_vecs, plan_exchange};
 use dhs_core::{find_splitters, find_splitters_cfg, perfect_targets, SortConfig, SplitterOptions};
-use dhs_runtime::{run, ClusterConfig};
+use dhs_runtime::{run, AllToAllAlgo, ClusterConfig};
 use dhs_workloads::{rank_local_keys, Distribution, Layout};
 
 /// Min and median of a sample of host-seconds.
@@ -161,7 +172,7 @@ fn bench_exchange(grid: &[(usize, usize)], reps: usize) -> Vec<AbCase> {
             for _ in 0..reps {
                 comm.barrier();
                 let t = Instant::now();
-                let received = exchange_data_vecs(comm, &local, &plan);
+                let received = exchange_data_vecs(comm, &local, &plan, AllToAllAlgo::OneFactor);
                 let flat: Vec<u64> = received.into_iter().flatten().collect();
                 std::hint::black_box(&flat);
                 legacy.push(secs(t));
@@ -171,7 +182,7 @@ fn bench_exchange(grid: &[(usize, usize)], reps: usize) -> Vec<AbCase> {
             for _ in 0..reps {
                 comm.barrier();
                 let t = Instant::now();
-                let received = exchange_data(comm, &local, &plan);
+                let received = exchange_data(comm, &local, &plan, AllToAllAlgo::OneFactor);
                 let flat: Vec<u64> = received.into_data();
                 std::hint::black_box(&flat);
                 zero_copy.push(secs(t));
@@ -355,6 +366,58 @@ fn bench_hybrid_local(
     (sorts, merges)
 }
 
+/// A/B the exchange schedule on the virtual clock. Grid entries are
+/// `(p, k, per_peer)`: every rank sends `per_peer` keys to every rank
+/// (the dense latency-bound pattern) once through the one-factor
+/// schedule and once through the staged k-way schedule. Virtual time
+/// is deterministic — one rep is exact — and the received data is
+/// asserted byte-identical between the two schedules on every rank.
+/// The reported sample is the worst rank's virtual cost (the exchange
+/// makespan).
+fn bench_exchange_algo(grid: &[(usize, usize, usize)]) -> Vec<AbCase> {
+    let mut out = Vec::new();
+    for &(p, k, per_peer) in grid {
+        let results = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+            let send: Vec<Vec<u64>> = (0..p)
+                .map(|d| vec![(comm.rank() * p + d) as u64; per_peer])
+                .collect();
+
+            let t0 = comm.now_ns();
+            let a = comm.exchange(send.clone(), AllToAllAlgo::OneFactor);
+            let one_factor_ns = comm.now_ns() - t0;
+
+            let t0 = comm.now_ns();
+            let b = comm.exchange(send, AllToAllAlgo::StagedKWay { k });
+            let staged_ns = comm.now_ns() - t0;
+
+            assert_eq!(
+                a.into_data(),
+                b.into_data(),
+                "staged exchange must deliver byte-identical data"
+            );
+            (one_factor_ns, staged_ns)
+        });
+        let one_factor_s = results.iter().map(|(r, _)| r.0).max().unwrap_or(0) as f64 * 1e-9;
+        let staged_s = results.iter().map(|(r, _)| r.1).max().unwrap_or(0) as f64 * 1e-9;
+        let case = AbCase {
+            label: format!("p{p}_k{k}"),
+            p,
+            n_per: per_peer,
+            reps: 1,
+            legacy_min_s: one_factor_s,
+            legacy_median_s: one_factor_s,
+            zero_copy_min_s: staged_s,
+            zero_copy_median_s: staged_s,
+        };
+        println!(
+            "exchange_algo  p={p:<4} k={k:<3} n/peer={per_peer:<4} one-factor {one_factor_s:>12.9}s  staged {staged_s:>12.9}s  (virtual) speedup {:.2}x",
+            case.speedup()
+        );
+        out.push(case);
+    }
+    out
+}
+
 /// A/B the splitter search on identical sorted local data: the classic
 /// single-probe loop with full-array binary searches versus multi-probe
 /// bisection (`m = 7`) with shrinking index brackets. Each rep is timed
@@ -485,6 +548,10 @@ fn main() {
     } else {
         (vec![(16, 65536), (32, 65536), (64, 32768)], 5)
     };
+    // Virtual time is deterministic and cheap to simulate even at
+    // p = 256, so the schedule A/B runs the full grid in smoke mode
+    // too — CI asserts the p = 256 win on the smoke output.
+    let algo_grid: Vec<(usize, usize, usize)> = vec![(16, 4, 4), (64, 8, 4), (256, 16, 4)];
     let hybrid_threads: usize = args.get("threads", 4);
 
     println!("# wall-clock harness (host time; virtual clock unaffected)");
@@ -494,10 +561,11 @@ fn main() {
     let collectives = bench_collectives(&coll_grid, coll_reps);
     let (local_sorts, local_merges) = bench_hybrid_local(&local_grid, local_reps, hybrid_threads);
     let splitter = bench_splitter(&splitter_grid, splitter_reps);
+    let exchange_algo = bench_exchange_algo(&algo_grid);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"dhs-wallclock/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"dhs-wallclock/v4\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let host = std::thread::available_parallelism().map_or(1, |v| v.get());
     let _ = writeln!(json, "  \"host_parallelism\": {host},");
@@ -535,6 +603,9 @@ fn main() {
     let _ = writeln!(json, "    ]}},");
     let _ = writeln!(json, "    {{\"name\": \"splitter_ab\", \"cases\": [");
     let _ = write!(json, "{}", json_ab(&splitter, "classic", "multi_probe"));
+    let _ = writeln!(json, "    ]}},");
+    let _ = writeln!(json, "    {{\"name\": \"exchange_algo_ab\", \"cases\": [");
+    let _ = write!(json, "{}", json_ab(&exchange_algo, "one_factor", "staged"));
     let _ = writeln!(json, "    ]}}");
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");

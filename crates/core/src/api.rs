@@ -13,6 +13,12 @@ use dhs_select::dselect;
 use crate::key::Key;
 use crate::sort::{histogram_sort, histogram_sort_by, Partitioning, SortConfig, SortStats};
 
+/// Re-exported so callers configuring [`SortConfig::exchange_algo`] (or
+/// [`crate::SortConfigBuilder::exchange_algo`]) never need a direct
+/// `dhs_runtime` dependency: the exchange schedule is part of the sort's
+/// public configuration surface.
+pub use dhs_runtime::AllToAllAlgo;
+
 /// `nth_element` was asked for an order statistic the array does not
 /// have: `k` is not in `0..n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

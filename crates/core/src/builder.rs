@@ -8,6 +8,7 @@
 //! `SortConfig` struct literal is written.
 
 use dhs_merge::MergeAlgo;
+use dhs_runtime::AllToAllAlgo;
 
 use crate::sort::{
     ExchangeStrategy, InvalidSortConfig, LocalSort, Partitioning, RecoveryPolicy, SortConfig,
@@ -117,6 +118,19 @@ impl SortConfigBuilder {
         self
     }
 
+    /// Collective schedule of the data-exchange superstep's
+    /// personalized all-to-all ([`ExchangeStrategy::AllToAllv`] only).
+    /// One-factor (the default) is bandwidth-optimal;
+    /// [`AllToAllAlgo::StagedKWay`] trades per-stage β for `⌈log_k
+    /// P⌉·k` message latencies. `build()` rejects a staged fan-out
+    /// below 2, and staging combined with
+    /// [`RecoveryPolicy::Shrink`] (a mid-superstep crash inside one
+    /// block communicator would deadlock the survivor agreement).
+    pub fn exchange_algo(mut self, algo: AllToAllAlgo) -> Self {
+        self.cfg.exchange_algo = algo;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<SortConfig, InvalidSortConfig> {
         self.cfg.validate()?;
@@ -146,6 +160,7 @@ impl Default for SortConfig {
             probes_per_round: 1,
             threads_per_rank: 1,
             recovery: RecoveryPolicy::Abort,
+            exchange_algo: AllToAllAlgo::OneFactor,
         }
     }
 }
@@ -168,9 +183,49 @@ mod tests {
         assert_eq!(built.probes_per_round, def.probes_per_round);
         assert_eq!(built.threads_per_rank, def.threads_per_rank);
         assert_eq!(built.recovery, def.recovery);
+        assert_eq!(built.exchange_algo, def.exchange_algo);
         assert_eq!(def.threads_per_rank, 1, "default must be fully serial");
         assert_eq!(def.probes_per_round, 1, "default must be classic bisection");
         assert_eq!(def.recovery, RecoveryPolicy::Abort, "abort is the default");
+        assert_eq!(
+            def.exchange_algo,
+            AllToAllAlgo::OneFactor,
+            "one-factor is the default schedule"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_staged_fanout() {
+        for k in [0, 1] {
+            let err = SortConfig::builder()
+                .exchange_algo(AllToAllAlgo::StagedKWay { k })
+                .build();
+            assert!(
+                matches!(err, Err(InvalidSortConfig::BadExchangeFanout(got)) if got == k),
+                "fan-out {k} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_shrink_with_staged_exchange() {
+        let err = SortConfig::builder()
+            .recovery(RecoveryPolicy::Shrink)
+            .exchange_algo(AllToAllAlgo::StagedKWay { k: 4 })
+            .build();
+        assert!(matches!(
+            err,
+            Err(InvalidSortConfig::ShrinkNeedsSingleStageExchange)
+        ));
+    }
+
+    #[test]
+    fn builder_exchange_algo_roundtrip() {
+        let cfg = SortConfig::builder()
+            .exchange_algo(AllToAllAlgo::StagedKWay { k: 8 })
+            .build()
+            .expect("staged k=8 is valid");
+        assert_eq!(cfg.exchange_algo, AllToAllAlgo::StagedKWay { k: 8 });
     }
 
     #[test]

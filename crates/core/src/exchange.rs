@@ -12,7 +12,7 @@
 //! volume class here), then the payload moves in a single
 //! `ALL-TO-ALLV`.
 
-use dhs_runtime::{Comm, RecvRuns, Work};
+use dhs_runtime::{AllToAllAlgo, Comm, RecvRuns, Work};
 
 use crate::key::Key;
 use crate::splitter::SplitterResult;
@@ -112,14 +112,19 @@ pub fn plan_exchange<K: Key>(
     ExchangePlan { cuts }
 }
 
-/// Execute the `ALL-TO-ALLV` zero-copy: the plan's segments of
-/// `sorted_local` are sent **in place** (borrowed slices, no bucket
-/// materialization) and received into one contiguous [`RecvRuns`]
-/// buffer whose per-source runs are sorted (contiguous slices of
-/// sorted arrays). The `MoveBytes` charge models the packing pass an
-/// MPI implementation still performs, keeping the virtual clock
-/// identical to the owning path.
-pub fn exchange_data<K: Key>(comm: &Comm, sorted_local: &[K], plan: &ExchangePlan) -> RecvRuns<K> {
+/// Execute the `ALL-TO-ALLV` zero-copy under the configured schedule:
+/// the plan's segments of `sorted_local` are sent **in place**
+/// (borrowed slices, no bucket materialization) and received into one
+/// contiguous [`RecvRuns`] buffer whose per-source runs are sorted
+/// (contiguous slices of sorted arrays). The `MoveBytes` charge models
+/// the packing pass an MPI implementation still performs, keeping the
+/// virtual clock identical to the owning path.
+pub fn exchange_data<K: Key>(
+    comm: &Comm,
+    sorted_local: &[K],
+    plan: &ExchangePlan,
+    algo: AllToAllAlgo,
+) -> RecvRuns<K> {
     let p = comm.size();
     assert_eq!(plan.cuts.len(), p + 1);
     let elem = std::mem::size_of::<K>() as u64;
@@ -127,17 +132,18 @@ pub fn exchange_data<K: Key>(comm: &Comm, sorted_local: &[K], plan: &ExchangePla
     let segments: Vec<&[K]> = (0..p)
         .map(|d| &sorted_local[plan.cuts[d]..plan.cuts[d + 1]])
         .collect();
-    comm.alltoallv_slices(&segments)
+    comm.exchange(&segments[..], algo)
 }
 
 /// Legacy owning exchange: materializes per-destination buckets with
-/// `.to_vec()` and moves them through the boxed `alltoallv`. Kept for
+/// `.to_vec()` and moves them through the boxed-bucket path. Kept for
 /// A/B comparison in the wall-clock harness; [`exchange_data`] is the
 /// production path.
 pub fn exchange_data_vecs<K: Key>(
     comm: &Comm,
     sorted_local: &[K],
     plan: &ExchangePlan,
+    algo: AllToAllAlgo,
 ) -> Vec<Vec<K>> {
     let p = comm.size();
     assert_eq!(plan.cuts.len(), p + 1);
@@ -146,7 +152,7 @@ pub fn exchange_data_vecs<K: Key>(
     let buckets: Vec<Vec<K>> = (0..p)
         .map(|d| sorted_local[plan.cuts[d]..plan.cuts[d + 1]].to_vec())
         .collect();
-    comm.alltoallv(buckets)
+    comm.exchange(buckets, algo).into_vecs()
 }
 
 #[cfg(test)]
@@ -179,7 +185,7 @@ mod tests {
             let targets = perfect_targets(&caps);
             let res = find_splitters(comm, &local, &targets, 0);
             let plan = plan_exchange(comm, &local, &res);
-            let received = exchange_data(comm, &local, &plan);
+            let received = exchange_data(comm, &local, &plan, AllToAllAlgo::OneFactor);
             let recv_count = received.total_len();
             let mut merged: Vec<u64> = received.into_data();
             merged.sort_unstable();
@@ -237,7 +243,7 @@ mod tests {
             let caps: Vec<usize> = comm.allgather(local.len());
             let res = find_splitters(comm, &local, &perfect_targets(&caps), 0);
             let plan = plan_exchange(comm, &local, &res);
-            let received = exchange_data(comm, &local, &plan);
+            let received = exchange_data(comm, &local, &plan, AllToAllAlgo::OneFactor);
             received.total_len()
         });
         assert_eq!(out[0].0, 300);

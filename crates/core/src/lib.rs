@@ -41,7 +41,9 @@ pub mod sort;
 pub mod splitter;
 pub mod verify;
 
-pub use api::{is_sorted, median, nth_element, sort, sort_array, sort_by_key, OrderOutOfRange};
+pub use api::{
+    is_sorted, median, nth_element, sort, sort_array, sort_by_key, AllToAllAlgo, OrderOutOfRange,
+};
 pub use builder::SortConfigBuilder;
 pub use key::{make_unique, strip_unique, Key, OrderedF32, OrderedF64, UniqueKey};
 pub use multilevel::histogram_sort_two_level;

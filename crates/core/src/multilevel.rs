@@ -11,7 +11,7 @@
 //! exposes — at the price the paper acknowledges for such schemes: the
 //! data moves twice, and each level pays a communicator split.
 
-use dhs_runtime::{Comm, Work};
+use dhs_runtime::{AllToAllAlgo, Comm, Work};
 
 use crate::key::Key;
 use crate::sort::{histogram_sort, Partitioning, SortConfig, SortStats};
@@ -151,7 +151,7 @@ pub fn histogram_sort_two_level<K: Key>(
     stats.prepare_ns += sp.finish();
 
     let sp = comm.span("exchange");
-    let received = crate::exchange::exchange_data(&sub, local, &plan2);
+    let received = crate::exchange::exchange_data(&sub, local, &plan2, cfg.exchange_algo);
     stats.exchange_ns += sp.finish();
 
     let sp = comm.span("merge");
@@ -237,8 +237,8 @@ fn plan_group_exchange<K: Key>(
 }
 
 fn exchange_group_data<K: Key>(comm: &Comm, _local: &[K], plan: &GroupPlan<K>) -> Vec<K> {
-    let received = comm.alltoallv(plan.send.clone());
-    received.into_iter().flatten().collect()
+    comm.exchange(plan.send.clone(), AllToAllAlgo::OneFactor)
+        .into_data()
 }
 
 #[cfg(test)]

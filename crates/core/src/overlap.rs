@@ -115,7 +115,7 @@ pub fn exchange_and_merge<K: Key>(
         // modelled wire transfer, drawn from (and recycled to) the
         // communicator's buffer pool.
         let received: Vec<K> = match one_factor_partner(p, round, me) {
-            Some(peer) => comm.exchange_slice(
+            Some(peer) => comm.exchange_pair_slice(
                 peer,
                 round as u64,
                 &sorted_local[plan.cuts[peer]..plan.cuts[peer + 1]],

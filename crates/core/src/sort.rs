@@ -2,7 +2,7 @@
 //! determination → all-to-allv data exchange → local merge.
 
 use dhs_merge::{kway_merge, MergeAlgo};
-use dhs_runtime::{Comm, RecoveryInterrupt, Work};
+use dhs_runtime::{AllToAllAlgo, Comm, RecoveryInterrupt, Work};
 
 use std::fmt;
 
@@ -135,6 +135,16 @@ pub struct SortConfig {
     /// shrink onto the survivors and restart from the retained
     /// post-local-sort checkpoint. See [`RecoveryPolicy`].
     pub recovery: RecoveryPolicy,
+    /// Collective schedule of the data-exchange superstep's
+    /// personalized all-to-all (used by
+    /// [`ExchangeStrategy::AllToAllv`]): one-factor pairwise rounds
+    /// (default, bandwidth-optimal), Bruck store-and-forward,
+    /// node-leader aggregation, or HykSort-style staged `k`-way
+    /// forwarding over split sub-communicators
+    /// ([`AllToAllAlgo::StagedKWay`], latency-optimal at scale for
+    /// small per-peer payloads). Every schedule delivers byte-identical
+    /// sorted output; only the virtual clock differs.
+    pub exchange_algo: AllToAllAlgo,
 }
 
 /// A [`SortConfig`] that cannot be executed.
@@ -153,6 +163,18 @@ pub enum InvalidSortConfig {
     /// complete on one survivor before a peer failure is visible,
     /// deadlocking the survivor agreement.
     ShrinkNeedsAllToAllv,
+    /// [`AllToAllAlgo::StagedKWay`] needs a fan-out of at least 2:
+    /// `k < 2` never shrinks a block, so the staged recursion cannot
+    /// terminate.
+    BadExchangeFanout(usize),
+    /// [`RecoveryPolicy::Shrink`] requires a *single-rendezvous*
+    /// exchange schedule. A staged exchange splits ranks into disjoint
+    /// block communicators mid-superstep; a crash inside one block is
+    /// invisible to the others, which run to completion and leave the
+    /// crashed block's survivors waiting forever in the survivor
+    /// agreement (see the staged-interplay notes in
+    /// `dhs_runtime::recover`).
+    ShrinkNeedsSingleStageExchange,
 }
 
 impl fmt::Display for InvalidSortConfig {
@@ -174,6 +196,16 @@ impl fmt::Display for InvalidSortConfig {
                 write!(
                     f,
                     "RecoveryPolicy::Shrink requires ExchangeStrategy::AllToAllv"
+                )
+            }
+            InvalidSortConfig::BadExchangeFanout(k) => {
+                write!(f, "StagedKWay fan-out must be at least 2, got {k}")
+            }
+            InvalidSortConfig::ShrinkNeedsSingleStageExchange => {
+                write!(
+                    f,
+                    "RecoveryPolicy::Shrink requires a single-rendezvous exchange \
+                     schedule (not AllToAllAlgo::StagedKWay)"
                 )
             }
         }
@@ -202,6 +234,14 @@ impl SortConfig {
             && matches!(self.exchange, ExchangeStrategy::PairwiseMerge { .. })
         {
             return Err(InvalidSortConfig::ShrinkNeedsAllToAllv);
+        }
+        if let AllToAllAlgo::StagedKWay { k } = self.exchange_algo {
+            if k < 2 {
+                return Err(InvalidSortConfig::BadExchangeFanout(k));
+            }
+            if self.recovery == RecoveryPolicy::Shrink {
+                return Err(InvalidSortConfig::ShrinkNeedsSingleStageExchange);
+            }
         }
         Ok(())
     }
@@ -685,27 +725,28 @@ where
     let buckets: Vec<Vec<T>> = (0..p)
         .map(|d| local[plan.cuts[d]..plan.cuts[d + 1]].to_vec())
         .collect();
-    let received = comm.alltoallv(buckets);
+    let received = comm.exchange(buckets, cfg.exchange_algo);
     stats.exchange_ns = sp.finish();
 
     // Phase 4: re-sort the received records by key. Every received
-    // bucket is a slice of a sorted array, so the hybrid path merges
-    // the buckets stably instead — identical to the serial stable
+    // run is a slice of a sorted array, so the hybrid path merges
+    // the runs stably instead — identical to the serial stable
     // re-sort of the concatenation, charged identically.
     let sp = comm.span("merge");
     let intra = comm.intra_span("merge");
-    let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
+    let n_recv: u64 = received.total_len() as u64;
     comm.charge(Work::SortElems {
         n: n_recv,
         elem_bytes: elem,
     });
     if t > 1 {
         let te = comm.threads().exec_budget();
-        *local = dhs_shm::parallel_binary_tree_merge_by(&received, te, &|a: &T, b: &T| {
-            key_fn(a).cmp(&key_fn(b))
-        });
+        *local =
+            dhs_shm::parallel_binary_tree_merge_by(&received.as_slices(), te, &|a: &T, b: &T| {
+                key_fn(a).cmp(&key_fn(b))
+            });
     } else {
-        *local = received.into_iter().flatten().collect();
+        *local = received.into_data();
         local.sort_by_key(|x| key_fn(x));
     }
     drop(intra);
@@ -874,7 +915,7 @@ fn by_shrink_attempt<T, K, F>(
     let buckets: Vec<Vec<T>> = (0..p)
         .map(|d| local[plan.cuts[d]..plan.cuts[d + 1]].to_vec())
         .collect();
-    let received = c.alltoallv(buckets);
+    let received = c.exchange(buckets, cfg.exchange_algo);
     stats.exchange_ns = sp.finish();
 
     // Phase 4: stable re-sort (or hybrid stable merge) of the
@@ -882,18 +923,19 @@ fn by_shrink_attempt<T, K, F>(
     // and the attempt can no longer be interrupted.
     let sp = c.span("merge");
     let intra = c.intra_span("merge");
-    let n_recv: u64 = received.iter().map(|r| r.len() as u64).sum();
+    let n_recv: u64 = received.total_len() as u64;
     c.charge(Work::SortElems {
         n: n_recv,
         elem_bytes: elem,
     });
     if c.threads().budget() > 1 {
         let te = c.threads().exec_budget();
-        *local = dhs_shm::parallel_binary_tree_merge_by(&received, te, &|a: &T, b: &T| {
-            key_fn(a).cmp(&key_fn(b))
-        });
+        *local =
+            dhs_shm::parallel_binary_tree_merge_by(&received.as_slices(), te, &|a: &T, b: &T| {
+                key_fn(a).cmp(&key_fn(b))
+            });
     } else {
-        *local = received.into_iter().flatten().collect();
+        *local = received.into_data();
         local.sort_by_key(|x| key_fn(x));
     }
     drop(intra);
@@ -967,7 +1009,7 @@ fn run_pipeline_warm<K: Key>(
         ExchangeStrategy::AllToAllv => {
             // Phase 3b: ALL-TO-ALLV.
             let sp = comm.span("exchange");
-            let received = exchange_data(comm, sorted_local, &plan);
+            let received = exchange_data(comm, sorted_local, &plan, cfg.exchange_algo);
             stats.exchange_ns = sp.finish();
 
             // Phase 4: local merge of the received sorted runs,

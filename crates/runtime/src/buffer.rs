@@ -92,6 +92,19 @@ impl<T> RecvRuns<T> {
     pub fn into_data(self) -> Vec<T> {
         self.data
     }
+
+    /// Split the runs back into owned per-source vectors (the legacy
+    /// `alltoallv` return shape). One copy per element — prefer
+    /// [`RecvRuns::as_slices`] / [`RecvRuns::into_data`] where the
+    /// contiguous layout can be consumed in place.
+    pub fn into_vecs(self) -> Vec<Vec<T>> {
+        let counts = self.counts;
+        let mut it = self.data.into_iter();
+        counts
+            .iter()
+            .map(|&c| it.by_ref().take(c).collect())
+            .collect()
+    }
 }
 
 /// A rank's window into a vector owned collectively by all ranks.

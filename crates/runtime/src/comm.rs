@@ -38,6 +38,23 @@ pub enum AllToAllAlgo {
     /// memcpy in, one aggregated message per peer node, memcpy out),
     /// minimizing network congestion at the price of staging copies.
     HierarchicalLeaders,
+    /// HykSort-style recursive `k`-way staging: the communicator is
+    /// split into `k` contiguous blocks, every rank forwards each
+    /// destination block's traffic (tagged with its final destination)
+    /// to one peer of that block, then the blocks recurse — `⌈log_k
+    /// P⌉` stages of at most `k − 1` messages each instead of the
+    /// one-factor's `P − 1` direct messages. Latency drops from `O(P·α)`
+    /// to `O(k·log_k P·α)`; bytes pay β once **per stage**, so large
+    /// payloads should stay on the bandwidth-optimal
+    /// [`AllToAllAlgo::OneFactor`]. Unlike the other variants this is
+    /// not a charging formula over one rendezvous: the stages execute
+    /// for real, splitting sub-communicators via [`Comm::split`] (whose
+    /// cost is charged too) and moving payloads through each hop.
+    StagedKWay {
+        /// Fan-out per stage (number of blocks); at least 2. Fan-outs
+        /// `k ≥ P` degenerate to one direct (sparsely charged) stage.
+        k: usize,
+    },
 }
 
 /// A communicator handle for one rank. Cheap to pass around by
@@ -182,10 +199,75 @@ fn alltoallv_end_times(
                     .sum();
                 intra + stage + leader
             }
+            // Staged exchanges never reach the single-rendezvous cost
+            // path: `Comm::exchange` dispatches them to the real staged
+            // driver, which charges per stage.
+            AllToAllAlgo::StagedKWay { .. } => {
+                unreachable!("StagedKWay executes real stages via Comm::alltoallv_staged")
+            }
         };
         ends.push(ctx.enter_max_ns + cost);
     }
     ends
+}
+
+/// One routed payload of the staged k-way exchange: the original source
+/// and the final destination (both in *root*-communicator ranks) ride
+/// along with the data, which is forwarded intact — units are never
+/// split or merged, so the receiver's per-source runs come out
+/// byte-identical to a direct exchange.
+struct StagedUnit<T> {
+    src: u32,
+    dst: u32,
+    data: Vec<T>,
+}
+
+/// Bytes charged per forwarded unit for its `(src, dst)` routing header.
+const STAGE_HEADER_BYTES: u64 = 8;
+
+/// Payload forms accepted by [`Comm::exchange`] — the single entry
+/// point of the personalized all-to-all. `Vec<Vec<T>>` moves owned
+/// buckets (the legacy `alltoallv` shape); `&[&[T]]` sends borrowed
+/// segments of an already-ordered local array on the zero-copy path.
+/// Both deliver into one contiguous [`RecvRuns`] buffer, and both
+/// charge byte-identical virtual time: the cost model reads only
+/// lengths and link classes, never payloads.
+pub trait ExchangePayload<T> {
+    /// Run the personalized exchange of this payload under `algo`.
+    fn exchange_via(self, comm: &Comm, algo: AllToAllAlgo) -> RecvRuns<T>;
+}
+
+impl<T: Send + 'static> ExchangePayload<T> for Vec<Vec<T>> {
+    fn exchange_via(self, comm: &Comm, algo: AllToAllAlgo) -> RecvRuns<T> {
+        match algo {
+            AllToAllAlgo::StagedKWay { k } => comm.alltoallv_staged(self, k),
+            _ => comm.alltoallv_direct_vecs(self, algo),
+        }
+    }
+}
+
+impl<'a, T: Copy + Send + Sync + 'static> ExchangePayload<T> for &'a [&'a [T]] {
+    fn exchange_via(self, comm: &Comm, algo: AllToAllAlgo) -> RecvRuns<T> {
+        match algo {
+            AllToAllAlgo::StagedKWay { k } => {
+                // Staged forwarding needs owned hop buffers; stage the
+                // borrowed segments through the rank's pool. The copy
+                // is host-side only — the virtual clock charges the
+                // same stage schedule as the owned payload, so both
+                // payload forms keep identical makespans at every `k`.
+                let send: Vec<Vec<T>> = self
+                    .iter()
+                    .map(|s| {
+                        let mut v: Vec<T> = comm.pool().take();
+                        v.extend_from_slice(s);
+                        v
+                    })
+                    .collect();
+                comm.alltoallv_staged(send, k)
+            }
+            _ => comm.alltoallv_direct_slices(self, algo),
+        }
+    }
 }
 
 impl Comm {
@@ -757,22 +839,78 @@ impl Comm {
     // Personalized exchanges
     // ------------------------------------------------------------------
 
-    /// Personalized all-to-all: `send[d]` goes to rank `d`; returns
-    /// `recv` with `recv[s]` being what rank `s` sent here. Virtual cost
-    /// follows a 1-factor pairwise schedule with per-peer link classes;
-    /// this is the `MPI_Alltoallv` of the data-exchange superstep.
+    /// The personalized all-to-all — the `MPI_Alltoallv` of the
+    /// data-exchange superstep, unified over every payload form and
+    /// schedule.
+    ///
+    /// `payload[d]` is what this rank sends to rank `d`, either as an
+    /// owned bucket (`Vec<Vec<T>>`) or a borrowed segment of an
+    /// already-ordered local array (`&[&[T]]`, the zero-copy path). The
+    /// receive side is always one contiguous [`RecvRuns`] buffer whose
+    /// per-source runs can be merged in place or flattened for free.
+    ///
+    /// `algo` picks the schedule (§VI-E1: "For a relatively small N/P
+    /// we utilize store-and-forward algorithms ... For larger messages
+    /// we schedule flat handshakes or 1-factorization algorithms").
+    /// All schedules deliver byte-identical data; only the virtual
+    /// clock differs. [`AllToAllAlgo::StagedKWay`] additionally
+    /// executes real forwarding stages over split sub-communicators.
+    pub fn exchange<T, P>(&self, payload: P, algo: AllToAllAlgo) -> RecvRuns<T>
+    where
+        P: ExchangePayload<T>,
+    {
+        payload.exchange_via(self, algo)
+    }
+
+    /// Deprecated spelling of the one-factor owned-bucket exchange.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `Comm::exchange(send, AllToAllAlgo::OneFactor)`"
+    )]
     pub fn alltoallv<T>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>>
     where
         T: Send + 'static,
     {
-        self.alltoallv_with(send, AllToAllAlgo::OneFactor)
+        self.exchange(send, AllToAllAlgo::OneFactor).into_vecs()
     }
 
-    /// [`Comm::alltoallv`] with an explicit schedule (§VI-E1: "For a
-    /// relatively small N/P we utilize store-and-forward algorithms
-    /// ... For larger messages we schedule flat handshakes or
-    /// 1-factorization algorithms").
+    /// Deprecated spelling of the owned-bucket exchange with an
+    /// explicit schedule.
+    #[deprecated(since = "0.7.0", note = "use `Comm::exchange(send, algo)`")]
     pub fn alltoallv_with<T>(&self, send: Vec<Vec<T>>, algo: AllToAllAlgo) -> Vec<Vec<T>>
+    where
+        T: Send + 'static,
+    {
+        self.exchange(send, algo).into_vecs()
+    }
+
+    /// Deprecated spelling of the one-factor zero-copy exchange.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `Comm::exchange(send, AllToAllAlgo::OneFactor)`"
+    )]
+    pub fn alltoallv_slices<T>(&self, send: &[&[T]]) -> RecvRuns<T>
+    where
+        T: Copy + Send + Sync + 'static,
+    {
+        self.exchange(send, AllToAllAlgo::OneFactor)
+    }
+
+    /// Deprecated spelling of the zero-copy exchange with an explicit
+    /// schedule.
+    #[deprecated(since = "0.7.0", note = "use `Comm::exchange(send, algo)`")]
+    pub fn alltoallv_slices_with<T>(&self, send: &[&[T]], algo: AllToAllAlgo) -> RecvRuns<T>
+    where
+        T: Copy + Send + Sync + 'static,
+    {
+        self.exchange(send, algo)
+    }
+
+    /// Owned-bucket exchange over one single-rendezvous schedule
+    /// (everything except `StagedKWay`): buckets transpose through
+    /// shared memory, then flatten into the receiver's contiguous
+    /// [`RecvRuns`] buffer.
+    fn alltoallv_direct_vecs<T>(&self, send: Vec<Vec<T>>, algo: AllToAllAlgo) -> RecvRuns<T>
     where
         T: Send + 'static,
     {
@@ -806,33 +944,34 @@ impl Comm {
         if let Some(sink) = self.sink() {
             sink.attribute_bytes(sent_bytes);
         }
-        let recv = out[me]
+        let buckets: Vec<Vec<T>> = out[me]
             .lock()
             .iter_mut()
             .map(|slot| slot.take().expect("each row taken exactly once"))
             .collect();
-        recv
+        let counts: Vec<usize> = buckets.iter().map(Vec::len).collect();
+        let total: usize = counts.iter().sum();
+        let mut data: Vec<T> = self.pool().take();
+        data.reserve(total);
+        for mut bucket in buckets {
+            data.append(&mut bucket);
+            self.pool().recycle(bucket);
+        }
+        RecvRuns::from_parts(data, counts)
     }
 
-    /// Zero-copy personalized all-to-all: `send[d]` is a **borrowed**
-    /// segment of this rank's (typically already-sorted) local array
-    /// destined for rank `d`. Each element is copied exactly once, from
-    /// the sender's buffer straight into the receiver's single
-    /// contiguous [`RecvRuns`] buffer — real `MPI_Alltoallv` semantics,
-    /// with `(counts, displs)` marking the per-source runs.
+    /// Zero-copy exchange over one single-rendezvous schedule: `send[d]`
+    /// is a **borrowed** segment of this rank's (typically
+    /// already-sorted) local array destined for rank `d`. Each element
+    /// is copied exactly once, from the sender's buffer straight into
+    /// the receiver's single contiguous [`RecvRuns`] buffer — real
+    /// `MPI_Alltoallv` semantics, with `(counts, displs)` marking the
+    /// per-source runs.
     ///
-    /// Identical virtual-clock behaviour and byte accounting as
-    /// [`Comm::alltoallv`]: both paths share `alltoallv_end_times`,
-    /// and the cost model reads only lengths and link classes.
-    pub fn alltoallv_slices<T>(&self, send: &[&[T]]) -> RecvRuns<T>
-    where
-        T: Copy + Send + Sync + 'static,
-    {
-        self.alltoallv_slices_with(send, AllToAllAlgo::OneFactor)
-    }
-
-    /// [`Comm::alltoallv_slices`] with an explicit schedule.
-    pub fn alltoallv_slices_with<T>(&self, send: &[&[T]], algo: AllToAllAlgo) -> RecvRuns<T>
+    /// Identical virtual-clock behaviour and byte accounting as the
+    /// owned-bucket path: both share `alltoallv_end_times`, and the
+    /// cost model reads only lengths and link classes.
+    fn alltoallv_direct_slices<T>(&self, send: &[&[T]], algo: AllToAllAlgo) -> RecvRuns<T>
     where
         T: Copy + Send + Sync + 'static,
     {
@@ -874,6 +1013,202 @@ impl Comm {
         out
     }
 
+    /// HykSort-style staged `k`-way exchange (see
+    /// [`AllToAllAlgo::StagedKWay`]). Per stage the current
+    /// communicator is carved into `min(k, q)` contiguous blocks;
+    /// every held unit bound for block `g` is forwarded to this rank's
+    /// peer inside `g` (same offset within the block, modulo block
+    /// size), then the rank descends into its own block via
+    /// [`Comm::split`] — whose cost is charged — until the block is a
+    /// single rank and every unit has arrived at its final
+    /// destination. Units carry `(src, dst)` root-rank tags
+    /// ([`STAGE_HEADER_BYTES`] each on the wire) and are never split
+    /// or merged in flight, so reassembly by source yields the exact
+    /// per-source runs of a direct exchange.
+    ///
+    /// Crash checks fire at every stage entry (each stage and split is
+    /// a [`Comm::run_collective`]); forwarding buffers are recycled
+    /// through this rank's [`BufferPool`], and the final reassembly
+    /// lands in one contiguous [`RecvRuns`] buffer.
+    fn alltoallv_staged<T>(&self, send: Vec<Vec<T>>, k: usize) -> RecvRuns<T>
+    where
+        T: Send + 'static,
+    {
+        let p = self.size();
+        assert_eq!(
+            send.len(),
+            p,
+            "alltoallv needs one bucket per destination rank"
+        );
+        assert!(k >= 2, "staged exchange needs fan-out k >= 2");
+        // Everything below runs in *root*-communicator ranks; `lo` maps
+        // the current sub-communicator's rank 0 back to a root rank.
+        let mut held: Vec<StagedUnit<T>> = send
+            .into_iter()
+            .enumerate()
+            .filter(|(_, data)| !data.is_empty())
+            .map(|(dst, data)| StagedUnit {
+                src: self.rank as u32,
+                dst: dst as u32,
+                data,
+            })
+            .collect();
+        let mut owned: Option<Comm> = None;
+        let mut lo = 0usize;
+        let mut stage = 0usize;
+        loop {
+            let next = {
+                let cur = owned.as_ref().unwrap_or(self);
+                let q = cur.size();
+                if q <= 1 {
+                    break;
+                }
+                let kk = k.min(q);
+                // Contiguous blocks, HykSort-style: block `g` spans
+                // sub-ranks [g*q/kk, (g+1)*q/kk).
+                let gs = |g: usize| g * q / kk;
+                let block_of = |r: usize| {
+                    (0..kk)
+                        .find(|&g| r < gs(g + 1))
+                        .expect("every sub-rank lies in a block")
+                };
+                let m = cur.rank();
+                let my_block = block_of(m);
+                let sp = cur.span(crate::trace::stage_span_name(stage, kk));
+                // Route every held unit to this stage's carrier peer:
+                // units for block `g` go to the rank of `g` at my
+                // offset within my block (wrapped into `g`'s size).
+                let mut outgoing: BTreeMap<usize, Vec<StagedUnit<T>>> = BTreeMap::new();
+                for unit in held.drain(..) {
+                    let dl = unit.dst as usize - lo;
+                    let g = block_of(dl);
+                    let peer = if g == my_block {
+                        m
+                    } else {
+                        gs(g) + (m - gs(my_block)) % (gs(g + 1) - gs(g))
+                    };
+                    outgoing.entry(peer).or_default().push(unit);
+                }
+                held = cur.stage_exchange(outgoing.into_iter().collect());
+                if kk == q {
+                    // Final stage: every block is one rank, all units
+                    // are home. No split needed.
+                    drop(sp);
+                    None
+                } else {
+                    let sub = cur.split(my_block as u64, m as u64);
+                    drop(sp);
+                    Some((sub, gs(my_block)))
+                }
+            };
+            stage += 1;
+            match next {
+                Some((sub, block_lo)) => {
+                    lo += block_lo;
+                    owned = Some(sub);
+                }
+                None => break,
+            }
+        }
+        // Reassemble by source into one contiguous recv buffer. Units
+        // arrive in carrier order; sort by source so the runs line up
+        // exactly like a direct exchange's.
+        held.sort_unstable_by_key(|u| u.src);
+        let mut counts: Vec<usize> = vec![0; p];
+        let total: usize = held.iter().map(|u| u.data.len()).sum();
+        let mut data: Vec<T> = self.pool().take();
+        data.reserve(total);
+        for mut unit in held {
+            debug_assert_eq!(unit.dst as usize, self.rank, "unit delivered to its dst");
+            counts[unit.src as usize] = unit.data.len();
+            data.append(&mut unit.data);
+            self.pool().recycle(unit.data);
+        }
+        RecvRuns::from_parts(data, counts)
+    }
+
+    /// One forwarding stage of the staged exchange: every rank deposits
+    /// its routed units (`(peer, units-for-peer)` pairs, peers in this
+    /// communicator's ranks) and receives every unit addressed to it.
+    /// Charged like a sparse personalized all-to-all under the α–β
+    /// model: each rank pays `max(send, recv)` over its per-peer
+    /// message costs, where a unit's wire size is its payload plus
+    /// [`STAGE_HEADER_BYTES`] of routing header; self-deposits pay the
+    /// β-only self-loop, exactly like the one-factor diagonal.
+    fn stage_exchange<T>(&self, outgoing: Vec<(usize, Vec<StagedUnit<T>>)>) -> Vec<StagedUnit<T>>
+    where
+        T: Send + 'static,
+    {
+        let q = self.size();
+        let elem = mem::size_of::<T>() as u64;
+        let unit_bytes = |units: &[StagedUnit<T>]| -> u64 {
+            units
+                .iter()
+                .map(|u| u.data.len() as u64 * elem + STAGE_HEADER_BYTES)
+                .sum()
+        };
+        // Sender-side per-link byte accounting, mirroring
+        // `account_alltoallv_send` on the direct paths.
+        let topo = self.topology();
+        let counters = &self.local().counters;
+        let me_g = self.state.global_ranks[self.rank];
+        let mut sent_bytes = 0u64;
+        for (peer, units) in &outgoing {
+            let link = topo.link(me_g, self.state.global_ranks[*peer]);
+            let bytes = unit_bytes(units);
+            counters.add_bytes(link, bytes);
+            sent_bytes += bytes;
+        }
+        let me = self.rank;
+        let out = self.run_collective("exchange_stage", outgoing, move |inputs, ctx| {
+            let bytes_of = |units: &[StagedUnit<T>]| -> u64 {
+                units
+                    .iter()
+                    .map(|u| u.data.len() as u64 * elem + STAGE_HEADER_BYTES)
+                    .sum()
+            };
+            let mut ends = Vec::with_capacity(q);
+            for r in 0..q {
+                let gr = ctx.global_ranks[r];
+                let send_cost =
+                    ctx.cost
+                        .alltoallv_rank_ns(inputs[r].iter().map(|(peer, units)| {
+                            (
+                                ctx.topology.link(gr, ctx.global_ranks[*peer]),
+                                bytes_of(units),
+                            )
+                        }));
+                let recv_cost = ctx
+                    .cost
+                    .alltoallv_rank_ns(inputs.iter().enumerate().flat_map(|(s, list)| {
+                        list.iter()
+                            .filter(|(peer, _)| *peer == r)
+                            .map(move |(_, units)| {
+                                (ctx.topology.link(ctx.global_ranks[s], gr), bytes_of(units))
+                            })
+                    }));
+                ends.push(ctx.enter_max_ns + send_cost.max(recv_cost));
+            }
+            // Deliver: slot `r` collects every unit addressed to rank
+            // `r`, in source-rank (deposit) order for determinism.
+            let mut slots: Vec<Vec<StagedUnit<T>>> = (0..q).map(|_| Vec::new()).collect();
+            for list in inputs {
+                for (peer, units) in list {
+                    slots[peer].extend(units);
+                }
+            }
+            (
+                slots.into_iter().map(Mutex::new).collect::<Vec<_>>(),
+                EndTimes::PerRank(ends),
+            )
+        });
+        if let Some(sink) = self.sink() {
+            sink.attribute_bytes(sent_bytes);
+        }
+        let received = mem::take(&mut *out[me].lock());
+        received
+    }
+
     /// Per-link byte accounting for this rank's outgoing personalized
     /// traffic, shared by the owning and zero-copy all-to-all paths.
     /// Returns the total for span attribution (which must happen after
@@ -900,7 +1235,7 @@ impl Comm {
         T: Copy + Send + Sync + 'static,
     {
         let slices: Vec<&[T]> = send.chunks(1).collect();
-        let recv = self.alltoallv_slices(&slices);
+        let recv = self.exchange(&slices[..], AllToAllAlgo::OneFactor);
         debug_assert!(recv.counts().iter().all(|&c| c == 1));
         recv.into_data()
     }
@@ -1068,7 +1403,8 @@ impl Comm {
 
     /// Symmetric pairwise exchange with `peer`: send `data`, receive the
     /// peer's buffer. Safe against deadlock because sends never block.
-    pub fn exchange<T>(&self, peer: usize, tag: u64, data: Vec<T>) -> Vec<T>
+    /// (The collective personalized exchange is [`Comm::exchange`].)
+    pub fn exchange_pair<T>(&self, peer: usize, tag: u64, data: Vec<T>) -> Vec<T>
     where
         T: Send + 'static,
     {
@@ -1079,20 +1415,20 @@ impl Comm {
         self.recv(peer, tag)
     }
 
-    /// [`Self::exchange`] over a borrowed send segment. The payload is
+    /// [`Self::exchange_pair`] over a borrowed send segment. The payload is
     /// staged into a pooled scratch buffer — the one copy that models
     /// the wire transfer — so callers exchanging windows of a larger
     /// array (pairwise-merge bucket rounds) need no owning clone of
     /// their own, and steady-state rounds allocate nothing once the
     /// pool is warm. Return the received buffer to
     /// [`Self::pool`]`().recycle` when done with it.
-    pub fn exchange_slice<T>(&self, peer: usize, tag: u64, data: &[T]) -> Vec<T>
+    pub fn exchange_pair_slice<T>(&self, peer: usize, tag: u64, data: &[T]) -> Vec<T>
     where
         T: Copy + Send + 'static,
     {
         let mut staged: Vec<T> = self.pool().take();
         staged.extend_from_slice(data);
-        self.exchange(peer, tag, staged)
+        self.exchange_pair(peer, tag, staged)
     }
 
     // ------------------------------------------------------------------
@@ -1283,12 +1619,12 @@ mod tests {
     }
 
     #[test]
-    fn alltoallv_transposes() {
+    fn exchange_transposes() {
         let vals = run(&cfg(4), |comm| {
             let p = comm.size();
             let r = comm.rank();
             let send: Vec<Vec<u64>> = (0..p).map(|d| vec![(r * 100 + d) as u64; r + 1]).collect();
-            comm.alltoallv(send)
+            comm.exchange(send, AllToAllAlgo::OneFactor).into_vecs()
         });
         for (dst, (recv, _)) in vals.into_iter().enumerate() {
             for (src, bucket) in recv.into_iter().enumerate() {
@@ -1298,18 +1634,51 @@ mod tests {
         }
     }
 
+    /// The four deprecated `alltoallv*` spellings must stay drop-in
+    /// wrappers of [`Comm::exchange`]: same data, same shapes.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_alltoallv_wrappers_match_exchange() {
+        let vals = run(&cfg(4), |comm| {
+            let p = comm.size();
+            let r = comm.rank();
+            let send: Vec<Vec<u64>> = (0..p).map(|d| vec![(r * 100 + d) as u64; r + 1]).collect();
+            let legacy = comm.alltoallv(send.clone());
+            let legacy_with = comm.alltoallv_with(send.clone(), AllToAllAlgo::Bruck);
+            let views: Vec<&[u64]> = send.iter().map(|b| b.as_slice()).collect();
+            let legacy_slices = comm.alltoallv_slices(&views);
+            let legacy_slices_with = comm.alltoallv_slices_with(&views, AllToAllAlgo::Bruck);
+            let unified = comm.exchange(send, AllToAllAlgo::OneFactor);
+            (
+                legacy,
+                legacy_with,
+                legacy_slices.into_vecs(),
+                legacy_slices_with.into_vecs(),
+                unified.into_vecs(),
+            )
+        });
+        for (a, b, c, d, e) in vals.into_iter().map(|(v, _)| v) {
+            assert_eq!(a, e);
+            assert_eq!(b, e);
+            assert_eq!(c, e);
+            assert_eq!(d, e);
+        }
+    }
+
     #[test]
     fn alltoallv_schedules_agree_on_data() {
         for algo in [
             AllToAllAlgo::OneFactor,
             AllToAllAlgo::Bruck,
             AllToAllAlgo::HierarchicalLeaders,
+            AllToAllAlgo::StagedKWay { k: 2 },
+            AllToAllAlgo::StagedKWay { k: 4 },
         ] {
             let vals = run(&ClusterConfig::supermuc_phase2(32), move |comm| {
                 let p = comm.size();
                 let r = comm.rank();
                 let send: Vec<Vec<u64>> = (0..p).map(|d| vec![(r * p + d) as u64; 3]).collect();
-                comm.alltoallv_with(send, algo)
+                comm.exchange(send, algo).into_vecs()
             });
             for (dst, (recv, _)) in vals.into_iter().enumerate() {
                 for (src, bucket) in recv.into_iter().enumerate() {
@@ -1319,13 +1688,88 @@ mod tests {
         }
     }
 
+    /// The staged driver must deliver exactly the direct exchange's
+    /// per-source runs at awkward sizes too: non-divisible p, k that
+    /// doesn't divide p, k ≥ p (degenerate single stage), and ragged
+    /// per-peer counts including empty buckets.
+    #[test]
+    fn staged_matches_one_factor_on_ragged_sizes() {
+        for (p, k) in [
+            (2, 2),
+            (5, 2),
+            (7, 3),
+            (9, 2),
+            (13, 4),
+            (16, 4),
+            (6, 8),
+            (12, 12),
+        ] {
+            let payload = move |comm: &Comm, algo: AllToAllAlgo| {
+                let p = comm.size();
+                let r = comm.rank();
+                // Ragged: rank r sends (r*7 + d*3) % 5 elements to d
+                // (some buckets empty), values encode (src, dst, i).
+                let send: Vec<Vec<u64>> = (0..p)
+                    .map(|d| {
+                        let n = (r * 7 + d * 3) % 5;
+                        (0..n).map(|i| (r * 1000 + d * 10 + i) as u64).collect()
+                    })
+                    .collect();
+                let recv = comm.exchange(send, algo);
+                (recv.counts().to_vec(), recv.into_data())
+            };
+            let direct = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+                payload(comm, AllToAllAlgo::OneFactor)
+            });
+            let staged = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+                payload(comm, AllToAllAlgo::StagedKWay { k })
+            });
+            for (r, (d, s)) in direct.iter().zip(staged.iter()).enumerate() {
+                assert_eq!(d.0, s.0, "p={p} k={k} rank={r}");
+            }
+        }
+    }
+
+    /// The point of staging: at large p and tiny per-peer payloads the
+    /// one-factor's P−1 per-peer latencies dominate, and ⌈log_k P⌉
+    /// stages of ≤ k−1 messages (plus the split costs) win in virtual
+    /// time. Large payloads must flip the ordering — bytes pay β once
+    /// per stage.
+    #[test]
+    fn staged_beats_one_factor_on_small_payloads_at_scale() {
+        let time = |p: usize, algo: AllToAllAlgo, per_peer: usize| {
+            let out = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
+                let send: Vec<Vec<u64>> = (0..comm.size()).map(|_| vec![0u64; per_peer]).collect();
+                let t0 = comm.now_ns();
+                let _ = comm.exchange(send, algo);
+                comm.now_ns() - t0
+            });
+            out.into_iter().map(|(t, _)| t).max().unwrap_or(0)
+        };
+        let staged = time(256, AllToAllAlgo::StagedKWay { k: 16 }, 1);
+        let direct = time(256, AllToAllAlgo::OneFactor, 1);
+        assert!(
+            staged < direct,
+            "staged k=16 should beat one-factor at p=256 on tiny payloads: {staged} vs {direct}"
+        );
+        // Bytes pay β once per stage, so larger payloads flip the
+        // ordering (checked at p=64 to keep host memory modest).
+        let staged_big = time(64, AllToAllAlgo::StagedKWay { k: 8 }, 1 << 12);
+        let direct_big = time(64, AllToAllAlgo::OneFactor, 1 << 12);
+        assert!(
+            staged_big > direct_big,
+            "large payloads must prefer the bandwidth-optimal schedule: \
+             {staged_big} vs {direct_big}"
+        );
+    }
+
     #[test]
     fn bruck_beats_one_factor_on_tiny_messages_only() {
         let time = |algo: AllToAllAlgo, per_peer: usize| {
             let out = run(&ClusterConfig::supermuc_phase2(64), move |comm| {
                 let send: Vec<Vec<u64>> = (0..comm.size()).map(|_| vec![0u64; per_peer]).collect();
                 let t0 = comm.now_ns();
-                let _ = comm.alltoallv_with(send, algo);
+                let _ = comm.exchange(send, algo);
                 comm.now_ns() - t0
             });
             out.into_iter().map(|(t, _)| t).max().unwrap_or(0)
@@ -1345,7 +1789,7 @@ mod tests {
             let out = run(&ClusterConfig::supermuc_phase2(128), move |comm| {
                 let send: Vec<Vec<u64>> = (0..comm.size()).map(|_| vec![7u64; 2]).collect();
                 let t0 = comm.now_ns();
-                let _ = comm.alltoallv_with(send, algo);
+                let _ = comm.exchange(send, algo);
                 comm.now_ns() - t0
             });
             out.into_iter().map(|(t, _)| t).max().unwrap_or(0)
@@ -1372,9 +1816,9 @@ mod tests {
     }
 
     #[test]
-    fn exchange_is_symmetric() {
+    fn exchange_pair_is_symmetric() {
         let vals = run(&cfg(2), |comm| {
-            comm.exchange(1 - comm.rank(), 0, vec![comm.rank() as u64])
+            comm.exchange_pair(1 - comm.rank(), 0, vec![comm.rank() as u64])
         });
         assert_eq!(vals[0].0, vec![1]);
         assert_eq!(vals[1].0, vec![0]);

@@ -468,7 +468,7 @@ mod tests {
                 let xs = c.allgather(c.rank() as u64);
                 // p2p traffic so the loss model has messages to drop.
                 let peer = c.rank() ^ 1;
-                let got = c.exchange(peer, 3, vec![c.rank() as u64; 64]);
+                let got = c.exchange_pair(peer, 3, vec![c.rank() as u64; 64]);
                 assert_eq!(got, vec![peer as u64; 64]);
                 c.allreduce_sum(xs)
             });

@@ -1,9 +1,10 @@
 //! Equivalence of the zero-copy exchange path with the legacy owning
-//! path: `alltoallv_slices` must deliver exactly the bytes that
-//! `alltoallv(Vec<Vec<T>>)` delivers, and — because the α–β cost model
-//! reads only message *lengths*, never payloads — the per-rank virtual
-//! clocks of the two paths must agree to the nanosecond, under every
-//! schedule and with fault injection on or off.
+//! path: `exchange(&[&[T]], algo)` must deliver exactly the bytes that
+//! `exchange(Vec<Vec<T>>, algo)` delivers, and — because the α–β cost
+//! model reads only message *lengths*, never payloads — the per-rank
+//! virtual clocks of the two paths must agree to the nanosecond, under
+//! every schedule (including the staged k-way one) and with fault
+//! injection on or off.
 
 use dhs_runtime::{run, AllToAllAlgo, ClusterConfig, FaultPlan};
 use proptest::prelude::*;
@@ -45,7 +46,7 @@ fn run_legacy(
         let send: Vec<Vec<u64>> = (0..p)
             .map(|d| bucket(seed, comm.rank(), d, max_len))
             .collect();
-        let received = comm.alltoallv_with(send, algo);
+        let received = comm.exchange(send, algo).into_vecs();
         (received, comm.now_ns())
     })
     .into_iter()
@@ -65,7 +66,7 @@ fn run_zero_copy(
             .map(|d| bucket(seed, comm.rank(), d, max_len))
             .collect();
         let views: Vec<&[u64]> = send.iter().map(|b| b.as_slice()).collect();
-        let received = comm.alltoallv_slices_with(&views, algo);
+        let received = comm.exchange(&views[..], algo);
         let per_src: Vec<Vec<u64>> = (0..p).map(|s| received.run(s).to_vec()).collect();
         assert_eq!(received.num_runs(), p);
         assert_eq!(
@@ -88,13 +89,14 @@ proptest! {
         p in 2usize..9,
         max_len in 0usize..24,
         seed in 0u64..u64::MAX,
-        algo_idx in 0usize..3,
+        algo_idx in 0usize..4,
         faults: bool,
     ) {
         let algo = [
             AllToAllAlgo::OneFactor,
             AllToAllAlgo::Bruck,
             AllToAllAlgo::HierarchicalLeaders,
+            AllToAllAlgo::StagedKWay { k: 3 },
         ][algo_idx];
         let legacy = run_legacy(p, seed, max_len, algo, faults);
         let zero_copy = run_zero_copy(p, seed, max_len, algo, faults);
@@ -106,9 +108,9 @@ proptest! {
 }
 
 /// The `alltoall` convenience wrapper rides the slices path; pin its
-/// equivalence with a hand-built one-element-per-peer `alltoallv`.
+/// equivalence with a hand-built one-element-per-peer exchange.
 #[test]
-fn alltoall_matches_single_element_alltoallv() {
+fn alltoall_matches_single_element_exchange() {
     let p = 6;
     let flat = run(&ClusterConfig::supermuc_phase2(p), move |comm| {
         let send: Vec<u64> = (0..p as u64)
@@ -120,7 +122,8 @@ fn alltoall_matches_single_element_alltoallv() {
         let send: Vec<Vec<u64>> = (0..p as u64)
             .map(|d| vec![comm.rank() as u64 * 100 + d])
             .collect();
-        comm.alltoallv(send)
+        comm.exchange(send, AllToAllAlgo::OneFactor)
+            .into_vecs()
             .into_iter()
             .flatten()
             .collect::<Vec<u64>>()

@@ -42,6 +42,7 @@ fn main() {
                  \x20        --probes M (histogram probes per splitter per round)\n\
                  \x20        --threads T (intra-rank thread budget)\n\
                  \x20        --recovery abort|shrink (response to rank failures)\n\
+                 \x20        --exchange-algo one-factor|bruck|leaders|staged:<k>\n\
                  \x20        --trace out.json --trace-format chrome|summary\n\
                  select   --ranks N --nper N --k N --dist ... --seed N\n\
                  topology --ranks N"
@@ -82,6 +83,26 @@ fn layout_of(args: &Args) -> Layout {
     }
 }
 
+/// Parse `--exchange-algo one-factor|bruck|leaders|staged:<k>`.
+fn exchange_algo_of(args: &Args) -> AllToAllAlgo {
+    match args.raw("exchange-algo").unwrap_or("one-factor") {
+        "one-factor" => AllToAllAlgo::OneFactor,
+        "bruck" => AllToAllAlgo::Bruck,
+        "leaders" => AllToAllAlgo::HierarchicalLeaders,
+        other => match other.strip_prefix("staged:") {
+            Some(k) => AllToAllAlgo::StagedKWay {
+                k: k.parse().unwrap_or_else(|_| {
+                    panic!("--exchange-algo staged:<k> expects an integer fan-out, got {k:?}")
+                }),
+            },
+            None => panic!(
+                "unknown exchange algorithm {other} \
+                 (expected one-factor|bruck|leaders|staged:<k>)"
+            ),
+        },
+    }
+}
+
 fn sort_config(args: &Args) -> SortConfig {
     let mut builder = SortConfig::builder()
         .epsilon(args.get("eps", 0.0))
@@ -117,7 +138,8 @@ fn sort_config(args: &Args) -> SortConfig {
             "abort" => RecoveryPolicy::Abort,
             "shrink" => RecoveryPolicy::Shrink,
             other => panic!("unknown recovery policy {other} (expected abort|shrink)"),
-        });
+        })
+        .exchange_algo(exchange_algo_of(args));
     if let Some(iters) = args.raw("max-iters") {
         let iters: u32 = iters
             .parse()

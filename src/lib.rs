@@ -30,7 +30,7 @@ pub use dhs_workloads as workloads;
 pub mod prelude {
     pub use dhs_core::{
         histogram_sort, histogram_sort_by, histogram_sort_two_level, is_sorted, median,
-        nth_element, sort, sort_array, sort_by_key, verify_sorted, ExchangeStrategy,
+        nth_element, sort, sort_array, sort_by_key, verify_sorted, AllToAllAlgo, ExchangeStrategy,
         InvalidSortConfig, LocalSort, MergeAlgo, OrderOutOfRange, Partitioning, RecoveryPolicy,
         SortConfig, SortConfigBuilder, SortOutcome, SortStats,
     };

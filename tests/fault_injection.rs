@@ -24,7 +24,9 @@ fn collective_suite(cfg: &ClusterConfig, seed: u64) -> Vec<CollectiveOutputs> {
         let send: Vec<Vec<u64>> = (0..p)
             .map(|d| vec![me * 1000 + d as u64; (seed as usize + d) % 4])
             .collect();
-        let a2a: Vec<Vec<u64>> = comm.alltoallv(send);
+        let a2a: Vec<Vec<u64>> = comm
+            .exchange(send, dhs::runtime::AllToAllAlgo::OneFactor)
+            .into_vecs();
         let scan = comm.exscan_sum_vec(vec![me + 1]);
         let peer = (comm.rank() + 1) % p;
         let from = (comm.rank() + p - 1) % p;

@@ -52,20 +52,21 @@ proptest! {
     }
 
     #[test]
-    fn alltoallv_is_a_transpose(
+    fn exchange_is_a_transpose(
         p in 1usize..8,
-        algo_ix in 0usize..3,
+        algo_ix in 0usize..4,
         seed in 0u64..100_000,
     ) {
         let algo = [AllToAllAlgo::OneFactor, AllToAllAlgo::Bruck,
-                    AllToAllAlgo::HierarchicalLeaders][algo_ix];
+                    AllToAllAlgo::HierarchicalLeaders,
+                    AllToAllAlgo::StagedKWay { k: 2 }][algo_ix];
         let out = run(&ClusterConfig::small_cluster(p), move |comm| {
             let r = comm.rank();
             // Variable-size buckets keyed by (src, dst).
             let send: Vec<Vec<u64>> = (0..p)
                 .map(|d| vec![(r * p + d) as u64; (r + d + seed as usize) % 4])
                 .collect();
-            comm.alltoallv_with(send, algo)
+            comm.exchange(send, algo).into_vecs()
         });
         for (dst, (recv, _)) in out.iter().enumerate() {
             for (src, bucket) in recv.iter().enumerate() {
