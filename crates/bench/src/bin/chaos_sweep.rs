@@ -23,9 +23,17 @@
 //! 2^12), `--threads <threads/rank>` (default 1), `--out <path>`,
 //! `--quick`, `--recovery <shrink|abort|both>` (run *only* the
 //! recovery grid, restricted to the given policies — the CI smoke
-//! subset). The `--threads` flag exercises hybrid rank×thread
-//! execution; by the determinism contract the emitted JSON is
-//! byte-identical for every value (only host wall-clock changes).
+//! subset), `--engine threads|tasks|tasks:<workers>` (execution
+//! engine), `--largep` (run the reduced large-p grid instead of the
+//! main sweep). The `--threads` and `--engine` flags exercise hybrid
+//! rank×thread execution and the task scheduler; by the determinism
+//! contract the emitted JSON is byte-identical for every value (only
+//! host wall-clock changes).
+//!
+//! `--largep` sweeps p ∈ {512, 1024} under the task engine — grids
+//! that the free-running thread engine handles poorly on small hosts —
+//! and writes a separate `results/chaos_sweep_largep.json`; the main
+//! sweep's outputs are untouched.
 
 use std::fmt::Write as _;
 
@@ -34,7 +42,7 @@ use dhs_bench::experiment::{run_distributed_sort, run_recovery_sort, Distributed
 use dhs_bench::table::{fmt_secs, Table};
 use dhs_bench::Args;
 use dhs_core::{ExchangeStrategy, RecoveryPolicy, SortConfig};
-use dhs_runtime::{ClusterConfig, FaultPlan, LinkClass, LinkFault, LossSpec};
+use dhs_runtime::{ClusterConfig, FaultPlan, LinkClass, LinkFault, LossSpec, RunnerEngine};
 use dhs_workloads::{Distribution, Layout};
 
 /// One fault scenario applied to every algorithm.
@@ -173,6 +181,7 @@ fn recovery_grid(
     p: usize,
     n_per: usize,
     threads: usize,
+    engine: RunnerEngine,
     policies: &[(&'static str, RecoveryPolicy)],
     out_path: &str,
 ) {
@@ -183,7 +192,7 @@ fn recovery_grid(
         .build()
         .expect("valid config");
     let probe = run_distributed_sort(
-        &ClusterConfig::supermuc_phase2(p),
+        &ClusterConfig::supermuc_phase2(p).with_engine(engine),
         &SortAlgo::Histogram(base),
         Distribution::paper_uniform(),
         Layout::Balanced,
@@ -213,7 +222,9 @@ fn recovery_grid(
             for &(rank, at_ns) in crashes {
                 plan = plan.with_crash(rank, at_ns);
             }
-            let cluster = ClusterConfig::supermuc_phase2(p).with_fault(plan);
+            let cluster = ClusterConfig::supermuc_phase2(p)
+                .with_fault(plan)
+                .with_engine(engine);
             let cfg = SortConfig::builder()
                 .threads_per_rank(threads)
                 .recovery(*policy)
@@ -285,6 +296,119 @@ fn recovery_grid(
     println!("\nwrote {recovery_path}");
 }
 
+/// The reduced large-p grid: p ∈ {512, 1024} under the task engine,
+/// one representative severity per fault family, the two histogram
+/// variants only (the pairwise variant is the one whose exchange rides
+/// the lossy point-to-point transport). Written as a separate file so
+/// the main sweep's bytes — pinned by CI — are never disturbed.
+fn largep_sweep(engine: RunnerEngine, out_path: &str) {
+    let seed = 0x5EED;
+    let n_per = 256usize;
+    let algos: Vec<(&str, SortAlgo)> = vec![
+        ("dash-histogram", SortAlgo::Histogram(SortConfig::default())),
+        (
+            "dash-histogram-pairwise",
+            SortAlgo::Histogram(
+                SortConfig::builder()
+                    .exchange(ExchangeStrategy::PairwiseMerge { overlap: false })
+                    .build()
+                    .expect("valid config"),
+            ),
+        ),
+    ];
+
+    println!("# Chaos sweep (large-p grid, engine {engine:?})");
+    println!("# {n_per} keys/rank, uniform keys, plan seeds fixed\n");
+    let mut table = Table::new([
+        "p",
+        "scenario",
+        "algorithm",
+        "makespan",
+        "slowdown",
+        "retries",
+    ]);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"keys_per_rank\": {n_per},");
+    let _ = writeln!(json, "  \"grids\": [");
+    let ps = [512usize, 1024];
+    for (gi, &p) in ps.iter().enumerate() {
+        let keep = [
+            "baseline",
+            "stragglers-moderate",
+            "loss-1pct",
+            "link-slow-4x",
+        ];
+        let scens: Vec<Scenario> = scenarios(p)
+            .into_iter()
+            .filter(|s| keep.contains(&s.name))
+            .collect();
+        let _ = writeln!(json, "    {{\"ranks\": {p}, \"scenarios\": [");
+        let mut baselines: Vec<f64> = Vec::new();
+        for (si, sc) in scens.iter().enumerate() {
+            let cluster = ClusterConfig::supermuc_phase2(p)
+                .with_fault(sc.plan.clone())
+                .with_engine(engine);
+            let mut cells = String::new();
+            for (ai, (label, algo)) in algos.iter().enumerate() {
+                let run = run_distributed_sort(
+                    &cluster,
+                    algo,
+                    Distribution::paper_uniform(),
+                    Layout::Balanced,
+                    p * n_per,
+                    seed,
+                );
+                if sc.family == "none" {
+                    baselines.push(run.makespan_s);
+                }
+                let slowdown = run.makespan_s / baselines[ai].max(f64::MIN_POSITIVE);
+                table.row([
+                    p.to_string(),
+                    sc.name.to_string(),
+                    label.to_string(),
+                    fmt_secs(run.makespan_s),
+                    format!("{slowdown:.2}x"),
+                    run.p2p_retries.to_string(),
+                ]);
+                let _ = write!(
+                    cells,
+                    "          {{\"algorithm\": \"{}\", \"result\": {}}}{}",
+                    json_escape(label),
+                    run_json(&run),
+                    if ai + 1 < algos.len() { ",\n" } else { "\n" }
+                );
+            }
+            let _ = writeln!(
+                json,
+                "      {{\"name\": \"{}\", \"family\": \"{}\", \"severity\": {}, \"runs\": [",
+                json_escape(sc.name),
+                json_escape(sc.family),
+                sc.severity
+            );
+            let _ = write!(json, "{cells}");
+            let _ = writeln!(
+                json,
+                "      ]}}{}",
+                if si + 1 < scens.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "    ]}}{}", if gi + 1 < ps.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    table.print();
+
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(out_path, &json).expect("write large-p chaos JSON");
+    println!("\nwrote {out_path}");
+}
+
 fn main() {
     let args = Args::parse();
     let p: usize = if args.quick() { 8 } else { args.get("p", 32) };
@@ -294,6 +418,28 @@ fn main() {
         args.get("nper", 1 << 12)
     };
     let threads: usize = args.get("threads", 1);
+    let engine: RunnerEngine = args
+        .raw("engine")
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("--engine: {e}")))
+        .unwrap_or_default();
+
+    if args.has("largep") {
+        let out = args
+            .raw("out")
+            .unwrap_or("results/chaos_sweep_largep.json")
+            .to_string();
+        // The large-p grid defaults to the task engine: that is the
+        // engine that makes these sizes practical, and the virtual
+        // results are engine-independent anyway.
+        let engine = if args.raw("engine").is_some() {
+            engine
+        } else {
+            RunnerEngine::tasks()
+        };
+        largep_sweep(engine, &out);
+        return;
+    }
+
     let out_path = args
         .raw("out")
         .unwrap_or("results/chaos_sweep.json")
@@ -315,7 +461,7 @@ fn main() {
         };
         println!("# Chaos sweep (recovery subset)");
         println!("# P = {p}, {n_per} keys/rank, uniform keys, plan seeds fixed");
-        recovery_grid(p, n_per, threads, &policies, &out_path);
+        recovery_grid(p, n_per, threads, engine, &policies, &out_path);
         return;
     }
 
@@ -372,7 +518,9 @@ fn main() {
     let mut phase_rows: Vec<PhaseRow> = Vec::new();
     let mut baselines: Vec<f64> = Vec::new();
     for (si, sc) in scens.iter().enumerate() {
-        let cluster = ClusterConfig::supermuc_phase2(p).with_fault(sc.plan.clone());
+        let cluster = ClusterConfig::supermuc_phase2(p)
+            .with_fault(sc.plan.clone())
+            .with_engine(engine);
         let mut cells = String::new();
         for (ai, (label, algo)) in algos.iter().enumerate() {
             let run = run_distributed_sort(
@@ -499,6 +647,7 @@ fn main() {
         p,
         n_per,
         threads,
+        engine,
         &[
             ("abort", RecoveryPolicy::Abort),
             ("shrink", RecoveryPolicy::Shrink),

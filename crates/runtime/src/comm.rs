@@ -113,10 +113,9 @@ impl<T> RawParts<T> {
 
 /// Per-rank virtual end times of a personalized all-to-all under
 /// `algo`, where `count(s, d)` is the number of elements rank `s`
-/// sends rank `d`. Shared by [`Comm::alltoallv_with`] and
-/// [`Comm::alltoallv_slices_with`] so the owning and zero-copy paths
-/// charge byte-identical costs — the model reads only lengths and link
-/// classes, never the payloads.
+/// sends rank `d`. Shared by the owning and zero-copy
+/// [`Comm::exchange`] paths so both charge byte-identical costs — the
+/// model reads only lengths and link classes, never the payloads.
 fn alltoallv_end_times(
     ctx: &CollectiveCtx<'_>,
     p: usize,
@@ -276,6 +275,14 @@ impl Comm {
         let me_global = state.global_ranks[rank];
         let crash_at_ns = state.world.fault.crash_deadline(me_global);
         let straggler_factor = state.world.fault.straggler_factor(me_global);
+        let threads = ThreadPool::new();
+        if let Some(sched) = &state.world.sched {
+            // Under the task engine up to `workers` ranks compute
+            // concurrently; split the host's cores between them so
+            // hybrid thread budgets cannot oversubscribe the worker
+            // pool. Execution-only: results never depend on fan-out.
+            threads.set_host_cap((crate::threads::host_parallelism() / sched.workers()).max(1));
+        }
         Self {
             state,
             rank,
@@ -284,7 +291,7 @@ impl Comm {
             straggler_factor,
             send_seq: RefCell::new(HashMap::new()),
             pool: BufferPool::default(),
-            threads: ThreadPool::new(),
+            threads,
         }
     }
 
@@ -862,50 +869,6 @@ impl Comm {
         payload.exchange_via(self, algo)
     }
 
-    /// Deprecated spelling of the one-factor owned-bucket exchange.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `Comm::exchange(send, AllToAllAlgo::OneFactor)`"
-    )]
-    pub fn alltoallv<T>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>>
-    where
-        T: Send + 'static,
-    {
-        self.exchange(send, AllToAllAlgo::OneFactor).into_vecs()
-    }
-
-    /// Deprecated spelling of the owned-bucket exchange with an
-    /// explicit schedule.
-    #[deprecated(since = "0.7.0", note = "use `Comm::exchange(send, algo)`")]
-    pub fn alltoallv_with<T>(&self, send: Vec<Vec<T>>, algo: AllToAllAlgo) -> Vec<Vec<T>>
-    where
-        T: Send + 'static,
-    {
-        self.exchange(send, algo).into_vecs()
-    }
-
-    /// Deprecated spelling of the one-factor zero-copy exchange.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `Comm::exchange(send, AllToAllAlgo::OneFactor)`"
-    )]
-    pub fn alltoallv_slices<T>(&self, send: &[&[T]]) -> RecvRuns<T>
-    where
-        T: Copy + Send + Sync + 'static,
-    {
-        self.exchange(send, AllToAllAlgo::OneFactor)
-    }
-
-    /// Deprecated spelling of the zero-copy exchange with an explicit
-    /// schedule.
-    #[deprecated(since = "0.7.0", note = "use `Comm::exchange(send, algo)`")]
-    pub fn alltoallv_slices_with<T>(&self, send: &[&[T]], algo: AllToAllAlgo) -> RecvRuns<T>
-    where
-        T: Copy + Send + Sync + 'static,
-    {
-        self.exchange(send, algo)
-    }
-
     /// Owned-bucket exchange over one single-rendezvous schedule
     /// (everything except `StagedKWay`): buckets transpose through
     /// shared memory, then flatten into the receiver's contiguous
@@ -1362,6 +1325,10 @@ impl Comm {
                 arrival_ns,
             });
         }
+        // Event-driven receive: wake the destination's task (a no-op
+        // under the thread engine, whose mailbox condvar was notified
+        // by the pushes above).
+        world.wake_rank(dst_g);
     }
 
     /// Blocking receive of a message from `src` with `tag`.
@@ -1631,37 +1598,6 @@ mod tests {
                 assert_eq!(bucket.len(), src + 1);
                 assert!(bucket.iter().all(|&x| x == (src * 100 + dst) as u64));
             }
-        }
-    }
-
-    /// The four deprecated `alltoallv*` spellings must stay drop-in
-    /// wrappers of [`Comm::exchange`]: same data, same shapes.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_alltoallv_wrappers_match_exchange() {
-        let vals = run(&cfg(4), |comm| {
-            let p = comm.size();
-            let r = comm.rank();
-            let send: Vec<Vec<u64>> = (0..p).map(|d| vec![(r * 100 + d) as u64; r + 1]).collect();
-            let legacy = comm.alltoallv(send.clone());
-            let legacy_with = comm.alltoallv_with(send.clone(), AllToAllAlgo::Bruck);
-            let views: Vec<&[u64]> = send.iter().map(|b| b.as_slice()).collect();
-            let legacy_slices = comm.alltoallv_slices(&views);
-            let legacy_slices_with = comm.alltoallv_slices_with(&views, AllToAllAlgo::Bruck);
-            let unified = comm.exchange(send, AllToAllAlgo::OneFactor);
-            (
-                legacy,
-                legacy_with,
-                legacy_slices.into_vecs(),
-                legacy_slices_with.into_vecs(),
-                unified.into_vecs(),
-            )
-        });
-        for (a, b, c, d, e) in vals.into_iter().map(|(v, _)| v) {
-            assert_eq!(a, e);
-            assert_eq!(b, e);
-            assert_eq!(c, e);
-            assert_eq!(d, e);
         }
     }
 

@@ -1,10 +1,17 @@
 //! # dhs-runtime — a deterministic simulated distributed runtime
 //!
 //! The substrate beneath the distributed histogram sort reproduction:
-//! an MPI-like message-passing runtime in which every *rank* is an OS
-//! thread, collectives move real data through shared memory, and a
-//! **virtual clock** per rank advances according to an α–β communication
-//! cost model plus explicitly charged local work.
+//! an MPI-like message-passing runtime in which every *rank* is a
+//! simulated process, collectives move real data through shared
+//! memory, and a **virtual clock** per rank advances according to an
+//! α–β communication cost model plus explicitly charged local work.
+//!
+//! Ranks execute under one of two engines selected by
+//! [`RunnerEngine`] on [`ClusterConfig`]: free-running OS threads
+//! (`Threads`, the determinism reference) or cooperatively-scheduled
+//! tasks over a small worker pool (`Tasks`, see [`mod@sched`]) that
+//! keeps p = 1024–8192 grids practical. Both produce byte-identical
+//! outputs and virtual times.
 //!
 //! The design replaces the paper's Intel-MPI-on-InfiniBand testbed: the
 //! algorithms above it execute for real (real keys, real all-to-all
@@ -30,6 +37,7 @@ pub mod cost;
 pub mod fault;
 pub mod recover;
 pub mod runner;
+pub mod sched;
 pub mod state;
 pub mod stats;
 pub mod threads;
@@ -45,6 +53,7 @@ pub use runner::{
     run, run_summarized, run_traced, try_run, try_run_partial, try_run_traced, ClusterConfig,
     PartialRun, RunError, TracedRun,
 };
+pub use sched::RunnerEngine;
 pub use stats::{CounterSnapshot, RankReport, RunSummary};
 pub use threads::ThreadPool;
 pub use topology::{LinkClass, Placement, Topology};

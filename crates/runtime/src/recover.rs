@@ -52,7 +52,7 @@
 //! invisible to the others — the un-crashed blocks run to completion
 //! and return from the exchange holding data that partially includes
 //! the dead rank's contribution, while the crashed block's survivors
-//! unwind and wait in [`agree_survivors`] for members that will never
+//! unwind and wait in `agree_survivors` for members that will never
 //! arrive (they already left the exchange and are executing the merge
 //! phase, not an interruptible wait). That is a deadlock, not a
 //! recovery. Until mid-stage shrink is implemented (which would need a
@@ -68,7 +68,7 @@ use std::sync::Once;
 use parking_lot::{Condvar, Mutex};
 
 use crate::fault::{RankAbort, RankError};
-use crate::state::{CommState, World, POISON_POLL};
+use crate::state::{CommState, World};
 
 /// Panic payload that unwinds a blocked survivor out of a dead
 /// communicator and into the recovery driver (which catches it and
@@ -182,17 +182,23 @@ pub(crate) fn agree_survivors(
     let enter_ns = me.now_ns();
     let cell = &world.agree;
     let mut st = cell.state.lock();
-    while st.epoch != epoch {
+    loop {
+        let token = world.wake_token(me_global);
+        if st.epoch == epoch {
+            break;
+        }
         if world.poisoned() {
             drop(st);
             world.abort_peer_failed(me_global);
         }
-        cell.cv.wait_for(&mut st, POISON_POLL);
+        st = world.wait_step(me_global, token, &cell.state, &cell.cv, st);
     }
     st.arrived.insert(me_global, enter_ns);
     cell.cv.notify_all();
+    world.wake_ranks(members);
 
     loop {
+        let token = world.wake_token(me_global);
         if st.agreed.is_none() {
             // Re-derive the dead set on every pass: the registry can
             // grow while we wait (e.g. a straggling member's deadline
@@ -229,6 +235,7 @@ pub(crate) fn agree_survivors(
                     state,
                 }));
                 cell.cv.notify_all();
+                world.wake_ranks(members);
             }
         }
 
@@ -250,6 +257,9 @@ pub(crate) fn agree_survivors(
                 st.agreed = None;
                 st.epoch += 1;
                 cell.cv.notify_all();
+                // Next-epoch joiners may be any survivor subset; the
+                // registry does not say who is waiting, so fan out.
+                world.wake_all_tasks();
             }
             drop(st);
 
@@ -265,7 +275,7 @@ pub(crate) fn agree_survivors(
             drop(st);
             world.abort_peer_failed(me_global);
         }
-        cell.cv.wait_for(&mut st, POISON_POLL);
+        st = world.wait_step(me_global, token, &cell.state, &cell.cv, st);
     }
 }
 

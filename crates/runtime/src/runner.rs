@@ -1,10 +1,23 @@
-//! Launch a simulated cluster: one OS thread per rank.
+//! Launch a simulated cluster under a selectable execution engine.
+//!
+//! Each simulated rank runs its body on a dedicated OS thread either
+//! way; the [`RunnerEngine`] on [`ClusterConfig`] decides how those
+//! threads are driven. Under [`RunnerEngine::Threads`] they free-run
+//! and the host scheduler arbitrates — simple, and the determinism
+//! reference. Under [`RunnerEngine::Tasks`] they are
+//! cooperatively-scheduled tasks over a small worker pool (see
+//! [`crate::sched`]): at most `workers` ranks execute at any instant,
+//! every blocking point parks the rank until its wake event, and the
+//! host never sees thousands of runnable threads — which is what makes
+//! p = 1024–8192 grids practical. Both engines produce byte-identical
+//! outputs and virtual times.
 
 use std::fmt;
 use std::thread;
 
 use crate::cost::CostModel;
 use crate::fault::{FaultPlan, RankAbort, RankError};
+use crate::sched::{RunnerEngine, TaskGuard};
 use crate::state::{CommState, World};
 use crate::stats::{RankReport, RunSummary};
 use crate::topology::Topology;
@@ -27,6 +40,9 @@ pub struct ClusterConfig {
     /// Span/event recording; [`TraceConfig::Off`] (the default) records
     /// nothing and never perturbs virtual time.
     pub trace: TraceConfig,
+    /// Execution engine for the simulated ranks (see [`RunnerEngine`]);
+    /// never affects outputs or virtual time, only host behaviour.
+    pub engine: RunnerEngine,
 }
 
 impl ClusterConfig {
@@ -43,6 +59,7 @@ impl ClusterConfig {
             fault: FaultPlan::default(),
             stack_bytes: 1 << 20,
             trace: TraceConfig::default(),
+            engine: RunnerEngine::default(),
         }
     }
 
@@ -58,6 +75,7 @@ impl ClusterConfig {
             fault: FaultPlan::default(),
             stack_bytes: 1 << 20,
             trace: TraceConfig::default(),
+            engine: RunnerEngine::default(),
         }
     }
 
@@ -74,6 +92,7 @@ impl ClusterConfig {
             fault: FaultPlan::default(),
             stack_bytes: 1 << 20,
             trace: TraceConfig::default(),
+            engine: RunnerEngine::default(),
         }
     }
 
@@ -93,6 +112,14 @@ impl ClusterConfig {
     /// Turn span/event recording on or off for the run.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Select the execution engine ([`RunnerEngine::Threads`] by
+    /// default). Engines are interchangeable: outputs, counters, and
+    /// virtual times are byte-identical either way.
+    pub fn with_engine(mut self, engine: RunnerEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -238,11 +265,12 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Send + Sync,
 {
-    let world = World::with_config(
+    let world = World::with_runtime(
         cfg.topology.clone(),
         cfg.cost.clone(),
         cfg.fault.clone(),
         cfg.trace,
+        cfg.engine,
     );
     let p = cfg.ranks();
     let root = CommState::new(world.clone(), (0..p).collect());
@@ -257,6 +285,14 @@ where
                     .name(format!("rank-{rank}"))
                     .stack_size(cfg.stack_bytes)
                     .spawn_scoped(s, move || {
+                        // Under the task engine, hold a worker slot for
+                        // the task's whole life; blocking points inside
+                        // release and re-acquire it, and the guard
+                        // frees it on return *or* unwind.
+                        let _slot = world
+                            .sched
+                            .as_ref()
+                            .map(|sched| TaskGuard::enter(sched.clone(), rank));
                         let comm = Comm::new(state, rank);
                         let out =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));

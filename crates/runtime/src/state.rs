@@ -16,6 +16,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::cost::CostModel;
 use crate::fault::{FaultPlan, RankAbort, RankError};
 use crate::recover::AgreeCell;
+use crate::sched::{RunnerEngine, Scheduler, PARK_BACKSTOP};
 use crate::stats::RankLocal;
 use crate::topology::Topology;
 use crate::trace::{TraceConfig, TraceSink};
@@ -58,6 +59,10 @@ pub struct World {
     /// Rendezvous state for the fault-aware survivor agreement
     /// (see [`crate::recover`]).
     pub(crate) agree: AgreeCell,
+    /// Cooperative rank scheduler under [`RunnerEngine::Tasks`];
+    /// `None` under the thread engine (every wake helper below is then
+    /// a no-op and blocked ranks poll on their condvars as before).
+    pub(crate) sched: Option<Arc<Scheduler>>,
 }
 
 impl World {
@@ -71,23 +76,34 @@ impl World {
         Self::with_config(topology, cost, fault, TraceConfig::Off)
     }
 
-    /// A world with explicit fault plan and trace configuration.
+    /// A world with explicit fault plan and trace configuration, driven
+    /// by the thread engine.
     pub fn with_config(
         topology: Topology,
         cost: CostModel,
         fault: FaultPlan,
         trace: TraceConfig,
     ) -> Arc<Self> {
+        Self::with_runtime(topology, cost, fault, trace, RunnerEngine::Threads)
+    }
+
+    /// A world with an explicit execution engine on top of
+    /// [`World::with_config`]; [`RunnerEngine::Tasks`] attaches the
+    /// cooperative scheduler every blocking wait then parks on.
+    pub fn with_runtime(
+        topology: Topology,
+        cost: CostModel,
+        fault: FaultPlan,
+        trace: TraceConfig,
+        engine: RunnerEngine,
+    ) -> Arc<Self> {
         fault.validate_or_panic(topology.ranks());
         crate::recover::install_quiet_panic_hook();
-        let locals = (0..topology.ranks())
-            .map(|_| Arc::new(RankLocal::default()))
-            .collect();
-        let traces = trace.is_on().then(|| {
-            (0..topology.ranks())
-                .map(|_| TraceSink::default())
-                .collect()
-        });
+        let ranks = topology.ranks();
+        let locals = (0..ranks).map(|_| Arc::new(RankLocal::default())).collect();
+        let traces = trace
+            .is_on()
+            .then(|| (0..ranks).map(|_| TraceSink::default()).collect());
         Arc::new(Self {
             topology,
             cost,
@@ -98,6 +114,7 @@ impl World {
             recovery_armed: AtomicUsize::new(0),
             failed: Mutex::new(BTreeMap::new()),
             agree: AgreeCell::default(),
+            sched: engine.scheduler(ranks),
         })
     }
 
@@ -106,9 +123,12 @@ impl World {
         self.poison.load(Ordering::Relaxed)
     }
 
-    /// Mark the run as failed so blocked peers abort.
+    /// Mark the run as failed so blocked peers abort. Under the task
+    /// engine this also wakes every parked rank so the abort is
+    /// event-driven rather than waiting out a poll interval.
     pub fn poison_now(&self) {
         self.poison.store(true, Ordering::Relaxed);
+        self.wake_all_tasks();
     }
 
     /// Abort the calling rank because a peer failed: poison-propagation
@@ -133,8 +153,12 @@ impl World {
 
     /// Record a rank failure (idempotent: the first registered root
     /// cause wins). Safe to call whether or not recovery is armed.
+    /// Wakes every parked task: blocked survivors re-check their
+    /// recovery-interrupt predicate, and the agreement re-derives its
+    /// dead set, without waiting out a poll interval.
     pub fn mark_rank_failed(&self, rank: usize, err: RankError) {
         self.failed.lock().entry(rank).or_insert(err);
+        self.wake_all_tasks();
     }
 
     /// The registered root cause for `rank`, if it has failed.
@@ -151,6 +175,79 @@ impl World {
         }
         let failed = self.failed.lock();
         members.iter().any(|r| failed.contains_key(r))
+    }
+
+    /// The wake token of global rank `me_global` (see
+    /// [`crate::sched::Scheduler::token`]); `0` under the thread
+    /// engine, where wait loops poll instead of parking.
+    #[inline]
+    pub(crate) fn wake_token(&self, me_global: usize) -> u64 {
+        match &self.sched {
+            Some(s) => s.token(me_global),
+            None => 0,
+        }
+    }
+
+    /// Wake the task of global rank `r` (no-op under the thread
+    /// engine, where condvar notifies carry the event instead).
+    #[inline]
+    pub(crate) fn wake_rank(&self, r: usize) {
+        if let Some(s) = &self.sched {
+            s.wake(r);
+        }
+    }
+
+    /// Wake the tasks of every rank in `ranks` in one scheduler pass.
+    #[inline]
+    pub(crate) fn wake_ranks(&self, ranks: &[usize]) {
+        if let Some(s) = &self.sched {
+            s.wake_many(ranks);
+        }
+    }
+
+    /// Wake every task (poison / failure-registration fan-out).
+    #[inline]
+    pub(crate) fn wake_all_tasks(&self) {
+        if let Some(s) = &self.sched {
+            s.wake_all();
+        }
+    }
+
+    /// One blocking step of a wait loop over `lock`/`cv`, consuming and
+    /// re-establishing the caller's guard. Under the thread engine this
+    /// is the classic bounded condvar wait (the [`POISON_POLL`]
+    /// poll). Under the task engine the rank releases its worker slot
+    /// and parks until an event wakes it; `token` must have been read
+    /// via [`World::wake_token`] *before* the caller last evaluated its
+    /// wake predicate, so a wake racing the check cuts the park short
+    /// instead of being lost. While the world is poisoned the park is
+    /// bounded by [`POISON_POLL`] so poll-counted grace windows (see
+    /// [`CommState::collective_view`]) keep their thread-engine pace.
+    pub(crate) fn wait_step<'a, T>(
+        &self,
+        me_global: usize,
+        token: u64,
+        lock: &'a Mutex<T>,
+        cv: &Condvar,
+        st: parking_lot::MutexGuard<'a, T>,
+    ) -> parking_lot::MutexGuard<'a, T> {
+        match &self.sched {
+            Some(s) => {
+                drop(st);
+                let backstop = if self.poisoned() {
+                    POISON_POLL
+                } else {
+                    PARK_BACKSTOP
+                };
+                s.park(me_global, token, backstop);
+                lock.lock()
+            }
+            None => {
+                let mut st = st;
+                cv.wait_for(&mut st, POISON_POLL);
+                st
+            }
+        }
     }
 }
 
@@ -204,6 +301,9 @@ impl Mailbox {
     ) -> Message {
         let mut st = self.state.lock();
         loop {
+            // Wake token first: a push landing after the scan below
+            // must cut the park short (see [`World::wait_step`]).
+            let token = world.wake_token(me_global);
             let mut ix = 0;
             while ix < st.queue.len() {
                 let m = &st.queue[ix];
@@ -230,7 +330,7 @@ impl Mailbox {
                 drop(st);
                 crate::recover::interrupt();
             }
-            self.cv.wait_for(&mut st, POISON_POLL);
+            st = world.wait_step(me_global, token, &self.state, &self.cv, st);
         }
     }
 }
@@ -349,7 +449,11 @@ impl CommState {
 
         let mut st = self.cell.state.lock();
         // Wait for the cell to be reset for our generation.
-        while st.gen != my_gen {
+        loop {
+            let token = world.wake_token(me_global);
+            if st.gen == my_gen {
+                break;
+            }
             if world.poisoned() {
                 drop(st);
                 world.abort_peer_failed(me_global);
@@ -358,7 +462,7 @@ impl CommState {
                 drop(st);
                 crate::recover::interrupt();
             }
-            self.cv_wait(&mut st);
+            st = self.wait_cell(me_global, token, st);
         }
         debug_assert!(st.inputs[rank].is_none(), "double entry into collective");
         st.inputs[rank] = Some(Box::new(input));
@@ -399,9 +503,13 @@ impl CommState {
                 }
             }
             st.output = Some(Arc::new(out));
-            self.cell.cv.notify_all();
+            self.notify_cell();
         } else {
-            while st.output.is_none() {
+            loop {
+                let token = world.wake_token(me_global);
+                if st.output.is_some() {
+                    break;
+                }
                 if world.poisoned() {
                     drop(st);
                     world.abort_peer_failed(me_global);
@@ -416,7 +524,7 @@ impl CommState {
                     drop(st);
                     crate::recover::interrupt();
                 }
-                self.cv_wait(&mut st);
+                st = self.wait_cell(me_global, token, st);
             }
         }
 
@@ -435,7 +543,7 @@ impl CommState {
             st.departed = 0;
             st.output = None;
             st.gen += 1;
-            self.cell.cv.notify_all();
+            self.notify_cell();
         }
         drop(st);
 
@@ -500,7 +608,11 @@ impl CommState {
         let size = self.size();
 
         let mut st = self.cell.state.lock();
-        while st.gen != my_gen {
+        loop {
+            let token = world.wake_token(me_global);
+            if st.gen == my_gen {
+                break;
+            }
             if world.poisoned() {
                 drop(st);
                 world.abort_peer_failed(me_global);
@@ -509,7 +621,7 @@ impl CommState {
                 drop(st);
                 crate::recover::interrupt();
             }
-            self.cv_wait(&mut st);
+            st = self.wait_cell(me_global, token, st);
         }
         debug_assert!(st.inputs[rank].is_none(), "double entry into collective");
         st.inputs[rank] = Some(Box::new(input));
@@ -546,10 +658,14 @@ impl CommState {
                 }
             }
             st.output = Some(Arc::new(out));
-            self.cell.cv.notify_all();
+            self.notify_cell();
         } else {
             let mut grace = 0u32;
-            while st.output.is_none() {
+            loop {
+                let token = world.wake_token(me_global);
+                if st.output.is_some() {
+                    break;
+                }
                 if world.poisoned() {
                     if st.arrived < size {
                         // Our views must not outlive this frame: pull
@@ -578,7 +694,7 @@ impl CommState {
                     drop(st);
                     crate::recover::interrupt();
                 }
-                self.cv_wait(&mut st);
+                st = self.wait_cell(me_global, token, st);
             }
         }
 
@@ -604,10 +720,14 @@ impl CommState {
                 st.departed = 0;
                 st.output = None;
                 st.gen += 1;
-                self.cell.cv.notify_all();
+                self.notify_cell();
             } else {
-                while st.gen == my_gen {
-                    self.cv_wait(&mut st);
+                loop {
+                    let token = world.wake_token(me_global);
+                    if st.gen != my_gen {
+                        break;
+                    }
+                    st = self.wait_cell(me_global, token, st);
                 }
             }
             result
@@ -618,7 +738,7 @@ impl CommState {
                 st.departed = 0;
                 st.output = None;
                 st.gen += 1;
-                self.cell.cv.notify_all();
+                self.notify_cell();
             }
             drop(st);
             extract(&out)
@@ -632,8 +752,25 @@ impl CommState {
         result
     }
 
-    fn cv_wait(&self, st: &mut parking_lot::MutexGuard<'_, CellState>) {
-        self.cell.cv.wait_for(st, POISON_POLL);
+    /// One blocking step of a cell wait loop (see [`World::wait_step`]
+    /// for the token contract).
+    fn wait_cell<'a>(
+        &'a self,
+        me_global: usize,
+        token: u64,
+        st: parking_lot::MutexGuard<'a, CellState>,
+    ) -> parking_lot::MutexGuard<'a, CellState> {
+        self.world
+            .wait_step(me_global, token, &self.cell.state, &self.cell.cv, st)
+    }
+
+    /// Publish a cell-state change: condvar notify for the thread
+    /// engine, member wakes for the task engine. Call sites hold the
+    /// cell lock, so a waiter's token is always read either before or
+    /// after the state change it guards.
+    fn notify_cell(&self) {
+        self.cell.cv.notify_all();
+        self.world.wake_ranks(&self.global_ranks);
     }
 }
 

@@ -110,6 +110,9 @@ where
 #[derive(Debug)]
 pub struct ThreadPool {
     budget: Cell<usize>,
+    /// Host-thread ceiling imposed by the runner engine (see
+    /// [`ThreadPool::set_host_cap`]); `usize::MAX` means uncapped.
+    host_cap: Cell<usize>,
     forks: Cell<u64>,
 }
 
@@ -124,6 +127,7 @@ impl ThreadPool {
     pub fn new() -> Self {
         Self {
             budget: Cell::new(1),
+            host_cap: Cell::new(usize::MAX),
             forks: Cell::new(0),
         }
     }
@@ -144,15 +148,39 @@ impl ThreadPool {
         self.budget.get()
     }
 
-    /// The budget clamped to the host's available parallelism: the
-    /// fan-out local phases should actually *execute* with. Spawning
-    /// more threads than cores only adds scheduling overhead, so
-    /// dispatch sites pass this to the kernels while the configured
-    /// [`Self::budget`] governs algorithm selection and tracing. The
-    /// clamp can never change results: every kernel produces identical
-    /// output for every thread count.
+    /// Cap the *execution* fan-out of this rank's local phases at
+    /// `cap` host threads. Set by the task engine so that `workers`
+    /// concurrently-running ranks with hybrid thread budgets cannot
+    /// oversubscribe the host (each rank gets its share of the cores
+    /// the worker pool is sized for). Like the host-parallelism clamp,
+    /// this can never change results — only the configured
+    /// [`Self::budget`] is part of the algorithm-selection contract.
+    ///
+    /// # Panics
+    /// Panics when `cap` is 0 — a rank always has at least itself.
+    pub fn set_host_cap(&self, cap: usize) {
+        assert!(cap >= 1, "host cap must be at least 1");
+        self.host_cap.set(cap);
+    }
+
+    /// The engine-imposed host-thread ceiling (`usize::MAX` when
+    /// uncapped, i.e. under the thread engine).
+    pub fn host_cap(&self) -> usize {
+        self.host_cap.get()
+    }
+
+    /// The budget clamped to the host's available parallelism and the
+    /// engine's [`Self::host_cap`]: the fan-out local phases should
+    /// actually *execute* with. Spawning more threads than cores only
+    /// adds scheduling overhead, so dispatch sites pass this to the
+    /// kernels while the configured [`Self::budget`] governs algorithm
+    /// selection and tracing. The clamp can never change results:
+    /// every kernel produces identical output for every thread count.
     pub fn exec_budget(&self) -> usize {
-        self.budget.get().min(host_parallelism())
+        self.budget
+            .get()
+            .min(host_parallelism())
+            .min(self.host_cap.get())
     }
 
     /// Whether local phases may fan out (`budget() > 1`).
@@ -246,5 +274,24 @@ mod tests {
     #[should_panic(expected = "thread budget")]
     fn pool_rejects_zero_budget() {
         ThreadPool::new().configure(0);
+    }
+
+    #[test]
+    fn host_cap_clamps_execution_not_configuration() {
+        let pool = ThreadPool::new();
+        pool.configure(8);
+        assert_eq!(pool.host_cap(), usize::MAX);
+        pool.set_host_cap(2);
+        assert_eq!(pool.host_cap(), 2);
+        assert_eq!(pool.exec_budget(), 8.min(host_parallelism()).min(2));
+        // The configured budget (the algorithm-selection contract) is
+        // untouched by the cap.
+        assert_eq!(pool.budget(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "host cap")]
+    fn pool_rejects_zero_host_cap() {
+        ThreadPool::new().set_host_cap(0);
     }
 }

@@ -43,6 +43,7 @@ fn main() {
                  \x20        --threads T (intra-rank thread budget)\n\
                  \x20        --recovery abort|shrink (response to rank failures)\n\
                  \x20        --exchange-algo one-factor|bruck|leaders|staged:<k>\n\
+                 \x20        --engine threads|tasks|tasks:<workers> (execution engine)\n\
                  \x20        --trace out.json --trace-format chrome|summary\n\
                  select   --ranks N --nper N --k N --dist ... --seed N\n\
                  topology --ranks N"
@@ -163,6 +164,11 @@ fn cmd_sort(args: &Args) {
     let layout = layout_of(args);
     let cfg = sort_config(args);
     let mut cluster = ClusterConfig::supermuc_phase2(ranks);
+    if let Some(engine) = args.raw("engine") {
+        cluster = cluster.with_engine(engine.parse::<RunnerEngine>().unwrap_or_else(|e| {
+            panic!("--engine: {e}");
+        }));
+    }
     if trace_path.is_some() {
         cluster = cluster.with_trace(TraceConfig::On);
     }

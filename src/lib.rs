@@ -37,7 +37,7 @@ pub mod prelude {
     pub use dhs_pgas::GlobalArray;
     pub use dhs_runtime::{
         run, run_summarized, run_traced, try_run, try_run_partial, try_run_traced, ClusterConfig,
-        Comm, PartialRun, RankReport, RunSummary, RunTrace, TraceConfig, TracedRun,
+        Comm, PartialRun, RankReport, RunSummary, RunTrace, RunnerEngine, TraceConfig, TracedRun,
     };
     pub use dhs_select::{dmedian, dselect};
     pub use dhs_workloads::{rank_local_keys, Distribution, Layout};

@@ -1,0 +1,190 @@
+//! Engine equivalence: `RunnerEngine::Tasks` must be a pure host-side
+//! optimization. For every cluster size, fault plan, recovery policy,
+//! and hybrid thread budget, the task engine reproduces byte-identical
+//! sorted output, per-rank virtual makespans, full counter reports,
+//! and failure classifications vs the `Threads` determinism reference.
+//! This is the contract that lets the large-p grids (which only the
+//! task engine can run at practical cost) stand in for thread-engine
+//! numbers.
+
+use dhs_core::{histogram_sort, RecoveryPolicy, SortConfig};
+use dhs_runtime::{try_run_partial, ClusterConfig, FaultPlan, LossSpec, RankReport, RunnerEngine};
+use proptest::prelude::*;
+
+fn keys_for(rank: usize, n: usize, modulus: u64) -> Vec<u64> {
+    let mut x = (rank as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % modulus
+        })
+        .collect()
+}
+
+/// One full distributed sort under `engine`; per-rank outcome as
+/// comparable plain values: sorted output + recovery flag + the whole
+/// counter report on success, the failure rendering otherwise.
+#[allow(clippy::type_complexity)]
+fn sort_under(
+    engine: RunnerEngine,
+    p: usize,
+    n_per: usize,
+    threads: usize,
+    fault: FaultPlan,
+    recovery: RecoveryPolicy,
+) -> Vec<Result<(Vec<u64>, bool, RankReport), String>> {
+    let cfg = ClusterConfig::small_cluster(p)
+        .with_fault(fault)
+        .with_engine(engine);
+    let sort_cfg = SortConfig::builder()
+        .recovery(recovery)
+        .threads_per_rank(threads)
+        .build()
+        .expect("valid config");
+    let out = try_run_partial(&cfg, move |comm| {
+        let mut local = keys_for(comm.rank(), n_per, 1 << 20);
+        let stats = histogram_sort(comm, &mut local, &sort_cfg);
+        (local, stats)
+    });
+    out.ranks
+        .into_iter()
+        .map(|r| {
+            r.map(|((local, stats), report)| (local, stats.outcome.is_recovered(), report))
+                .map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+/// Assert both engines agree rank by rank, with a labelled context.
+fn assert_engines_agree(
+    label: &str,
+    p: usize,
+    n_per: usize,
+    threads: usize,
+    fault: FaultPlan,
+    recovery: RecoveryPolicy,
+) {
+    let reference = sort_under(
+        RunnerEngine::Threads,
+        p,
+        n_per,
+        threads,
+        fault.clone(),
+        recovery,
+    );
+    for engine in [
+        RunnerEngine::tasks(),
+        RunnerEngine::Tasks { workers: 2 },
+        RunnerEngine::Tasks { workers: 1 },
+    ] {
+        let tasks = sort_under(engine, p, n_per, threads, fault.clone(), recovery);
+        assert_eq!(reference.len(), tasks.len(), "{label}: rank count");
+        for (rank, (a, b)) in reference.iter().zip(&tasks).enumerate() {
+            assert_eq!(
+                a, b,
+                "{label}: rank {rank} diverges between Threads and {engine:?} \
+                 (p={p}, n_per={n_per}, t={threads})"
+            );
+        }
+    }
+}
+
+fn loss_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_straggler(1, 2.0)
+        .with_loss(LossSpec {
+            rate: 0.05,
+            timeout_ns: 40_000,
+            max_retries: 24,
+            duplicate_rate: 0.05,
+            backoff_factor: 1.3,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    /// Fault-free sorts: every (p, t) pair agrees across engines.
+    #[test]
+    fn engines_agree_fault_free(
+        p_ix in 0usize..3,
+        four_threads in any::<bool>(),
+        n_per in 64usize..512,
+    ) {
+        let p = [3usize, 8, 16][p_ix];
+        let threads = if four_threads { 4 } else { 1 };
+        assert_engines_agree(
+            "fault-free",
+            p,
+            n_per,
+            threads,
+            FaultPlan::default(),
+            RecoveryPolicy::Abort,
+        );
+    }
+
+    /// Lossy links + a straggler (non-fatal faults): retries, timeouts,
+    /// and duplicates land identically under both engines.
+    #[test]
+    fn engines_agree_under_faults(
+        p_ix in 0usize..3,
+        four_threads in any::<bool>(),
+        seed in 1u64..500,
+    ) {
+        let p = [3usize, 8, 16][p_ix];
+        let threads = if four_threads { 4 } else { 1 };
+        assert_engines_agree(
+            "lossy",
+            p,
+            256,
+            threads,
+            loss_plan(seed),
+            RecoveryPolicy::Abort,
+        );
+    }
+
+    /// A mid-sort crash with shrink-and-recover: the victim's typed
+    /// failure and every survivor's recovered output + report agree.
+    #[test]
+    fn engines_agree_through_shrink_recovery(
+        wide in any::<bool>(),
+        four_threads in any::<bool>(),
+        victim_seed in 0u64..100,
+    ) {
+        let p = if wide { 16 } else { 8 };
+        let threads = if four_threads { 4 } else { 1 };
+        let p_u64 = p as u64;
+        let victim = (victim_seed % p_u64) as usize;
+        let crash_ns = 40_000 + 10_000 * (victim_seed % 7);
+        let fault = FaultPlan::seeded(victim_seed + 1).with_crash(victim, crash_ns);
+        assert_engines_agree(
+            "shrink",
+            p,
+            512,
+            threads,
+            fault,
+            RecoveryPolicy::Shrink,
+        );
+    }
+}
+
+/// Pinned deterministic spot-check (runs even with proptest shrunk
+/// away): p=16, hybrid t=4, crash + shrink, all worker counts.
+#[test]
+fn engines_agree_pinned_shrink_case() {
+    let fault = FaultPlan::seeded(7).with_crash(5, 60_000);
+    assert_engines_agree("pinned-shrink", 16, 600, 4, fault, RecoveryPolicy::Shrink);
+}
+
+/// The task engine must also match on runs that fail outright (no
+/// recovery armed): same root cause, same collateral classification.
+#[test]
+fn engines_agree_on_fatal_crash() {
+    let fault = FaultPlan::seeded(3).with_crash(2, 30_000);
+    assert_engines_agree("fatal", 8, 256, 1, fault, RecoveryPolicy::Abort);
+}
