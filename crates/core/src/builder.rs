@@ -12,6 +12,7 @@ use dhs_runtime::AllToAllAlgo;
 
 use crate::sort::{
     ExchangeStrategy, InvalidSortConfig, LocalSort, Partitioning, RecoveryPolicy, SortConfig,
+    WarmStart,
 };
 
 /// Typed, chainable constructor for [`SortConfig`].
@@ -131,6 +132,26 @@ impl SortConfigBuilder {
         self
     }
 
+    /// Splitter warm-start policy for repeated sorts over one world
+    /// (the epoch service): reuse a caller-held stash of previously
+    /// accepted splitters to seed the next search.
+    /// [`WarmStart::Cold`] (the default) ignores and clears the
+    /// stash, reproducing the one-shot sort exactly.
+    ///
+    /// ```
+    /// use dhs_core::{SortConfig, WarmStart};
+    ///
+    /// let cfg = SortConfig::builder()
+    ///     .warm_start(WarmStart::SeededWithBrackets)
+    ///     .build()
+    ///     .expect("valid config");
+    /// assert_eq!(cfg.warm_start, WarmStart::SeededWithBrackets);
+    /// ```
+    pub fn warm_start(mut self, warm_start: WarmStart) -> Self {
+        self.cfg.warm_start = warm_start;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<SortConfig, InvalidSortConfig> {
         self.cfg.validate()?;
@@ -161,6 +182,7 @@ impl Default for SortConfig {
             threads_per_rank: 1,
             recovery: RecoveryPolicy::Abort,
             exchange_algo: AllToAllAlgo::OneFactor,
+            warm_start: WarmStart::Cold,
         }
     }
 }
@@ -184,6 +206,8 @@ mod tests {
         assert_eq!(built.threads_per_rank, def.threads_per_rank);
         assert_eq!(built.recovery, def.recovery);
         assert_eq!(built.exchange_algo, def.exchange_algo);
+        assert_eq!(built.warm_start, def.warm_start);
+        assert_eq!(def.warm_start, WarmStart::Cold, "cold start is the default");
         assert_eq!(def.threads_per_rank, 1, "default must be fully serial");
         assert_eq!(def.probes_per_round, 1, "default must be classic bisection");
         assert_eq!(def.recovery, RecoveryPolicy::Abort, "abort is the default");
@@ -244,6 +268,21 @@ mod tests {
             .build()
             .expect("shrink over all-to-allv is valid");
         assert_eq!(cfg.recovery, RecoveryPolicy::Shrink);
+    }
+
+    #[test]
+    fn builder_warm_start_roundtrip() {
+        for ws in [
+            WarmStart::Cold,
+            WarmStart::Seeded,
+            WarmStart::SeededWithBrackets,
+        ] {
+            let cfg = SortConfig::builder()
+                .warm_start(ws)
+                .build()
+                .expect("every warm-start policy is valid alone");
+            assert_eq!(cfg.warm_start, ws);
+        }
     }
 
     #[test]

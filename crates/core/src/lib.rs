@@ -37,6 +37,7 @@ pub mod exchange;
 pub mod key;
 pub mod multilevel;
 pub mod overlap;
+pub mod service;
 pub mod sort;
 pub mod splitter;
 pub mod verify;
@@ -48,9 +49,11 @@ pub use builder::SortConfigBuilder;
 pub use key::{make_unique, strip_unique, Key, OrderedF32, OrderedF64, UniqueKey};
 pub use multilevel::histogram_sort_two_level;
 pub use overlap::{exchange_and_merge, one_factor_partner, one_factor_rounds, OverlapStats};
+pub use service::{EpochSorter, EpochStats};
 pub use sort::{
-    histogram_sort, histogram_sort_by, ExchangeStrategy, InvalidSortConfig, LocalSort,
-    Partitioning, RecoveryPolicy, SortConfig, SortOutcome, SortStats,
+    histogram_sort, histogram_sort_by, histogram_sort_by_warm, histogram_sort_warm,
+    ExchangeStrategy, InvalidSortConfig, LocalSort, Partitioning, RecoveryPolicy, SortConfig,
+    SortOutcome, SortStats, WarmStart,
 };
 pub use splitter::{
     balanced_targets, find_splitters, find_splitters_cfg, find_splitters_opts,

@@ -81,6 +81,54 @@ pub enum RecoveryPolicy {
     Shrink,
 }
 
+/// Epoch-to-epoch splitter warm-start policy for long-lived sort
+/// services ([`crate::service::EpochSorter`], [`histogram_sort_warm`]).
+///
+/// A one-shot sort always starts its splitter search cold; a service
+/// sorting a *stream* of batches can seed epoch `e + 1`'s search from
+/// epoch `e`'s accepted splitters. Whatever the policy, the sorted
+/// output is **byte-identical** to a cold-start sort of the same batch
+/// at `ε = 0`: realized boundaries equal the exact targets regardless
+/// of which splitter keys were accepted (the Algorithm 4 refinement
+/// splits equal-key runs exactly), so warm-starting only changes how
+/// many histogram rounds the search needs — never what the sort
+/// produces.
+///
+/// ```
+/// use dhs_core::{SortConfig, WarmStart};
+///
+/// let cfg = SortConfig::builder()
+///     .warm_start(WarmStart::SeededWithBrackets)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.warm_start, WarmStart::SeededWithBrackets);
+/// // The one-shot default stays cold:
+/// assert_eq!(SortConfig::default().warm_start, WarmStart::Cold);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WarmStart {
+    /// Ignore the stash: every epoch runs a cold splitter search (the
+    /// default, and exactly the one-shot [`histogram_sort`] behavior).
+    /// The stash is still *written* after each epoch, so switching to
+    /// a seeded policy later picks up the latest ladder.
+    #[default]
+    Cold,
+    /// Seed each epoch's search with per-splitter quantile brackets
+    /// from the previous epoch's accepted splitter ladder
+    /// ([`crate::splitter::find_splitters_seeded`]): round 1 bisects
+    /// inside a two-key-wide bracket instead of the full data range.
+    /// Stationary streams converge in a handful of rounds instead of
+    /// `O(BITS)`.
+    Seeded,
+    /// [`WarmStart::Seeded`], plus round 1 probes the previous
+    /// epoch's accepted splitter keys *themselves* (degenerate `[w, w]`
+    /// intervals). On a truly stationary stream the old key validates
+    /// immediately and every splitter settles in **one** round; on
+    /// drifted data a miss falls back to the quantile bracket, then to
+    /// the data range, costing one extra round per fallback level.
+    SeededWithBrackets,
+}
+
 /// Configuration of one sort invocation.
 #[derive(Debug, Clone)]
 pub struct SortConfig {
@@ -145,6 +193,11 @@ pub struct SortConfig {
     /// small per-peer payloads). Every schedule delivers byte-identical
     /// sorted output; only the virtual clock differs.
     pub exchange_algo: AllToAllAlgo,
+    /// Epoch-to-epoch splitter seeding policy for the warm entry
+    /// points ([`histogram_sort_warm`], the epoch service). Ignored by
+    /// the one-shot entry points, which have no stash to seed from;
+    /// defaults to [`WarmStart::Cold`]. See [`WarmStart`].
+    pub warm_start: WarmStart,
 }
 
 /// A [`SortConfig`] that cannot be executed.
@@ -401,12 +454,49 @@ impl SortStats {
 /// `local` is sorted, globally ordered by rank, and sized according to
 /// the partitioning policy.
 pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig) -> SortStats {
+    let mut warm: Vec<K> = Vec::new();
+    histogram_sort_warm_full(comm, local, cfg, &mut warm).0
+}
+
+/// [`histogram_sort`] with a caller-owned splitter stash: the sorted
+/// output and stats are identical to the one-shot entry point, but the
+/// splitter search is seeded from `warm` according to
+/// [`SortConfig::warm_start`], and the accepted splitter keys of this
+/// sort are written back into `warm` for the next call. This is the
+/// building block of the epoch service
+/// ([`crate::service::EpochSorter`]); `warm` must be either empty or
+/// the (globally replicated, ascending) ladder a previous call wrote.
+///
+/// With [`WarmStart::Cold`] the stash is cleared before the search —
+/// every call runs cold — but the accepted ladder is still written
+/// back, so a later policy switch has a seed to start from.
+pub fn histogram_sort_warm<K: Key>(
+    comm: &Comm,
+    local: &mut Vec<K>,
+    cfg: &SortConfig,
+    warm: &mut Vec<K>,
+) -> SortStats {
+    histogram_sort_warm_full(comm, local, cfg, warm).0
+}
+
+/// [`histogram_sort_warm`], also returning the shrunk communicator
+/// when [`RecoveryPolicy::Shrink`] recovered past failed ranks (the
+/// epoch service keeps sorting on the survivor communicator).
+pub(crate) fn histogram_sort_warm_full<K: Key>(
+    comm: &Comm,
+    local: &mut Vec<K>,
+    cfg: &SortConfig,
+    warm: &mut Vec<K>,
+) -> (SortStats, Option<Comm>) {
     if let Err(e) = cfg.validate() {
         panic!("invalid SortConfig: {e}");
     }
     comm.threads().configure(cfg.threads_per_rank);
+    if cfg.warm_start == WarmStart::Cold {
+        warm.clear();
+    }
     if cfg.recovery == RecoveryPolicy::Shrink {
-        return histogram_sort_shrink(comm, local, cfg);
+        return histogram_sort_shrink(comm, local, cfg, warm);
     }
     let t_begin = comm.now_ns();
     let mut stats = SortStats {
@@ -437,7 +527,7 @@ pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig)
         stats.prepare_ns += sp.finish();
         stats.n_out = local.len();
         debug_assert_eq!(stats.total_ns(), comm.now_ns() - t_begin);
-        return stats;
+        return (stats, None);
     }
 
     if cfg.unique_transform {
@@ -446,11 +536,34 @@ pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig)
         comm.charge(Work::MoveBytes(local.len() as u64 * 8));
         stats.prepare_ns += sp.finish();
         let mut sorted = wrapped;
-        run_pipeline(comm, &mut sorted, &targets, slack, n_total, cfg, &mut stats);
+        // The stash stores plain keys; lift them into the unique key
+        // space with zeroed origin tags (still ascending, still
+        // bracketing the same quantiles) and strip them back after.
+        let mut warm_u = lift_warm(warm);
+        run_pipeline_warm(
+            comm,
+            &mut sorted,
+            &targets,
+            slack,
+            n_total,
+            cfg,
+            &mut stats,
+            Some(&mut warm_u),
+        );
+        *warm = strip_unique(warm_u);
         *local = strip_unique(sorted);
     } else {
         stats.prepare_ns += sp.finish();
-        run_pipeline(comm, local, &targets, slack, n_total, cfg, &mut stats);
+        run_pipeline_warm(
+            comm,
+            local,
+            &targets,
+            slack,
+            n_total,
+            cfg,
+            &mut stats,
+            Some(warm),
+        );
     }
     stats.n_out = local.len();
     debug_assert_eq!(
@@ -458,7 +571,20 @@ pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig)
         comm.now_ns() - t_begin,
         "span-derived phase totals must cover the sort's virtual time"
     );
-    stats
+    (stats, None)
+}
+
+/// Lift a plain-key splitter stash into the [`UniqueKey`] space with
+/// zeroed origin tags (order-preserving, so the ladder stays an
+/// ascending quantile bracket source).
+fn lift_warm<K: Key>(warm: &[K]) -> Vec<crate::key::UniqueKey<K>> {
+    warm.iter()
+        .map(|&key| crate::key::UniqueKey {
+            key,
+            rank: 0,
+            index: 0,
+        })
+        .collect()
 }
 
 /// The [`RecoveryPolicy::Shrink`] driver for [`histogram_sort`].
@@ -471,7 +597,12 @@ pub fn histogram_sort<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig)
 /// retry — warm-starting the splitter search from the accepted
 /// splitters of the interrupted attempt, so stationary data converges
 /// in near-zero extra rounds.
-fn histogram_sort_shrink<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConfig) -> SortStats {
+fn histogram_sort_shrink<K: Key>(
+    comm: &Comm,
+    local: &mut Vec<K>,
+    cfg: &SortConfig,
+    warm: &mut Vec<K>,
+) -> (SortStats, Option<Comm>) {
     let _guard = comm.arm_recovery();
     let t_begin = comm.now_ns();
     let mut stats = SortStats {
@@ -487,6 +618,7 @@ fn histogram_sort_shrink<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConf
     drop(intra);
     stats.local_sort_ns = sp.finish();
 
+    let active;
     if cfg.unique_transform {
         // Applied once: the (rank, index) tags use the *original*
         // global rank, which stays globally unique across shrinks.
@@ -495,24 +627,31 @@ fn histogram_sort_shrink<K: Key>(comm: &Comm, local: &mut Vec<K>, cfg: &SortConf
         comm.charge(Work::MoveBytes(local.len() as u64 * 8));
         stats.prepare_ns += sp.finish();
         let mut sorted = wrapped;
-        shrink_attempt_loop(comm, &mut sorted, cfg, &mut stats, t_begin);
+        let mut warm_u = lift_warm(warm);
+        active = shrink_attempt_loop(comm, &mut sorted, cfg, &mut stats, t_begin, &mut warm_u);
+        *warm = strip_unique(warm_u);
         *local = strip_unique(sorted);
     } else {
-        shrink_attempt_loop(comm, local, cfg, &mut stats, t_begin);
+        active = shrink_attempt_loop(comm, local, cfg, &mut stats, t_begin, warm);
     }
     stats.n_out = local.len();
-    stats
+    (stats, active)
 }
 
 /// Checkpoint `sorted`, then run the distributed pipeline until an
 /// attempt completes, shrinking past failed peers between attempts.
+/// Returns the survivor communicator when one or more shrinks
+/// happened (`None` for a clean first attempt). `warm` seeds the
+/// first attempt's splitter search per [`SortConfig::warm_start`] and
+/// carries accepted splitters across both restarts and calls.
 fn shrink_attempt_loop<K: Key>(
     comm: &Comm,
     sorted: &mut Vec<K>,
     cfg: &SortConfig,
     stats: &mut SortStats,
     t_begin: u64,
-) {
+    warm: &mut Vec<K>,
+) -> Option<Comm> {
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     let elem = std::mem::size_of::<K>() as u64;
 
@@ -527,7 +666,6 @@ fn shrink_attempt_loop<K: Key>(
     let mut lost: Vec<usize> = Vec::new();
     let mut restarts: u32 = 0;
     let mut recovery_ns: u64 = 0;
-    let mut warm: Vec<K> = Vec::new();
 
     loop {
         let attempt_begin = active.as_ref().unwrap_or(comm).now_ns();
@@ -535,7 +673,7 @@ fn shrink_attempt_loop<K: Key>(
         let result = {
             let c = active.as_ref().unwrap_or(comm);
             catch_unwind(AssertUnwindSafe(|| {
-                shrink_attempt(c, sorted, cfg, stats, &mut warm)
+                shrink_attempt(c, sorted, cfg, stats, warm)
             }))
         };
         match result {
@@ -575,6 +713,7 @@ fn shrink_attempt_loop<K: Key>(
         now - t_begin,
         "phase totals plus recovery overhead must cover the sort's virtual time"
     );
+    active
 }
 
 /// One full pipeline attempt (global shape + phases 2–4) on the
@@ -645,12 +784,52 @@ where
     K: Key,
     F: Fn(&T) -> K + Sync,
 {
+    let mut warm: Vec<K> = Vec::new();
+    histogram_sort_by_warm_full(comm, local, &key_fn, cfg, &mut warm).0
+}
+
+/// [`histogram_sort_by`] with a caller-owned splitter stash over the
+/// extracted key space — the record-stream analogue of
+/// [`histogram_sort_warm`]. Seeding and write-back follow
+/// [`SortConfig::warm_start`] exactly as for plain keys.
+pub fn histogram_sort_by_warm<T, K, F>(
+    comm: &Comm,
+    local: &mut Vec<T>,
+    key_fn: F,
+    cfg: &SortConfig,
+    warm: &mut Vec<K>,
+) -> SortStats
+where
+    T: Clone + Send + Sync + 'static,
+    K: Key,
+    F: Fn(&T) -> K + Sync,
+{
+    histogram_sort_by_warm_full(comm, local, &key_fn, cfg, warm).0
+}
+
+/// [`histogram_sort_by_warm`], also returning the shrunk communicator
+/// after a [`RecoveryPolicy::Shrink`] recovery.
+pub(crate) fn histogram_sort_by_warm_full<T, K, F>(
+    comm: &Comm,
+    local: &mut Vec<T>,
+    key_fn: &F,
+    cfg: &SortConfig,
+    warm: &mut Vec<K>,
+) -> (SortStats, Option<Comm>)
+where
+    T: Clone + Send + Sync + 'static,
+    K: Key,
+    F: Fn(&T) -> K + Sync,
+{
     if let Err(e) = cfg.validate() {
         panic!("invalid SortConfig: {e}");
     }
     comm.threads().configure(cfg.threads_per_rank);
+    if cfg.warm_start == WarmStart::Cold {
+        warm.clear();
+    }
     if cfg.recovery == RecoveryPolicy::Shrink {
-        return histogram_sort_by_shrink(comm, local, &key_fn, cfg);
+        return histogram_sort_by_shrink(comm, local, key_fn, cfg, warm);
     }
     let t_begin = comm.now_ns();
     let mut stats = SortStats {
@@ -685,7 +864,7 @@ where
         stats.prepare_ns += sp.finish();
         stats.n_out = local.len();
         debug_assert_eq!(stats.total_ns(), comm.now_ns() - t_begin);
-        return stats;
+        return (stats, None);
     }
     let targets = match cfg.partitioning {
         Partitioning::Perfect => perfect_targets(&caps),
@@ -702,14 +881,17 @@ where
     ));
     stats.prepare_ns += sp.finish();
 
-    // Phase 2: splitters over the key view.
+    // Phase 2: splitters over the key view, warm-started from the
+    // caller's stash (empty = cold) and written back on acceptance.
     let sp = comm.span("histogram");
     let opts = SplitterOptions {
         max_iterations: cfg.max_splitter_iterations,
         probes_per_round: cfg.probes_per_round,
+        probe_warm_first: cfg.warm_start == WarmStart::SeededWithBrackets,
         ..SplitterOptions::default()
     };
-    let splitters = find_splitters_seeded(comm, &keys, &targets, slack, opts, &[]);
+    let splitters = find_splitters_seeded(comm, &keys, &targets, slack, opts, warm);
+    *warm = splitters.splitters.iter().map(|s| s.key).collect();
     stats.iterations = splitters.iterations;
     stats.probes = splitters.probes;
     stats.outcome = outcome_of(&splitters, n_total, p);
@@ -757,7 +939,7 @@ where
         comm.now_ns() - t_begin,
         "span-derived phase totals must cover the sort's virtual time"
     );
-    stats
+    (stats, None)
 }
 
 /// The [`RecoveryPolicy::Shrink`] driver for [`histogram_sort_by`]:
@@ -770,7 +952,8 @@ fn histogram_sort_by_shrink<T, K, F>(
     local: &mut Vec<T>,
     key_fn: &F,
     cfg: &SortConfig,
-) -> SortStats
+    warm: &mut Vec<K>,
+) -> (SortStats, Option<Comm>)
 where
     T: Clone + Send + Sync + 'static,
     K: Key,
@@ -811,7 +994,6 @@ where
     let mut lost: Vec<usize> = Vec::new();
     let mut restarts: u32 = 0;
     let mut recovery_ns: u64 = 0;
-    let mut warm: Vec<K> = Vec::new();
 
     loop {
         let attempt_begin = active.as_ref().unwrap_or(comm).now_ns();
@@ -819,7 +1001,7 @@ where
         let result = {
             let c = active.as_ref().unwrap_or(comm);
             catch_unwind(AssertUnwindSafe(|| {
-                by_shrink_attempt(c, local, key_fn, cfg, &mut stats, &mut warm)
+                by_shrink_attempt(c, local, key_fn, cfg, &mut stats, &mut *warm)
             }))
         };
         match result {
@@ -853,7 +1035,7 @@ where
         now - t_begin,
         "phase totals plus recovery overhead must cover the sort's virtual time"
     );
-    stats
+    (stats, active)
 }
 
 /// One full record-pipeline attempt (key view + phases 2–4) on the
@@ -896,6 +1078,7 @@ fn by_shrink_attempt<T, K, F>(
     let opts = SplitterOptions {
         max_iterations: cfg.max_splitter_iterations,
         probes_per_round: cfg.probes_per_round,
+        probe_warm_first: cfg.warm_start == WarmStart::SeededWithBrackets,
         ..SplitterOptions::default()
     };
     let splitters = find_splitters_seeded(c, &keys, &targets, slack, opts, warm);
@@ -942,29 +1125,8 @@ fn by_shrink_attempt<T, K, F>(
     stats.merge_ns = sp.finish();
 }
 
-/// Phases 2-4 on already-sorted local data.
-fn run_pipeline<K: Key>(
-    comm: &Comm,
-    sorted_local: &mut Vec<K>,
-    targets: &[u64],
-    slack: u64,
-    n_total: u64,
-    cfg: &SortConfig,
-    stats: &mut SortStats,
-) {
-    run_pipeline_warm(
-        comm,
-        sorted_local,
-        targets,
-        slack,
-        n_total,
-        cfg,
-        stats,
-        None,
-    );
-}
-
-/// [`run_pipeline`] with an optional warm-start splitter stash. With
+/// Phases 2-4 on already-sorted local data, with an optional
+/// warm-start splitter stash. With
 /// `Some(warm)`, the splitter search seeds its brackets from the keys
 /// in `warm` (empty = cold start, identical to `None`), and the
 /// accepted splitter keys of *this* attempt are written back as soon
@@ -988,6 +1150,7 @@ fn run_pipeline_warm<K: Key>(
     let opts = SplitterOptions {
         max_iterations: cfg.max_splitter_iterations,
         probes_per_round: cfg.probes_per_round,
+        probe_warm_first: cfg.warm_start == WarmStart::SeededWithBrackets,
         ..SplitterOptions::default()
     };
     let seed: &[K] = warm.as_deref().map_or(&[], Vec::as_slice);

@@ -247,6 +247,18 @@ pub struct SplitterOptions {
     /// switch exists for A/B measurement (`wallclock --splitter_ab`) —
     /// results are identical either way, only the cost changes.
     pub index_brackets: bool,
+    /// With a warm seed ([`find_splitters_seeded`]), start each
+    /// splitter from the **degenerate interval `[w, w]`** around its
+    /// warm ladder key instead of the one-key-of-margin quantile
+    /// bracket: round 1 then probes the previous search's accepted key
+    /// itself. On truly stationary data that key validates immediately
+    /// and every splitter settles in a single round; on drifted data
+    /// the miss restarts into the retained quantile bracket (and, on a
+    /// second miss, the full data range), costing one extra round per
+    /// fallback level. Off by default (no effect without a warm seed);
+    /// the epoch service enables it for
+    /// `WarmStart::SeededWithBrackets`.
+    pub probe_warm_first: bool,
 }
 
 impl Default for SplitterOptions {
@@ -257,6 +269,7 @@ impl Default for SplitterOptions {
             max_iterations: None,
             probes_per_round: 1,
             index_brackets: true,
+            probe_warm_first: false,
         }
     }
 }
@@ -414,6 +427,11 @@ fn find_splitters_impl<K: Key>(
         /// Last probe evaluated for this splitter, `(bits, L, U)` —
         /// the freeze point for graceful degradation.
         last: (u128, u64, u64),
+        /// Interval to restart into when the current bracket exhausts
+        /// without acceptance. Consumed once: after use it resets to
+        /// the full data range, so a search can fall back at most
+        /// twice (warm key → quantile bracket → data min/max).
+        fallback: (u128, u128),
         done: Option<(u128, u64, u64, u64)>, // (key bits, realized, L, U)
     }
     let data_lo = min_key.to_bits();
@@ -425,8 +443,14 @@ fn find_splitters_impl<K: Key>(
     };
     // Warm-start brackets from a previous search's accepted splitters
     // take precedence over `init`: the old ladder already localizes
-    // every quantile of (nearly) stationary data.
+    // every quantile of (nearly) stationary data. Each entry is
+    // `(initial interval, fallback interval)`; without a warm seed the
+    // fallback is always the data range.
     let warm_brackets = warm.map(|pool| {
+        // Nested under the caller's "histogram" phase: makes the
+        // warm-start bracket construction visible in exported traces
+        // without perturbing depth-0 phase totals or the virtual clock.
+        let _sp = comm.span("warm_start");
         debug_assert!(pool.windows(2).all(|w| w[0] <= w[1]), "warm keys ascending");
         let n_total: u64 = *targets.last().expect("non-empty").max(&1);
         targets
@@ -438,18 +462,27 @@ fn find_splitters_impl<K: Key>(
                 let idx = ((t as f64 / n_total as f64) * (pool.len() - 1) as f64) as usize;
                 let lo = pool[idx.saturating_sub(1)].to_bits().max(data_lo);
                 let hi = pool[(idx + 1).min(pool.len() - 1)].to_bits().min(data_hi);
-                if lo <= hi {
+                let bracket = if lo <= hi {
                     (lo, hi)
                 } else {
                     (data_lo, data_hi)
+                };
+                if opts.probe_warm_first {
+                    // Round 1 probes the warm ladder key itself; a miss
+                    // falls back to the quantile bracket, then the data
+                    // range.
+                    let w = pool[idx].to_bits().clamp(data_lo, data_hi);
+                    ((w, w), bracket)
+                } else {
+                    (bracket, (data_lo, data_hi))
                 }
             })
             .collect::<Vec<_>>()
     });
-    let brackets: Vec<(u128, u128)> = if let Some(b) = warm_brackets {
+    let brackets: Vec<((u128, u128), (u128, u128))> = if let Some(b) = warm_brackets {
         b
     } else {
-        match init {
+        let cold: Vec<(u128, u128)> = match init {
             InitialBounds::DataMinMax => vec![(data_lo, data_hi); targets.len()],
             InitialBounds::FullDomain => vec![(0, domain_hi); targets.len()],
             InitialBounds::SampledQuantiles { per_rank } => {
@@ -486,17 +519,19 @@ fn find_splitters_impl<K: Key>(
                     })
                     .collect()
             }
-        }
+        };
+        cold.into_iter().map(|b| (b, (data_lo, data_hi))).collect()
     };
     let n_local = sorted_local.len();
     let mut states: Vec<State> = brackets
         .into_iter()
-        .map(|(lo_bits, hi_bits)| State {
+        .map(|((lo_bits, hi_bits), fallback)| State {
             lo_bits,
             hi_bits,
             idx_lo: 0,
             idx_hi: n_local,
             last: (lo_bits, 0, 0),
+            fallback,
             done: None,
         })
         .collect();
@@ -646,11 +681,14 @@ fn find_splitters_impl<K: Key>(
                         if mid == lo {
                             // Bracket exhausted without acceptance:
                             // only possible when the initial bracket
-                            // missed the splitter (sampled quantiles).
-                            // Restart wide; the index bracket proof no
-                            // longer holds, so it resets too.
-                            lo = data_lo;
-                            hi = data_hi;
+                            // missed the splitter (sampled quantiles,
+                            // warm seeding). Restart into the fallback
+                            // interval (quantile bracket first under
+                            // probe_warm_first, then the data range);
+                            // the index bracket proof no longer holds,
+                            // so it resets too.
+                            (lo, hi) = s.fallback;
+                            s.fallback = (data_lo, data_hi);
                             s.idx_lo = 0;
                             s.idx_hi = n_local;
                             break;
@@ -666,8 +704,8 @@ fn find_splitters_impl<K: Key>(
                     Validation::TooLow => {
                         s.idx_lo = s.idx_lo.max(histogram[2 * node + 1] as usize);
                         if mid == hi {
-                            lo = data_lo;
-                            hi = data_hi;
+                            (lo, hi) = s.fallback;
+                            s.fallback = (data_lo, data_hi);
                             s.idx_lo = 0;
                             s.idx_hi = n_local;
                             break;

@@ -16,9 +16,13 @@
 /// Strategy for merging `k` sorted runs into one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MergeAlgo {
+    /// Pairwise binary merge tree (`O(N log k)`, `log k` copies).
     BinaryTree,
+    /// Tournament (winner) tree: one `O(log k)` path per output.
     TournamentTree,
+    /// Textbook binary-heap k-way merge.
     Heap,
+    /// Concatenate and re-sort (what the paper's implementation ships).
     Resort,
     /// Cache-oblivious lazy funnel (the paper's §VI-E2 future-work
     /// direction, ref \[36\]).
@@ -26,6 +30,7 @@ pub enum MergeAlgo {
 }
 
 impl MergeAlgo {
+    /// Every engine, in the order the merge study reports them.
     pub const ALL: [MergeAlgo; 5] = [
         MergeAlgo::BinaryTree,
         MergeAlgo::TournamentTree,
@@ -34,6 +39,7 @@ impl MergeAlgo {
         MergeAlgo::Funnel,
     ];
 
+    /// A short machine-readable name for reports.
     pub fn label(&self) -> &'static str {
         match self {
             MergeAlgo::BinaryTree => "binary-tree",
@@ -117,6 +123,7 @@ pub struct TournamentTree<'a, T, R = Vec<T>> {
 }
 
 impl<'a, T: Ord + Copy, R: AsRef<[T]>> TournamentTree<'a, T, R> {
+    /// Build the winner tree over `runs` (bottom-up, `O(k)`).
     pub fn new(runs: &'a [R]) -> Self {
         let k = runs.len().max(1);
         let leaf_base = k.next_power_of_two();

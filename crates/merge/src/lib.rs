@@ -13,6 +13,7 @@
 //! assert_eq!(kway_merge(MergeAlgo::TournamentTree, &runs), vec![1, 2, 3, 4]);
 //! ```
 
+#![warn(missing_docs)]
 pub mod funnel;
 pub mod kway;
 pub mod two_way;

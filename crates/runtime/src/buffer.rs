@@ -8,7 +8,7 @@
 //! scratch vectors across the O(log P) histogram rounds of a sort.
 
 use std::any::Any;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::ops::Deref;
 use std::sync::Arc;
 
@@ -175,6 +175,41 @@ pub struct BufferPool {
     /// exchange staging, merge scratch). Slots hold `Vec<T>` behind
     /// `Box<dyn Any>`; [`Self::take`] scans for a matching type.
     typed: RefCell<Vec<Box<dyn Any>>>,
+    /// Lifetime count of `take*` calls on this pool.
+    takes: Cell<u64>,
+    /// Lifetime count of `take*` calls satisfied from a recycled
+    /// allocation (a pool *hit*, i.e. no fresh allocation needed).
+    hits: Cell<u64>,
+}
+
+/// Monotone reuse counters of a [`BufferPool`], for steady-state
+/// telemetry: diff two snapshots to get the per-epoch hit rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Scratch-vector requests served by the pool so far.
+    pub takes: u64,
+    /// Requests that reused a recycled allocation instead of starting
+    /// from a fresh zero-capacity vector.
+    pub hits: u64,
+}
+
+impl PoolStats {
+    /// `hits / takes` over this snapshot window, `0.0` when idle.
+    pub fn hit_rate(&self) -> f64 {
+        if self.takes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.takes as f64
+        }
+    }
+
+    /// Counter deltas since an `earlier` snapshot of the same pool.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            takes: self.takes - earlier.takes,
+            hits: self.hits - earlier.hits,
+        }
+    }
 }
 
 /// Upper bound on retained typed slots; beyond it, recycled buffers are
@@ -185,9 +220,24 @@ impl BufferPool {
     /// Take a cleared `u64` scratch vector (capacity retained from
     /// previous uses when available).
     pub fn take_u64(&self) -> Vec<u64> {
-        let mut v = self.u64s.borrow_mut().pop().unwrap_or_default();
+        self.takes.set(self.takes.get() + 1);
+        let mut v = match self.u64s.borrow_mut().pop() {
+            Some(v) => {
+                self.hits.set(self.hits.get() + 1);
+                v
+            }
+            None => Vec::new(),
+        };
         v.clear();
         v
+    }
+
+    /// Snapshot of the pool's lifetime reuse counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            takes: self.takes.get(),
+            hits: self.hits.get(),
+        }
     }
 
     /// Return a scratch vector to the pool for reuse.
@@ -200,9 +250,11 @@ impl BufferPool {
     /// Take a cleared scratch vector of any element type, reusing a
     /// previously recycled allocation of the same type when available.
     pub fn take<T: 'static>(&self) -> Vec<T> {
+        self.takes.set(self.takes.get() + 1);
         let mut slots = self.typed.borrow_mut();
         match slots.iter().position(|slot| slot.is::<Vec<T>>()) {
             Some(pos) => {
+                self.hits.set(self.hits.get() + 1);
                 let slot = slots.swap_remove(pos);
                 let mut v = *slot.downcast::<Vec<T>>().expect("type checked above");
                 v.clear();
@@ -294,5 +346,26 @@ mod tests {
         // Capacity-less vectors are not retained.
         pool.recycle(Vec::<u8>::new());
         assert_eq!(pool.take::<u8>().capacity(), 0);
+    }
+
+    #[test]
+    fn pool_stats_count_hits_and_misses() {
+        let pool = BufferPool::default();
+        assert_eq!(pool.stats(), PoolStats::default());
+        let mut v = pool.take_u64(); // miss
+        v.push(7);
+        pool.recycle_u64(v);
+        let _ = pool.take_u64(); // hit
+        let mut w: Vec<u32> = pool.take(); // miss
+        w.push(1);
+        pool.recycle(w);
+        let _: Vec<u32> = pool.take(); // hit
+        let _: Vec<f32> = pool.take(); // miss
+        let s = pool.stats();
+        assert_eq!(s, PoolStats { takes: 5, hits: 2 });
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+        let earlier = PoolStats { takes: 3, hits: 1 };
+        assert_eq!(s.since(&earlier), PoolStats { takes: 2, hits: 1 });
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
     }
 }

@@ -44,7 +44,7 @@ pub mod threads;
 pub mod topology;
 pub mod trace;
 
-pub use buffer::{BufferPool, RecvRuns, SharedSlice};
+pub use buffer::{BufferPool, PoolStats, RecvRuns, SharedSlice};
 pub use comm::{AllToAllAlgo, Comm, ExchangePayload};
 pub use cost::{log2_ceil, CostModel, LinkCost, Work};
 pub use fault::{Crash, FaultPlan, FaultPlanError, LinkFault, LossSpec, RankError, Straggler};

@@ -13,23 +13,50 @@ use crate::mt::Mt19937_64;
 pub enum Distribution {
     /// Uniform integers in `[lo, hi]` — the paper's scaling workload is
     /// `Uniform { lo: 0, hi: 1_000_000_000 }`.
-    Uniform { lo: u64, hi: u64 },
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
     /// Normally distributed values with the given mean and standard
     /// deviation, mapped to order-preserving integers.
-    Normal { mean: f64, std_dev: f64 },
+    Normal {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Standard deviation of the distribution.
+        std_dev: f64,
+    },
     /// Exponentially distributed (heavy head) values with rate `lambda`.
-    Exponential { lambda: f64 },
+    Exponential {
+        /// Rate parameter (mean is `1/lambda`).
+        lambda: f64,
+    },
     /// Zipf-like rank-frequency skew over `items` distinct values with
     /// exponent `s` (many duplicates of the most popular keys).
-    Zipf { items: u64, s: f64 },
+    Zipf {
+        /// Number of distinct items in the population.
+        items: u64,
+        /// Skew exponent (larger = more skew).
+        s: f64,
+    },
     /// Already sorted ascending, then `perturb_permille`/1000 of all
     /// positions swapped with a random partner (nearly sorted input).
-    NearlySorted { perturb_permille: u32 },
+    NearlySorted {
+        /// Fraction of positions swapped, in permille.
+        perturb_permille: u32,
+    },
     /// Only `k` distinct values (duplicate-heavy).
-    FewDistinct { k: u64 },
+    FewDistinct {
+        /// Number of distinct values.
+        k: u64,
+    },
     /// Every key identical: the adversarial case for bisection, which
     /// the uniqueness transform must rescue.
-    AllEqual { value: u64 },
+    AllEqual {
+        /// The single key value every element takes.
+        value: u64,
+    },
 }
 
 impl Distribution {

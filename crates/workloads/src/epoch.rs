@@ -1,0 +1,212 @@
+//! Epoch streams for the long-lived sort service.
+//!
+//! The service benchmarks feed [`crate::Distribution`] batches through
+//! `dhs_core::EpochSorter` one **epoch** at a time; what matters for
+//! warm-started splitter search is how much the key population *drifts*
+//! between epochs. [`EpochProfile`] captures the three regimes the
+//! `epoch_service` bench measures:
+//!
+//! * [`EpochProfile::Stationary`] — the same batch arrives every epoch
+//!   (the ideal case: identical order statistics, so a warm ladder is
+//!   exactly right and rounds collapse to one);
+//! * [`EpochProfile::ShiftingZipf`] — a skewed population whose popular
+//!   head rotates a fixed number of items per epoch (slow drift: the
+//!   ladder is nearly right);
+//! * [`EpochProfile::Churn`] — a fixed fraction of the previous batch
+//!   is replaced by fresh draws each epoch (compounding drift).
+//!
+//! Every stream is deterministic in `(profile, layout, n_total, p,
+//! rank, seed, epoch)` and independent across ranks, like
+//! [`crate::rank_local_keys`].
+
+use crate::dist::Distribution;
+use crate::layout::Layout;
+use crate::mt::{rank_seed, SplitMix64};
+use crate::rank_local_keys;
+
+/// How the key population evolves from one epoch to the next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpochProfile {
+    /// The identical batch arrives every epoch: epoch `e`'s keys equal
+    /// epoch 0's keys bit-for-bit. The warm ladder from epoch `e` is
+    /// exact for epoch `e+1`.
+    Stationary {
+        /// Population the (single) batch is drawn from.
+        dist: Distribution,
+    },
+    /// Zipf-skewed population over `items` distinct values with
+    /// exponent `s`, whose item identities rotate by `shift` positions
+    /// each epoch — the popular head slowly walks through the key
+    /// space while the rank-frequency shape stays fixed.
+    ShiftingZipf {
+        /// Number of distinct items in the population.
+        items: u64,
+        /// Zipf exponent (larger = more skew).
+        s: f64,
+        /// Items the population rotates by per epoch (`0` =
+        /// stationary).
+        shift: u64,
+    },
+    /// Each epoch keeps `keep_permille`/1000 of the previous epoch's
+    /// keys (positionally) and replaces the rest with fresh draws from
+    /// `dist` — e.g. `keep_permille: 900` models a working set with
+    /// 10% turnover per epoch.
+    Churn {
+        /// Population replacement keys are drawn from.
+        dist: Distribution,
+        /// Per-position survival rate in permille, clamped to 1000.
+        keep_permille: u32,
+    },
+}
+
+impl EpochProfile {
+    /// A short machine-readable name for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EpochProfile::Stationary { .. } => "stationary",
+            EpochProfile::ShiftingZipf { .. } => "shifting-zipf",
+            EpochProfile::Churn { .. } => "churn",
+        }
+    }
+}
+
+/// Mix an epoch index into a stream seed (splitmix of the golden-ratio
+/// increment — cheap, and epoch 0 keeps `seed`'s stream disjoint from
+/// later generations).
+fn epoch_seed(seed: u64, epoch: u64) -> u64 {
+    SplitMix64(seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+/// Generate rank `rank`'s local batch for epoch `epoch` of the stream:
+/// deterministic in every argument and independent across ranks, so
+/// all ranks of a simulated world can generate their slices locally.
+///
+/// Churn streams replay generations `1..=epoch` from the epoch-0 base
+/// batch, so the cost is `O(epoch · n_local)` — fine for benches, and
+/// the only way to keep the stream a pure function of its arguments.
+///
+/// ```
+/// use dhs_workloads::{epoch_rank_keys, Distribution, EpochProfile, Layout};
+///
+/// let st = EpochProfile::Stationary { dist: Distribution::paper_uniform() };
+/// let e0 = epoch_rank_keys(st, Layout::Balanced, 1 << 10, 4, 1, 7, 0);
+/// let e5 = epoch_rank_keys(st, Layout::Balanced, 1 << 10, 4, 1, 7, 5);
+/// assert_eq!(e0, e5); // stationary: the same batch every epoch
+/// ```
+pub fn epoch_rank_keys(
+    profile: EpochProfile,
+    layout: Layout,
+    n_total: usize,
+    p: usize,
+    rank: usize,
+    seed: u64,
+    epoch: u64,
+) -> Vec<u64> {
+    match profile {
+        EpochProfile::Stationary { dist } => rank_local_keys(dist, layout, n_total, p, rank, seed),
+        EpochProfile::ShiftingZipf { items, s, shift } => {
+            let items = items.max(1);
+            // Epoch-independent draws: the drift comes purely from the
+            // rotation, so the rank-frequency shape is held fixed.
+            let base = rank_local_keys(
+                Distribution::Zipf { items, s },
+                layout,
+                n_total,
+                p,
+                rank,
+                seed,
+            );
+            let rot = (epoch.wrapping_mul(shift)) % items;
+            base.into_iter()
+                .map(|z| ((z - 1 + rot) % items + 1) * 7919)
+                .collect()
+        }
+        EpochProfile::Churn {
+            dist,
+            keep_permille,
+        } => {
+            let keep = u64::from(keep_permille.min(1000));
+            let mut v = rank_local_keys(dist, layout, n_total, p, rank, epoch_seed(seed, 0));
+            for e in 1..=epoch {
+                let gen_seed = rank_seed(epoch_seed(seed, e), rank);
+                let fresh = dist.generate_u64(v.len(), gen_seed);
+                let mut coin = SplitMix64(gen_seed ^ 0xD6E8_FEB8_6659_FD93);
+                for (slot, new) in v.iter_mut().zip(fresh) {
+                    if coin.next_u64() % 1000 >= keep {
+                        *slot = new;
+                    }
+                }
+            }
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_repeats_the_batch() {
+        let pr = EpochProfile::Stationary {
+            dist: Distribution::paper_uniform(),
+        };
+        let a = epoch_rank_keys(pr, Layout::Balanced, 512, 4, 2, 9, 0);
+        let b = epoch_rank_keys(pr, Layout::Balanced, 512, 4, 2, 9, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 128);
+    }
+
+    #[test]
+    fn shifting_zipf_rotates_but_preserves_shape() {
+        let pr = EpochProfile::ShiftingZipf {
+            items: 1000,
+            s: 1.1,
+            shift: 50,
+        };
+        let e0 = epoch_rank_keys(pr, Layout::Balanced, 1024, 4, 0, 5, 0);
+        let e1 = epoch_rank_keys(pr, Layout::Balanced, 1024, 4, 0, 5, 1);
+        assert_ne!(e0, e1, "the population must drift");
+        // The multiset of *frequencies* is rotation-invariant: sorting
+        // the per-epoch histograms must agree.
+        let hist = |v: &[u64]| {
+            let mut h = std::collections::BTreeMap::new();
+            for &k in v {
+                *h.entry(k).or_insert(0u32) += 1;
+            }
+            let mut f: Vec<u32> = h.into_values().collect();
+            f.sort_unstable();
+            f
+        };
+        assert_eq!(hist(&e0), hist(&e1));
+        // And shift: 0 is genuinely stationary.
+        let frozen = EpochProfile::ShiftingZipf {
+            items: 1000,
+            s: 1.1,
+            shift: 0,
+        };
+        assert_eq!(
+            epoch_rank_keys(frozen, Layout::Balanced, 1024, 4, 0, 5, 0),
+            epoch_rank_keys(frozen, Layout::Balanced, 1024, 4, 0, 5, 3),
+        );
+    }
+
+    #[test]
+    fn churn_replaces_roughly_the_configured_fraction() {
+        let pr = EpochProfile::Churn {
+            dist: Distribution::paper_uniform(),
+            keep_permille: 900,
+        };
+        let e0 = epoch_rank_keys(pr, Layout::Balanced, 4096, 4, 1, 11, 0);
+        let e1 = epoch_rank_keys(pr, Layout::Balanced, 4096, 4, 1, 11, 1);
+        let changed = e0.iter().zip(&e1).filter(|(a, b)| a != b).count();
+        let frac = changed as f64 / e0.len() as f64;
+        assert!(
+            (0.05..0.2).contains(&frac),
+            "~10% turnover expected, got {frac}"
+        );
+        // Replay determinism: the same epoch is bit-identical.
+        let e1b = epoch_rank_keys(pr, Layout::Balanced, 4096, 4, 1, 11, 1);
+        assert_eq!(e1, e1b);
+    }
+}

@@ -12,12 +12,21 @@ pub enum Layout {
     Balanced,
     /// The first `empty_permille`/1000 of ranks hold nothing; the rest
     /// share the keys evenly (sparse-matrix load-balancing case).
-    SparseFront { empty_permille: u32 },
+    SparseFront {
+        /// Fraction of leading ranks left empty, in permille.
+        empty_permille: u32,
+    },
     /// Linearly ramped sizes: rank `P-1` holds about `ratio` times as
     /// many keys as rank 0.
-    Ramp { ratio: u32 },
+    Ramp {
+        /// Approximate size ratio between the last and first rank.
+        ratio: u32,
+    },
     /// All keys on one rank (worst-case imbalance).
-    SingleRank { holder: usize },
+    SingleRank {
+        /// The rank holding every key.
+        holder: usize,
+    },
 }
 
 impl Layout {

@@ -14,11 +14,14 @@
 //! assert_eq!(keys.len(), (1 << 12) / 8);
 //! ```
 
+#![warn(missing_docs)]
 pub mod dist;
+pub mod epoch;
 pub mod layout;
 pub mod mt;
 
 pub use dist::{f64_to_ordered_u64, ordered_u64_to_f64, Distribution};
+pub use epoch::{epoch_rank_keys, EpochProfile};
 pub use layout::{even_split, offsets, proportional_split, Layout};
 pub use mt::{rank_seed, Mt19937_64, SplitMix64};
 

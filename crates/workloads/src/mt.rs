@@ -138,6 +138,7 @@ impl Mt19937_64 {
 pub struct SplitMix64(pub u64);
 
 impl SplitMix64 {
+    /// Advance the state and return the next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;

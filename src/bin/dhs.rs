@@ -5,6 +5,7 @@
 //! dhs sort --algo histogram --ranks 64 --nper 65536 --dist zipf
 //! dhs sort --algo two-level --ranks 256 --groups 16 --verify
 //! dhs sort --threads 4 --verify        # hybrid rank×thread execution
+//! dhs serve --ranks 32 --epochs 5 --profile stationary --verify
 //! dhs select --ranks 32 --nper 10000 --k 160000
 //! dhs topology --ranks 64
 //! ```
@@ -28,11 +29,12 @@ fn main() {
 
     match command.as_str() {
         "sort" => cmd_sort(&args),
+        "serve" => cmd_serve(&args),
         "select" => cmd_select(&args),
         "topology" => cmd_topology(&args),
         _ => {
             eprintln!(
-                "usage: dhs <sort|select|topology> [--flags]\n\
+                "usage: dhs <sort|serve|select|topology> [--flags]\n\
                  \n\
                  sort     --algo histogram|two-level|hss|sample|psrs|hyksort|ams|bitonic\n\
                  \x20        --ranks N --nper N --dist uniform|normal|zipf|nearly-sorted|\n\
@@ -43,8 +45,15 @@ fn main() {
                  \x20        --threads T (intra-rank thread budget)\n\
                  \x20        --recovery abort|shrink (response to rank failures)\n\
                  \x20        --exchange-algo one-factor|bruck|leaders|staged:<k>\n\
+                 \x20        --warm-start cold|seeded|seeded-brackets (repeated sorts)\n\
                  \x20        --engine threads|tasks|tasks:<workers> (execution engine)\n\
                  \x20        --trace out.json --trace-format chrome|summary\n\
+                 serve    --ranks N --nper N --epochs E --seed N --verify\n\
+                 \x20        --profile stationary|shifting-zipf|churn (epoch stream)\n\
+                 \x20        --warm-start cold|seeded|seeded-brackets\n\
+                 \x20          (default seeded-brackets; plus all sort flags)\n\
+                 \x20        --assert-converged (exit 1 unless the final epoch\n\
+                 \x20          needed at most one histogram round)\n\
                  select   --ranks N --nper N --k N --dist ... --seed N\n\
                  topology --ranks N"
             );
@@ -104,8 +113,28 @@ fn exchange_algo_of(args: &Args) -> AllToAllAlgo {
     }
 }
 
+/// Parse `--warm-start cold|seeded|seeded-brackets`, defaulting to
+/// `default` when the flag is absent (`dhs sort` defaults cold, `dhs
+/// serve` defaults seeded-brackets).
+fn warm_start_of(args: &Args, default: WarmStart) -> WarmStart {
+    match args.raw("warm-start") {
+        None => default,
+        Some("cold") => WarmStart::Cold,
+        Some("seeded") => WarmStart::Seeded,
+        Some("seeded-brackets") => WarmStart::SeededWithBrackets,
+        Some(other) => {
+            panic!("unknown warm-start policy {other} (expected cold|seeded|seeded-brackets)")
+        }
+    }
+}
+
 fn sort_config(args: &Args) -> SortConfig {
+    sort_config_with(args, WarmStart::Cold)
+}
+
+fn sort_config_with(args: &Args, default_warm: WarmStart) -> SortConfig {
     let mut builder = SortConfig::builder()
+        .warm_start(warm_start_of(args, default_warm))
         .epsilon(args.get("eps", 0.0))
         .partitioning(match args.raw("partitioning").unwrap_or("perfect") {
             "perfect" => Partitioning::Perfect,
@@ -290,6 +319,102 @@ fn cmd_sort(args: &Args) {
         if !ok {
             std::process::exit(1);
         }
+    }
+}
+
+/// Parse `--profile stationary|shifting-zipf|churn` for `dhs serve`.
+fn profile_of(args: &Args) -> EpochProfile {
+    match args.raw("profile").unwrap_or("stationary") {
+        "stationary" => EpochProfile::Stationary {
+            dist: dist_of(args),
+        },
+        "shifting-zipf" => EpochProfile::ShiftingZipf {
+            items: 1 << 16,
+            s: 1.2,
+            shift: 1 << 10,
+        },
+        "churn" => EpochProfile::Churn {
+            dist: dist_of(args),
+            keep_permille: 900,
+        },
+        other => panic!("unknown profile {other} (expected stationary|shifting-zipf|churn)"),
+    }
+}
+
+fn cmd_serve(args: &Args) {
+    let ranks: usize = args.get("ranks", 16);
+    let nper: usize = args.get("nper", 1 << 14);
+    let epochs: u64 = args.get("epochs", 5);
+    let seed: u64 = args.get("seed", 1);
+    let verify = args.has("verify");
+    let assert_converged = args.has("assert-converged");
+    let profile = profile_of(args);
+    let layout = layout_of(args);
+    let cfg = sort_config_with(args, WarmStart::SeededWithBrackets);
+    let mut cluster = ClusterConfig::supermuc_phase2(ranks);
+    if let Some(engine) = args.raw("engine") {
+        cluster = cluster.with_engine(engine.parse::<RunnerEngine>().unwrap_or_else(|e| {
+            panic!("--engine: {e}");
+        }));
+    }
+    let n_total = ranks * nper;
+
+    println!(
+        "# dhs serve: ranks={ranks} keys/rank={nper} epochs={epochs} profile={} warm-start={:?}",
+        profile.label(),
+        cfg.warm_start,
+    );
+
+    let out = run(&cluster, move |comm| {
+        let mut svc: EpochSorter<u64> = EpochSorter::new(comm, cfg.clone());
+        let mut history: Vec<EpochStats> = Vec::with_capacity(epochs as usize);
+        let mut all_ok = true;
+        for epoch in 0..epochs {
+            let mut batch =
+                epoch_rank_keys(profile, layout, n_total, ranks, comm.rank(), seed, epoch);
+            let fp = verify.then(|| global_fingerprint(svc.comm(), &batch));
+            let stats = svc.sort_epoch(&mut batch);
+            if let Some((fp, n)) = fp {
+                all_ok &= verify_sorted(svc.comm(), &batch, fp, n).is_none();
+            }
+            history.push(stats);
+        }
+        (history, all_ok)
+    });
+
+    let (history, _) = &out[0].0;
+    for e in history {
+        println!(
+            "epoch {:>3}: rounds {:>2} | probes {:>5} | makespan {:>9.3} ms | \
+             pool reuse {:>5.1}% | warm ladder {} keys",
+            e.epoch,
+            e.rounds,
+            e.probes,
+            e.makespan_ns as f64 / 1e6,
+            e.pool.hit_rate() * 100.0,
+            e.warm_len,
+        );
+    }
+    if verify {
+        let ok = out.iter().all(|((_, ok), _)| *ok);
+        println!("verification       : {}", if ok { "PASS" } else { "FAIL" });
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+    if assert_converged {
+        let last = history.last().expect("at least one epoch");
+        if last.rounds > 1 {
+            eprintln!(
+                "assert-converged: final epoch used {} histogram rounds (expected <= 1)",
+                last.rounds
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "convergence        : final epoch at {} round(s)",
+            last.rounds
+        );
     }
 }
 
