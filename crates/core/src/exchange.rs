@@ -13,6 +13,8 @@
 //! `ALL-TO-ALLV`.
 
 use dhs_runtime::{AllToAllAlgo, Comm, RecvRuns, Work};
+use dhs_shm::kernels::ladder_bounds_typed;
+use dhs_shm::Kernels;
 
 use crate::key::Key;
 use crate::splitter::SplitterResult;
@@ -30,14 +32,39 @@ impl ExchangePlan {
     pub fn send_counts(&self) -> Vec<usize> {
         self.cuts.windows(2).map(|w| w[1] - w[0]).collect()
     }
+
+    /// Borrow the per-destination segments of the local sorted array:
+    /// segment `d` is `local[cuts[d]..cuts[d+1]]`. The one slicing rule
+    /// shared by every exchange path (zero-copy, owning, and the
+    /// record-payload sorts).
+    pub fn segments<'a, T>(&self, local: &'a [T]) -> Vec<&'a [T]> {
+        self.cuts.windows(2).map(|w| &local[w[0]..w[1]]).collect()
+    }
 }
 
 /// Compute this rank's cut positions (Algorithm 4). Collective: every
-/// rank must call it with the identical `SplitterResult`.
+/// rank must call it with the identical `SplitterResult`. Uses the
+/// process-default kernel backend; [`plan_exchange_with`] takes an
+/// explicit one.
 pub fn plan_exchange<K: Key>(
     comm: &Comm,
     sorted_local: &[K],
     splitters: &SplitterResult<K>,
+) -> ExchangePlan {
+    plan_exchange_with(comm, sorted_local, splitters, Kernels::auto())
+}
+
+/// [`plan_exchange`] with an explicit kernel backend: for native
+/// integer keys the per-splitter `partition_point` pairs go through
+/// the batched branchless-search kernel (`Kernels::ladder_bounds_*`),
+/// which overlaps the independent searches' cache misses; other key
+/// types keep the portable scan. Cuts and charges are identical for
+/// every backend.
+pub fn plan_exchange_with<K: Key>(
+    comm: &Comm,
+    sorted_local: &[K],
+    splitters: &SplitterResult<K>,
+    kernels: Kernels,
 ) -> ExchangePlan {
     let p = comm.size();
     let s = splitters.splitters.len();
@@ -51,11 +78,31 @@ pub fn plan_exchange<K: Key>(
     });
     let mut lowers: Vec<u64> = comm.pool().take_u64();
     let mut contingents: Vec<u64> = comm.pool().take_u64();
+    // Kernel path: all splitter bounds in one batched call. The
+    // (lower, upper) pairs land interleaved in `lowers`, which is then
+    // compacted in place — no third scratch buffer.
+    let routed = ladder_bounds_typed(
+        kernels,
+        sorted_local,
+        s,
+        |i| splitters.splitters[i].key.to_bits() as u64,
+        0,
+        &mut lowers,
+    );
+    if routed {
+        for i in 0..s {
+            contingents.push(lowers[2 * i + 1] - lowers[2 * i]);
+            lowers[i] = lowers[2 * i];
+        }
+        lowers.truncate(s);
+    }
     // With an intra-rank thread budget the per-splitter bounds are
     // probed in parallel over chunks of the splitter list; the results
     // land in splitter order either way.
     let t = comm.threads().exec_budget();
-    if t > 1 && s >= 4 {
+    if routed {
+        // Bounds already computed above.
+    } else if t > 1 && s >= 4 {
         let chunk = s.div_ceil(t);
         let parts: Vec<&[crate::splitter::SplitterInfo<K>]> =
             splitters.splitters.chunks(chunk).collect();
@@ -129,9 +176,7 @@ pub fn exchange_data<K: Key>(
     assert_eq!(plan.cuts.len(), p + 1);
     let elem = std::mem::size_of::<K>() as u64;
     comm.charge(Work::MoveBytes(sorted_local.len() as u64 * elem));
-    let segments: Vec<&[K]> = (0..p)
-        .map(|d| &sorted_local[plan.cuts[d]..plan.cuts[d + 1]])
-        .collect();
+    let segments = plan.segments(sorted_local);
     comm.exchange(&segments[..], algo)
 }
 
@@ -149,8 +194,10 @@ pub fn exchange_data_vecs<K: Key>(
     assert_eq!(plan.cuts.len(), p + 1);
     let elem = std::mem::size_of::<K>() as u64;
     comm.charge(Work::MoveBytes(sorted_local.len() as u64 * elem));
-    let buckets: Vec<Vec<K>> = (0..p)
-        .map(|d| sorted_local[plan.cuts[d]..plan.cuts[d + 1]].to_vec())
+    let buckets: Vec<Vec<K>> = plan
+        .segments(sorted_local)
+        .into_iter()
+        .map(|seg| seg.to_vec())
         .collect();
     comm.exchange(buckets, algo).into_vecs()
 }

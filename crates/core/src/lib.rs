@@ -63,3 +63,4 @@ pub use splitter::{
 pub use verify::{global_fingerprint, multiset_fingerprint, verify_sorted, SortViolation};
 
 pub use dhs_merge::MergeAlgo;
+pub use dhs_shm::{KernelPolicy, Kernels};

@@ -12,6 +12,8 @@
 //! data moves twice, and each level pays a communicator split.
 
 use dhs_runtime::{AllToAllAlgo, Comm, Work};
+use dhs_shm::kernels::ladder_bounds_typed;
+use dhs_shm::Kernels;
 
 use crate::key::Key;
 use crate::sort::{histogram_sort, Partitioning, SortConfig, SortStats};
@@ -96,7 +98,14 @@ pub fn histogram_sort_two_level<K: Key>(
     // Level-1 exchange: the g-way plan, but routed so each bucket goes
     // to one member of its group (spread by sender rank).
     let sp = comm.span("prepare");
-    let plan = plan_group_exchange(comm, local, &l1, g, &group_start);
+    let plan = plan_group_exchange(
+        comm,
+        local,
+        &l1,
+        g,
+        &group_start,
+        Kernels::for_policy(cfg.kernels),
+    );
     stats.prepare_ns += sp.finish();
 
     let sp = comm.span("exchange");
@@ -147,7 +156,8 @@ pub fn histogram_sort_two_level<K: Key>(
     stats.histogram_ns += sp.finish();
 
     let sp = comm.span("prepare");
-    let plan2 = crate::exchange::plan_exchange(&sub, local, &l2);
+    let plan2 =
+        crate::exchange::plan_exchange_with(&sub, local, &l2, Kernels::for_policy(cfg.kernels));
     stats.prepare_ns += sp.finish();
 
     let sp = comm.span("exchange");
@@ -190,6 +200,7 @@ fn plan_group_exchange<K: Key>(
     l1: &crate::splitter::SplitterResult<K>,
     g: usize,
     group_start: &dyn Fn(usize) -> usize,
+    kernels: Kernels,
 ) -> GroupPlan<K> {
     let p = comm.size();
     let rank = comm.rank();
@@ -204,11 +215,28 @@ fn plan_group_exchange<K: Key>(
     });
     let mut lowers = Vec::with_capacity(g - 1);
     let mut contingents = Vec::with_capacity(g - 1);
-    for info in &l1.splitters {
-        let l = sorted_local.partition_point(|x| *x < info.key) as u64;
-        let u = sorted_local.partition_point(|x| *x <= info.key) as u64;
-        lowers.push(l);
-        contingents.push(u - l);
+    // Kernel path for native integer keys: all group-splitter bounds
+    // in one batched branchless-search call.
+    let mut bounds = Vec::with_capacity(2 * (g - 1));
+    if ladder_bounds_typed(
+        kernels,
+        sorted_local,
+        l1.splitters.len(),
+        |i| l1.splitters[i].key.to_bits() as u64,
+        0,
+        &mut bounds,
+    ) {
+        for pair in bounds.chunks_exact(2) {
+            lowers.push(pair[0]);
+            contingents.push(pair[1] - pair[0]);
+        }
+    } else {
+        for info in &l1.splitters {
+            let l = sorted_local.partition_point(|x| *x < info.key) as u64;
+            let u = sorted_local.partition_point(|x| *x <= info.key) as u64;
+            lowers.push(l);
+            contingents.push(u - l);
+        }
     }
     let before_me = comm.exscan_sum_vec(contingents.clone());
     let mut cuts = vec![0usize];

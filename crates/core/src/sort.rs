@@ -3,10 +3,11 @@
 
 use dhs_merge::{kway_merge, MergeAlgo};
 use dhs_runtime::{AllToAllAlgo, Comm, RecoveryInterrupt, Work};
+use dhs_shm::{KernelPolicy, Kernels};
 
 use std::fmt;
 
-use crate::exchange::{exchange_data, plan_exchange};
+use crate::exchange::{exchange_data, plan_exchange_with};
 use crate::key::{make_unique, strip_unique, Key};
 use crate::splitter::{
     balanced_targets, find_splitters_seeded, perfect_targets, slack_for, SplitterOptions,
@@ -198,6 +199,17 @@ pub struct SortConfig {
     /// the one-shot entry points, which have no stash to seed from;
     /// defaults to [`WarmStart::Cold`]. See [`WarmStart`].
     pub warm_start: WarmStart,
+    /// Kernel backend policy for the node-local hot loops (splitter
+    /// probe searches, exchange-plan classification, radix local sort,
+    /// post-exchange merge): [`KernelPolicy::Auto`] (default)
+    /// dispatches to the best backend the host supports (AVX2 when
+    /// detected), [`KernelPolicy::Scalar`] forces the portable
+    /// reference kernels. Sorted output and the virtual clock are
+    /// **byte-identical** for every policy — kernels never touch
+    /// `Work` charges, and the scalar backend is the pinned
+    /// determinism reference (`dhs-shm` kernel equivalence tests);
+    /// only host wall-clock differs (`wallclock --kernel_ab`).
+    pub kernels: KernelPolicy,
 }
 
 /// A [`SortConfig`] that cannot be executed.
@@ -335,21 +347,32 @@ fn charge_local_sort<K: Key>(comm: &Comm, n: u64, engine: LocalSort) {
 /// and at an effective fan-out of 1 they reduce to exactly the serial
 /// engine. The sorted output is identical for any budget, and the
 /// virtual clock always charges the configured engine's model.
-fn local_sort_exec<K: Key>(comm: &Comm, data: &mut [K], engine: LocalSort) {
+/// For [`LocalSort::Radix`] and native `u64`/`u32` keys, the radix
+/// passes themselves route through the dispatched kernel backend
+/// (occupancy pre-pass + monomorphic counting/scatter); the generic
+/// bit-projection radix stays the path for every other key type. The
+/// sorted output is the unique ascending permutation either way.
+fn local_sort_exec<K: Key>(comm: &Comm, data: &mut [K], engine: LocalSort, kernels: Kernels) {
     charge_local_sort::<K>(comm, data.len() as u64, engine);
     if comm.threads().is_parallel() {
         let te = comm.threads().exec_budget();
         match engine {
             LocalSort::Comparison => dhs_shm::parallel_merge_sort(data, te),
             LocalSort::Radix => {
-                dhs_shm::radix_merge_sort_by_bits(data, te, &|x: &K| x.to_bits(), K::BITS)
+                if !dhs_shm::radix_merge_sort_typed(kernels, data, te) {
+                    dhs_shm::radix_merge_sort_by_bits(data, te, &|x: &K| x.to_bits(), K::BITS)
+                }
             }
         }
         return;
     }
     match engine {
         LocalSort::Comparison => data.sort_unstable(),
-        LocalSort::Radix => dhs_shm::radix_sort_by_bits(data, |x| x.to_bits(), K::BITS),
+        LocalSort::Radix => {
+            if !dhs_shm::kernels::radix_sort_typed(kernels, data) {
+                dhs_shm::radix_sort_by_bits(data, |x| x.to_bits(), K::BITS)
+            }
+        }
     }
 }
 
@@ -507,7 +530,12 @@ pub(crate) fn histogram_sort_warm_full<K: Key>(
     // Phase 1: local sort.
     let sp = comm.span("local_sort");
     let intra = comm.intra_span("local_sort");
-    local_sort_exec(comm, local, cfg.local_sort);
+    local_sort_exec(
+        comm,
+        local,
+        cfg.local_sort,
+        Kernels::for_policy(cfg.kernels),
+    );
     drop(intra);
     stats.local_sort_ns = sp.finish();
 
@@ -614,7 +642,12 @@ fn histogram_sort_shrink<K: Key>(
     // the rollback checkpoint, so no attempt ever re-sorts.
     let sp = comm.span("local_sort");
     let intra = comm.intra_span("local_sort");
-    local_sort_exec(comm, local, cfg.local_sort);
+    local_sort_exec(
+        comm,
+        local,
+        cfg.local_sort,
+        Kernels::for_policy(cfg.kernels),
+    );
     drop(intra);
     stats.local_sort_ns = sp.finish();
 
@@ -884,10 +917,12 @@ where
     // Phase 2: splitters over the key view, warm-started from the
     // caller's stash (empty = cold) and written back on acceptance.
     let sp = comm.span("histogram");
+    let kernels = Kernels::for_policy(cfg.kernels);
     let opts = SplitterOptions {
         max_iterations: cfg.max_splitter_iterations,
         probes_per_round: cfg.probes_per_round,
         probe_warm_first: cfg.warm_start == WarmStart::SeededWithBrackets,
+        kernels,
         ..SplitterOptions::default()
     };
     let splitters = find_splitters_seeded(comm, &keys, &targets, slack, opts, warm);
@@ -899,13 +934,15 @@ where
 
     // Phase 3: plan on the key view, exchange the records.
     let sp = comm.span("prepare");
-    let plan = crate::exchange::plan_exchange(comm, &keys, &splitters);
+    let plan = plan_exchange_with(comm, &keys, &splitters, kernels);
     stats.prepare_ns += sp.finish();
 
     let sp = comm.span("exchange");
     comm.charge(Work::MoveBytes(local.len() as u64 * elem));
-    let buckets: Vec<Vec<T>> = (0..p)
-        .map(|d| local[plan.cuts[d]..plan.cuts[d + 1]].to_vec())
+    let buckets: Vec<Vec<T>> = plan
+        .segments(local)
+        .into_iter()
+        .map(|seg| seg.to_vec())
         .collect();
     let received = comm.exchange(buckets, cfg.exchange_algo);
     stats.exchange_ns = sp.finish();
@@ -1075,10 +1112,12 @@ fn by_shrink_attempt<T, K, F>(
 
     // Phase 2: splitters over the key view, warm-started.
     let sp = c.span("histogram");
+    let kernels = Kernels::for_policy(cfg.kernels);
     let opts = SplitterOptions {
         max_iterations: cfg.max_splitter_iterations,
         probes_per_round: cfg.probes_per_round,
         probe_warm_first: cfg.warm_start == WarmStart::SeededWithBrackets,
+        kernels,
         ..SplitterOptions::default()
     };
     let splitters = find_splitters_seeded(c, &keys, &targets, slack, opts, warm);
@@ -1090,13 +1129,15 @@ fn by_shrink_attempt<T, K, F>(
 
     // Phase 3: plan on the key view, exchange the records.
     let sp = c.span("prepare");
-    let plan = crate::exchange::plan_exchange(c, &keys, &splitters);
+    let plan = plan_exchange_with(c, &keys, &splitters, kernels);
     stats.prepare_ns += sp.finish();
 
     let sp = c.span("exchange");
     c.charge(Work::MoveBytes(local.len() as u64 * elem));
-    let buckets: Vec<Vec<T>> = (0..p)
-        .map(|d| local[plan.cuts[d]..plan.cuts[d + 1]].to_vec())
+    let buckets: Vec<Vec<T>> = plan
+        .segments(local)
+        .into_iter()
+        .map(|seg| seg.to_vec())
         .collect();
     let received = c.exchange(buckets, cfg.exchange_algo);
     stats.exchange_ns = sp.finish();
@@ -1147,10 +1188,12 @@ fn run_pipeline_warm<K: Key>(
 
     // Phase 2: splitter determination by iterative histogramming.
     let sp = comm.span("histogram");
+    let kernels = Kernels::for_policy(cfg.kernels);
     let opts = SplitterOptions {
         max_iterations: cfg.max_splitter_iterations,
         probes_per_round: cfg.probes_per_round,
         probe_warm_first: cfg.warm_start == WarmStart::SeededWithBrackets,
+        kernels,
         ..SplitterOptions::default()
     };
     let seed: &[K] = warm.as_deref().map_or(&[], Vec::as_slice);
@@ -1165,7 +1208,7 @@ fn run_pipeline_warm<K: Key>(
 
     // Phase 3a: exchange preparation (Algorithm 4).
     let sp = comm.span("prepare");
-    let plan = plan_exchange(comm, sorted_local, &splitters);
+    let plan = plan_exchange_with(comm, sorted_local, &splitters, kernels);
     stats.prepare_ns += sp.finish();
 
     match cfg.exchange {
@@ -1191,7 +1234,7 @@ fn run_pipeline_warm<K: Key>(
                     // The receive buffer is already flat: re-sort it
                     // directly, zero copies.
                     let mut all: Vec<K> = received.into_data();
-                    local_sort_exec(comm, &mut all, cfg.local_sort);
+                    local_sort_exec(comm, &mut all, cfg.local_sort, kernels);
                     *sorted_local = all;
                 }
                 MergeAlgo::Resort => {
@@ -1204,7 +1247,8 @@ fn run_pipeline_warm<K: Key>(
                     // as configured.
                     charge_local_sort::<K>(comm, n_recv, cfg.local_sort);
                     let te = comm.threads().exec_budget();
-                    *sorted_local = dhs_shm::flat_tree_merge(&received.as_slices(), te);
+                    *sorted_local =
+                        dhs_shm::flat_tree_merge_with(kernels, &received.as_slices(), te);
                 }
                 _ => {
                     comm.charge(Work::MergeElems {

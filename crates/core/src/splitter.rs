@@ -58,6 +58,8 @@
 //! ranks still execute identical collective schedules.
 
 use dhs_runtime::{Comm, Work};
+use dhs_shm::kernels::ladder_bounds_typed;
+use dhs_shm::Kernels;
 
 use crate::key::Key;
 
@@ -259,6 +261,14 @@ pub struct SplitterOptions {
     /// the epoch service enables it for
     /// `WarmStart::SeededWithBrackets`.
     pub probe_warm_first: bool,
+    /// Kernel backend for the per-round probe searches: for native
+    /// integer keys the two `partition_point`s per probe run through
+    /// the batched branchless-search kernel
+    /// ([`dhs_shm::Kernels::ladder_bounds_u64`] and friends). Accepted
+    /// splitters, histograms, and charges are byte-identical for every
+    /// backend — only host time differs. Defaults to the
+    /// process-detected backend ([`dhs_shm::Kernels::auto`]).
+    pub kernels: Kernels,
 }
 
 impl Default for SplitterOptions {
@@ -270,6 +280,7 @@ impl Default for SplitterOptions {
             probes_per_round: 1,
             index_brackets: true,
             probe_warm_first: false,
+            kernels: Kernels::auto(),
         }
     }
 }
@@ -622,6 +633,20 @@ fn find_splitters_impl<K: Key>(
         let count_unit = |(start, len, idx_lo, idx_hi): (usize, usize, usize, usize),
                           out: &mut Vec<u64>| {
             let seg = &sorted_local[idx_lo..idx_hi];
+            // Kernel path for native integer keys: the whole probe
+            // batch of this unit in one lockstep-search call, pushing
+            // the same (lower, upper) pairs straight into the pooled
+            // buffer (probe bits fit the key width by construction).
+            if ladder_bounds_typed(
+                opts.kernels,
+                seg,
+                len,
+                |i| probe_bits[start + i] as u64,
+                idx_lo as u64,
+                out,
+            ) {
+                return;
+            }
             for &bits in &probe_bits[start..start + len] {
                 let key = K::from_bits(bits);
                 out.push((idx_lo + seg.partition_point(|x| *x < key)) as u64);

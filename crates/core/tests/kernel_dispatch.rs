@@ -1,0 +1,122 @@
+//! End-to-end kernel-dispatch equivalence: a full histogram sort under
+//! `KernelPolicy::Scalar` and `KernelPolicy::Auto` must produce
+//! byte-identical per-rank outputs AND identical virtual clocks, for
+//! every local-sort engine, merge path, and thread budget. The scalar
+//! backend is the determinism reference; the dispatched backend may
+//! only change host wall-time, never anything the model observes.
+
+use dhs_core::{histogram_sort, KernelPolicy, LocalSort, SortConfig};
+use dhs_runtime::{run, ClusterConfig};
+
+fn keys_for(rank: usize, n: usize, modulus: u64) -> Vec<u64> {
+    let mut x = (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if modulus == u64::MAX {
+                x
+            } else {
+                x % modulus
+            }
+        })
+        .collect()
+}
+
+/// Run one full sort and return each rank's (output, virtual ns).
+fn sort_under(
+    policy: KernelPolicy,
+    local_sort: LocalSort,
+    threads: usize,
+    p: usize,
+    n_per: usize,
+    modulus: u64,
+) -> Vec<(Vec<u64>, u64)> {
+    let cfg = SortConfig::builder()
+        .kernels(policy)
+        .local_sort(local_sort)
+        .threads_per_rank(threads)
+        .build()
+        .expect("valid config");
+    run(&ClusterConfig::small_cluster(p), move |comm| {
+        let mut local = keys_for(comm.rank(), n_per, modulus);
+        histogram_sort(comm, &mut local, &cfg);
+        (local, comm.now_ns())
+    })
+    .into_iter()
+    .map(|(r, _)| r)
+    .collect()
+}
+
+/// The cross-product that matters: both local-sort engines (radix
+/// exercises the kernel radix path, comparison leaves it cold), serial
+/// and threaded budgets (t=4 routes the flat-tree merge leaves through
+/// the vectorized 2-way core), unique and duplicate-heavy keys.
+#[test]
+fn scalar_and_auto_sort_identically() {
+    for &local_sort in &[LocalSort::Comparison, LocalSort::Radix] {
+        for &threads in &[1usize, 4] {
+            for &modulus in &[u64::MAX, 97] {
+                let scalar =
+                    sort_under(KernelPolicy::Scalar, local_sort, threads, 8, 1500, modulus);
+                let auto = sort_under(KernelPolicy::Auto, local_sort, threads, 8, 1500, modulus);
+                assert_eq!(
+                    scalar, auto,
+                    "scalar vs auto diverged: engine={local_sort:?} t={threads} mod={modulus}"
+                );
+            }
+        }
+    }
+}
+
+/// Degenerate worlds: sparse ranks (empty partitions) and an all-equal
+/// key population exercise the contingent refinement and the empty- or
+/// saturated-ladder kernel edges end to end.
+#[test]
+fn scalar_and_auto_agree_on_degenerate_inputs() {
+    let outs: Vec<_> = [KernelPolicy::Scalar, KernelPolicy::Auto]
+        .iter()
+        .map(|&policy| {
+            let cfg = SortConfig::builder()
+                .kernels(policy)
+                .local_sort(LocalSort::Radix)
+                .build()
+                .expect("valid config");
+            run(&ClusterConfig::small_cluster(4), move |comm| {
+                let mut local = if comm.rank() % 2 == 0 {
+                    keys_for(comm.rank(), 600, 3)
+                } else {
+                    vec![]
+                };
+                histogram_sort(comm, &mut local, &cfg);
+                (local, comm.now_ns())
+            })
+        })
+        .collect();
+    assert_eq!(outs[0], outs[1], "degenerate-world scalar vs auto diverged");
+}
+
+/// Record payloads route through `ExchangePlan::segments` and the
+/// generic fallbacks (the key type is not a native integer); both
+/// policies must still agree exactly.
+#[test]
+fn scalar_and_auto_agree_on_record_sorts() {
+    let outs: Vec<_> = [KernelPolicy::Scalar, KernelPolicy::Auto]
+        .iter()
+        .map(|&policy| {
+            let cfg = SortConfig::builder()
+                .kernels(policy)
+                .build()
+                .expect("valid config");
+            run(&ClusterConfig::small_cluster(4), move |comm| {
+                let base = keys_for(comm.rank(), 800, 1 << 20);
+                let mut recs: Vec<(u64, u32)> =
+                    base.iter().map(|&k| (k, comm.rank() as u32)).collect();
+                dhs_core::histogram_sort_by(comm, &mut recs, |r| r.0, &cfg);
+                (recs, comm.now_ns())
+            })
+        })
+        .collect();
+    assert_eq!(outs[0], outs[1], "record-sort scalar vs auto diverged");
+}

@@ -12,6 +12,7 @@
 //! assert_eq!(quickselect(&mut v, 2), 3);
 //! ```
 
+#![warn(missing_docs)]
 pub mod distributed;
 pub mod floyd_rivest;
 pub mod sequential;

@@ -12,18 +12,22 @@
 //! assert!(v.windows(2).all(|w| w[0] <= w[1]));
 //! ```
 
+#![warn(missing_docs)]
 pub mod fork;
+pub mod kernels;
 pub mod pmerge;
 pub mod radix;
 pub mod sort;
 
 pub use fork::{join, map_parallel};
+pub use kernels::{KernelPolicy, Kernels};
 pub use pmerge::{
-    flat_tree_merge, parallel_binary_tree_merge, parallel_binary_tree_merge_by,
-    parallel_kway_chunked, parallel_merge_into, parallel_merge_into_by,
+    flat_tree_merge, flat_tree_merge_with, parallel_binary_tree_merge,
+    parallel_binary_tree_merge_by, parallel_kway_chunked, parallel_merge_into,
+    parallel_merge_into_by,
 };
 pub use radix::{radix_sort_by_bits, radix_sort_u32, radix_sort_u64};
 pub use sort::{
     parallel_merge_sort, parallel_merge_sort_by, parallel_quicksort, radix_merge_sort_by_bits,
-    task_merge_sort,
+    radix_merge_sort_typed, task_merge_sort,
 };

@@ -25,6 +25,7 @@ use dhs_merge::{
 };
 
 use crate::fork::{join, map_parallel};
+use crate::kernels::{merge_typed, Kernels};
 
 /// Sequential-work threshold below which parallel merge recursion stops.
 const MERGE_GRAIN: usize = 4096;
@@ -233,6 +234,14 @@ fn merge_two_into_slice<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
     out[k + (na - i)..].copy_from_slice(&b[j..]);
 }
 
+/// Leaf merge of the flat tree: kernel core for native integer keys,
+/// portable conditional-move merge otherwise.
+fn merge_pair<T: Ord + Copy + 'static>(kernels: Kernels, a: &[T], b: &[T], out: &mut [T]) {
+    if !merge_typed(kernels, a, b, out) {
+        merge_two_into_slice(a, b, out);
+    }
+}
+
 /// Allocation-free-per-level binary merge tree over sorted runs: all
 /// runs are packed into one contiguous buffer, then adjacent pairs are
 /// merged level by level between two ping-pong buffers. Every level
@@ -248,7 +257,22 @@ fn merge_two_into_slice<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
 /// the lower-indexed run — for every budget.
 pub fn flat_tree_merge<T, R>(runs: &[R], threads: usize) -> Vec<T>
 where
-    T: Ord + Copy + Send + Sync,
+    T: Ord + Copy + Send + Sync + 'static,
+    R: AsRef<[T]> + Sync,
+{
+    flat_tree_merge_with(Kernels::scalar(), runs, threads)
+}
+
+/// [`flat_tree_merge`] with an explicit kernel backend: the pairwise
+/// leaf merges route through the dispatched two-way merge core for
+/// native `u64`/`u32` elements (and fall back to the portable
+/// conditional-move merge for every other `T`). Output is identical to
+/// [`flat_tree_merge`] for every backend — merging equal `Copy` scalar
+/// keys is unobservable — so callers may pick the backend on host-time
+/// grounds alone.
+pub fn flat_tree_merge_with<T, R>(kernels: Kernels, runs: &[R], threads: usize) -> Vec<T>
+where
+    T: Ord + Copy + Send + Sync + 'static,
     R: AsRef<[T]> + Sync,
 {
     let slices: Vec<&[T]> = runs
@@ -298,12 +322,10 @@ where
         }
         if threads <= 1 {
             for (a, b, out) in tasks {
-                merge_two_into_slice(a, b, out);
+                merge_pair(kernels, a, b, out);
             }
         } else {
-            map_parallel(threads, tasks, |(a, b, out)| {
-                merge_two_into_slice(a, b, out)
-            });
+            map_parallel(threads, tasks, |(a, b, out)| merge_pair(kernels, a, b, out));
         }
         // The odd tail run rides along unmerged.
         rest.copy_from_slice(&src[pos..]);

@@ -26,6 +26,7 @@
 use std::cmp::Ordering;
 
 use crate::fork::join;
+use crate::kernels::{kernel_element, merge_typed, radix_sort_typed, Kernels};
 use crate::pmerge::{parallel_merge_into, parallel_merge_into_by};
 use crate::radix::radix_sort_by_bits;
 use dhs_merge::merge_two_into;
@@ -156,6 +157,51 @@ where
     let mut scratch = data.to_vec();
     let cmp = |x: &T, y: &T| bits(x).cmp(&bits(y));
     parallel_merge_into_by(&data[..mid], &data[mid..], &mut scratch, threads, &cmp);
+    data.copy_from_slice(&scratch);
+}
+
+/// Kernel-routed variant of [`radix_merge_sort_by_bits`] for native
+/// integer keys: when `T` is exactly `u64`/`u32`, sorts `data` through
+/// the dispatched [`Kernels`] radix pre-pass (leaves) and two-way merge
+/// core and returns `true`; any other `T` returns `false` untouched so
+/// the caller keeps the generic projection path. Output is the unique
+/// sorted permutation — byte-identical to `sort_unstable` and to the
+/// generic radix path for every backend and thread budget.
+pub fn radix_merge_sort_typed<T>(kernels: Kernels, data: &mut [T], threads: usize) -> bool
+where
+    T: Ord + Copy + Send + Sync + 'static,
+{
+    if !kernel_element::<T>() {
+        return false;
+    }
+    rms_typed(kernels, data, threads);
+    true
+}
+
+/// Recursive step of [`radix_merge_sort_typed`]: budget-determined
+/// halves radix-sort concurrently, then merge through the kernel merge
+/// core.
+fn rms_typed<T>(kernels: Kernels, data: &mut [T], threads: usize)
+where
+    T: Ord + Copy + Send + Sync + 'static,
+{
+    if threads <= 1 || data.len() <= SORT_GRAIN {
+        let routed = radix_sort_typed(kernels, data);
+        debug_assert!(routed, "caller checked kernel_element");
+        return;
+    }
+    let mid = data.len() / 2;
+    {
+        let (lo, hi) = data.split_at_mut(mid);
+        join(
+            threads,
+            |t| rms_typed(kernels, lo, t),
+            |t| rms_typed(kernels, hi, t),
+        );
+    }
+    let mut scratch = data.to_vec();
+    let routed = merge_typed(kernels, &data[..mid], &data[mid..], &mut scratch);
+    debug_assert!(routed, "caller checked kernel_element");
     data.copy_from_slice(&scratch);
 }
 

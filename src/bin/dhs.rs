@@ -46,6 +46,7 @@ fn main() {
                  \x20        --recovery abort|shrink (response to rank failures)\n\
                  \x20        --exchange-algo one-factor|bruck|leaders|staged:<k>\n\
                  \x20        --warm-start cold|seeded|seeded-brackets (repeated sorts)\n\
+                 \x20        --kernels scalar|auto (local compute-kernel backend)\n\
                  \x20        --engine threads|tasks|tasks:<workers> (execution engine)\n\
                  \x20        --trace out.json --trace-format chrome|summary\n\
                  serve    --ranks N --nper N --epochs E --seed N --verify\n\
@@ -169,6 +170,12 @@ fn sort_config_with(args: &Args, default_warm: WarmStart) -> SortConfig {
             "shrink" => RecoveryPolicy::Shrink,
             other => panic!("unknown recovery policy {other} (expected abort|shrink)"),
         })
+        .kernels(
+            args.raw("kernels")
+                .unwrap_or("auto")
+                .parse::<KernelPolicy>()
+                .unwrap_or_else(|e| panic!("--kernels: {e}")),
+        )
         .exchange_algo(exchange_algo_of(args));
     if let Some(iters) = args.raw("max-iters") {
         let iters: u32 = iters
